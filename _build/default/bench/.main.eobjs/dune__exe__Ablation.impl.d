@@ -1,0 +1,1 @@
+bench/ablation.ml: Core Harness Lazy List Printf Query Rdf Workload

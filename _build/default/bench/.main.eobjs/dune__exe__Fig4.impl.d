@@ -1,0 +1,1 @@
+bench/fig4.ml: Core Harness Lazy List Printf Workload

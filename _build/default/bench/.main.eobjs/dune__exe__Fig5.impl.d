@@ -1,0 +1,1 @@
+bench/fig5.ml: Core Float Harness Lazy List Printf Workload

@@ -1,0 +1,1 @@
+bench/fig6.ml: Core Harness Lazy List Printf Workload

@@ -1,0 +1,1 @@
+bench/fig7.ml: Core Float Harness Lazy List Printf Rdf Tables

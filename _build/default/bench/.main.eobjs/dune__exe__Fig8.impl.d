@@ -1,0 +1,1 @@
+bench/fig8.ml: Bechamel Core Engine Harness Hashtbl Lazy List Printf Query Rdf Tables

@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Core Float Hashtbl List Measure Printf Stats String Sys Time Toolkit Unix Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig4 Fig5 Fig6 Fig7 Fig8 Harness List Printf Sys Tables

@@ -1,0 +1,1 @@
+bench/tables.ml: Harness Lazy List Printf Query Rdf Workload

@@ -1,0 +1,144 @@
+(* Ablations beyond the paper's figures, for the design choices called
+   out in DESIGN.md:
+
+   - cost-weight sensitivity: the maintenance weight cm and fan-out f
+     steer the search toward smaller views;
+   - stratification: EXNAIVE vs EXSTR vs DFS transition counts on a
+     fully-explorable workload;
+   - the saturation ≡ post-reformulation equivalence (§6.5);
+   - cost breakdown of initial vs best state. *)
+
+let small_workload store =
+  Workload.Generator.generate_satisfiable store
+    (Harness.spec Workload.Generator.Star 3 4 Workload.Generator.High 91)
+
+let run_weights () =
+  Harness.subsection "cost-weight sensitivity (best state under DFS-AVF-STV)";
+  let store = Lazy.force Harness.barton_store in
+  let queries = small_workload store in
+  let rows =
+    List.concat_map
+      (fun cm ->
+        List.map
+          (fun f ->
+            let weights = { Core.Cost.default_weights with cm; f } in
+            let opts =
+              { (Harness.options ~budget:Harness.search_budget ()) with
+                Core.Search.weights = weights }
+            in
+            let report =
+              Core.Search.run (Harness.stats_for store) opts queries
+            in
+            [
+              Harness.fmt_float cm;
+              Harness.fmt_float f;
+              string_of_int (List.length report.Core.Search.best.Core.State.views);
+              Printf.sprintf "%.1f" (Harness.avg_view_atoms report.Core.Search.best);
+              Harness.fmt_rcr (Core.Search.rcr report);
+            ])
+          [ 1.2; 2.; 4. ])
+      [ 0.; 0.5; 50. ]
+  in
+  Harness.print_table
+    ~header:[ "cm"; "f"; "views"; "atoms/view"; "rcr" ]
+    rows
+
+let run_stratification () =
+  Harness.subsection "stratified vs naive exhaustive search (Fig. 3 workload)";
+  let query =
+    Query.Cq.make ~name:"q"
+      ~head:[ Query.Qterm.Var "Y"; Query.Qterm.Var "Z" ]
+      ~body:
+        [
+          Query.Atom.make (Query.Qterm.Var "X") (Query.Qterm.Var "Y")
+            (Query.Qterm.Cst (Rdf.Term.Uri "ex:c1"));
+          Query.Atom.make (Query.Qterm.Var "X") (Query.Qterm.Var "Z")
+            (Query.Qterm.Cst (Rdf.Term.Uri "ex:c2"));
+        ]
+  in
+  let store =
+    Rdf.Store.of_triples
+      [
+        Rdf.Triple.make (Rdf.Term.Uri "s1") (Rdf.Term.Uri "p1") (Rdf.Term.Uri "ex:c1");
+        Rdf.Triple.make (Rdf.Term.Uri "s1") (Rdf.Term.Uri "p2") (Rdf.Term.Uri "ex:c2");
+      ]
+  in
+  let rows =
+    List.map
+      (fun (label, strategy) ->
+        let opts =
+          {
+            (Harness.options ~strategy ~avf:false ~stop_var:false ()) with
+            Core.Search.stop_tt = false;
+            time_budget = None;
+          }
+        in
+        let report = Core.Search.run (Harness.stats_for store) opts [ query ] in
+        [
+          label;
+          string_of_int report.Core.Search.created;
+          string_of_int report.Core.Search.duplicates;
+          string_of_int report.Core.Search.explored;
+        ])
+      [
+        ("EXNAIVE", Core.Search.Exnaive);
+        ("EXSTR", Core.Search.Exstr);
+        ("DFS", Core.Search.Dfs);
+      ]
+  in
+  Harness.print_table ~header:[ "strategy"; "created"; "duplicates"; "explored" ] rows
+
+let run_equivalence () =
+  Harness.subsection "saturation ≡ post-reformulation (§6.5)";
+  let store = Lazy.force Harness.barton_store in
+  let schema = Lazy.force Harness.barton_schema in
+  let queries =
+    Workload.Generator.generalize schema 0.5 3 (small_workload store)
+  in
+  let opts = Harness.options ~budget:Harness.search_budget () in
+  let sat =
+    Core.Selector.select ~store ~reasoning:(Core.Selector.Saturation schema)
+      ~options:opts queries
+  in
+  let post =
+    Core.Selector.select ~store
+      ~reasoning:(Core.Selector.Post_reformulation schema) ~options:opts queries
+  in
+  let same =
+    Core.State.key sat.Core.Selector.report.Core.Search.best
+    = Core.State.key post.Core.Selector.report.Core.Search.best
+  in
+  Printf.printf "  same recommended view set: %b\n" same;
+  Printf.printf "  best costs: saturation %s, post-reformulation %s\n"
+    (Harness.fmt_float sat.Core.Selector.report.Core.Search.best_cost)
+    (Harness.fmt_float post.Core.Selector.report.Core.Search.best_cost)
+
+let run_breakdown () =
+  Harness.subsection "cost breakdown: initial vs best state";
+  let store = Lazy.force Harness.barton_store in
+  let queries = small_workload store in
+  let stats = Harness.stats_for store in
+  let estimator = Core.Cost.create stats Core.Cost.default_weights in
+  let opts = Harness.options ~budget:Harness.search_budget () in
+  let report = Core.Search.run stats opts queries in
+  let initial = Core.State.initial queries in
+  let row label state =
+    let b = Core.Cost.breakdown estimator state in
+    [
+      label;
+      Harness.fmt_float b.Core.Cost.vso_part;
+      Harness.fmt_float b.Core.Cost.rec_part;
+      Harness.fmt_float b.Core.Cost.vmc_part;
+      Harness.fmt_float b.Core.Cost.total;
+    ]
+  in
+  Harness.print_table
+    ~header:[ "state"; "VSO"; "REC"; "VMC"; "total" ]
+    [ row "initial" initial; row "best" report.Core.Search.best ]
+
+let run () =
+  Harness.section "Ablations";
+  run_weights ();
+  run_stratification ();
+  run_equivalence ();
+  run_breakdown ()

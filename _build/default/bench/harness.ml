@@ -1,0 +1,123 @@
+(* Shared infrastructure for the per-figure/table benchmark harnesses.
+
+   Scale: the paper runs 30-minute to 3-hour searches on a 35M-triple
+   PostgreSQL database.  The harness reproduces the *shape* of every
+   result at laptop scale; BENCH_SCALE=full enlarges workload sizes and
+   time budgets. *)
+
+type scale = Quick | Full
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some ("full" | "FULL") -> Full
+  | _ -> Quick
+
+let search_budget = match scale with Quick -> 1.0 | Full -> 30.0
+let long_budget = match scale with Quick -> 3.0 | Full -> 120.0
+let barton_entities = match scale with Quick -> 400 | Full -> 5000
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+(* ---------- table printing ---------------------------------------------- *)
+
+let print_table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> Printf.sprintf "%-*s" (List.nth widths i) cell)
+        row
+    in
+    print_endline ("  " ^ String.concat "  " cells)
+  in
+  print_row header;
+  print_endline
+    ("  " ^ String.concat "--" (List.map (fun w -> String.make w '-') widths));
+  List.iter print_row rows
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e6 then
+    Printf.sprintf "%.0f" f
+  else if Float.abs f >= 1000. then Printf.sprintf "%.3e" f
+  else Printf.sprintf "%.3f" f
+
+let fmt_rcr r = Printf.sprintf "%.3f" r
+
+let fmt_ms ns = Printf.sprintf "%.3f" (ns /. 1e6)
+
+(* ---------- common setups ------------------------------------------------ *)
+
+let barton_store = lazy (Workload.Barton.store ~n_entities:barton_entities ~seed:11 ())
+let barton_schema = lazy (Workload.Barton.schema ())
+
+let spec shape n_queries atoms commonality seed =
+  {
+    Workload.Generator.shape;
+    n_queries;
+    atoms_per_query = atoms;
+    commonality;
+    seed;
+  }
+
+let options ?(strategy = Core.Search.Dfs) ?(avf = true) ?(stop_var = true)
+    ?(budget = search_budget) ?max_states () =
+  {
+    Core.Search.strategy;
+    avf;
+    stop_tt = true;
+    stop_var;
+    time_budget = Some budget;
+    max_states;
+    weights = Core.Cost.default_weights;
+  }
+
+let stats_for store = Stats.Statistics.create store
+
+(* Average number of atoms in the best state's views (§6.4 reports 3.2
+   for DFS vs 6.5 for GSTR). *)
+let avg_view_atoms (state : Core.State.t) =
+  match state.Core.State.views with
+  | [] -> 0.
+  | views ->
+    float_of_int
+      (List.fold_left (fun acc v -> acc + Core.View.atom_count v) 0 views)
+    /. float_of_int (List.length views)
+
+(* ---------- bechamel ------------------------------------------------------ *)
+
+(* Runs a group of Bechamel tests and returns (name, ns/run) pairs,
+   OLS-estimated on the monotonic clock. *)
+let measure_tests ?(quota = 0.5) tests =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second quota) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name v acc ->
+      let estimate =
+        match Analyze.OLS.estimates v with
+        | Some (e :: _) -> e
+        | Some [] | None -> Float.nan
+      in
+      (name, estimate) :: acc)
+    results []
+  |> List.sort compare
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)

@@ -1,0 +1,47 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation section (§6), plus ablations.
+
+     dune exec bench/main.exe            # everything, quick scale
+     dune exec bench/main.exe fig4       # one experiment
+     BENCH_SCALE=full dune exec bench/main.exe   # paper-scale sizes
+
+   Experiments: table2, table3, fig4, fig5, fig6, fig7, fig8, ablation. *)
+
+let experiments =
+  [
+    ("table2", fun () -> Tables.run_table2 ());
+    ("table3", fun () -> Tables.run_table3 ());
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("ablation", Ablation.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: args -> args
+    | [] -> []
+  in
+  Printf.printf
+    "RDFViewS reproduction benchmarks (scale: %s; set BENCH_SCALE=full for paper-scale runs)\n"
+    (match Harness.scale with Harness.Quick -> "quick" | Harness.Full -> "full");
+  match requested with
+  | [] -> List.iter (fun (_, run) -> run ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some run -> run ()
+        | None ->
+          Printf.printf "unknown experiment: %s\n" name;
+          usage ();
+          exit 1)
+      names

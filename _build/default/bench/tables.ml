@@ -1,0 +1,107 @@
+(* Table 2: term reformulation for post-reasoning (the §4.3 example), and
+   Table 3: characteristics of the reformulation workloads Q1 ⊂ Q2. *)
+
+let picture = Rdf.Term.Uri "ex:picture"
+let painting = Rdf.Term.Uri "ex:painting"
+let is_locat_in = Rdf.Term.Uri "ex:isLocatIn"
+let is_exp_in = Rdf.Term.Uri "ex:isExpIn"
+
+let s43 =
+  Rdf.Schema.of_statements
+    [
+      Rdf.Schema.Subclass (painting, picture);
+      Rdf.Schema.Subproperty (is_exp_in, is_locat_in);
+    ]
+
+let run_table2 () =
+  Harness.section "Table 2: term reformulation for post-reasoning";
+  let q1 =
+    Query.Cq.make ~name:"q1"
+      ~head:[ Query.Qterm.Var "X1" ]
+      ~body:
+        [
+          Query.Atom.make (Query.Qterm.Var "X1")
+            (Query.Qterm.Cst Rdf.Vocabulary.rdf_type)
+            (Query.Qterm.Cst picture);
+        ]
+  in
+  let q4 =
+    Query.Cq.make ~name:"q4"
+      ~head:[ Query.Qterm.Var "X1"; Query.Qterm.Var "X2" ]
+      ~body:
+        [
+          Query.Atom.make (Query.Qterm.Var "X1") (Query.Qterm.Var "X2")
+            (Query.Qterm.Cst picture);
+        ]
+  in
+  List.iter
+    (fun q ->
+      let reformulated = Query.Reformulation.reformulate q s43 in
+      Harness.subsection
+        (Printf.sprintf "%s,S (%d union terms)" q.Query.Cq.name
+           (Query.Ucq.cardinal reformulated));
+      List.iteri
+        (fun i d -> Printf.printf "  (%d) %s\n" (i + 1) (Query.Cq.to_string d))
+        (Query.Ucq.disjuncts reformulated))
+    [ q1; q4 ]
+
+(* ---------- Table 3 ------------------------------------------------------- *)
+
+(* Q2: 10 satisfiable queries on the Barton-like dataset, generalized so
+   that reasoning matters; Q1 is its 5-query prefix (the paper: Q1 ⊂
+   Q2). *)
+let reformulation_workloads () =
+  let store = Lazy.force Harness.barton_store in
+  let schema = Lazy.force Harness.barton_schema in
+  let q2 =
+    Workload.Generator.generate_satisfiable store
+      (Harness.spec Workload.Generator.Mixed 10 4 Workload.Generator.High 77)
+    |> Workload.Generator.generalize schema 0.9 7
+  in
+  let q1 = List.filteri (fun i _ -> i < 5) q2 in
+  (store, schema, q1, q2)
+
+let characterize schema queries =
+  let n = List.length queries in
+  let atoms =
+    List.fold_left (fun acc q -> acc + Query.Cq.atom_count q) 0 queries
+  in
+  let consts =
+    List.fold_left (fun acc q -> acc + Query.Cq.constant_count q) 0 queries
+  in
+  let reformulated =
+    List.map (fun q -> Query.Reformulation.reformulate q schema) queries
+  in
+  let rn =
+    List.fold_left (fun acc u -> acc + Query.Ucq.cardinal u) 0 reformulated
+  in
+  let ra =
+    List.fold_left (fun acc u -> acc + Query.Ucq.atom_count u) 0 reformulated
+  in
+  let rc =
+    List.fold_left (fun acc u -> acc + Query.Ucq.constant_count u) 0 reformulated
+  in
+  (n, atoms, consts, rn, ra, rc)
+
+let run_table3 () =
+  Harness.section "Table 3: workloads used for reformulation experiments";
+  let _, schema, q1, q2 = reformulation_workloads () in
+  Printf.printf
+    "  schema: %d classes, %d properties, %d RDFS statements\n"
+    (List.length (Workload.Barton.classes ()))
+    (List.length (Workload.Barton.properties ()))
+    (Rdf.Schema.size schema);
+  let row label queries =
+    let n, a, cc, rn, ra, rc = characterize schema queries in
+    [
+      label; string_of_int n; string_of_int a; string_of_int cc;
+      string_of_int rn; string_of_int ra; string_of_int rc;
+    ]
+  in
+  Harness.print_table
+    ~header:[ "workload"; "|Q|"; "#a(Q)"; "#c(Q)"; "|Qr|"; "#a(Qr)"; "#c(Qr)" ]
+    [ row "Q1" q1; row "Q2" q2 ]
+
+let run () =
+  run_table2 ();
+  run_table3 ()

@@ -1,0 +1,389 @@
+(* rdfviews — command-line interface to the view-selection library.
+
+   Subcommands:
+     select       recommend materialized views for a workload
+     reformulate  reformulate queries w.r.t. an RDFS (Algorithm 1)
+     saturate     saturate a dataset w.r.t. an RDFS
+     eval         evaluate queries over a dataset
+     generate     generate synthetic or data-backed workloads
+     barton       emit the synthetic Barton-like dataset and schema *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+let write_out path text =
+  match path with
+  | None -> print_endline text
+  | Some file ->
+    let oc = open_out file in
+    output_string oc text;
+    output_string oc "\n";
+    close_out oc
+
+let load_store path = Rdf.Store.of_triples (Query.Parser.parse_triples (read_file path))
+let load_workload path = Query.Parser.parse_workload (read_file path)
+let load_schema path = Query.Parser.parse_schema (read_file path)
+
+let handle_errors f =
+  try f (); 0 with
+  | Query.Parser.Parse_error message ->
+    Printf.eprintf "parse error: %s\n" message;
+    1
+  | Invalid_argument message | Failure message ->
+    Printf.eprintf "error: %s\n" message;
+    1
+  | Sys_error message ->
+    Printf.eprintf "%s\n" message;
+    1
+
+(* ---------- common arguments ---------------------------------------------- *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Triples file (N-Triples-style).")
+
+let schema_opt_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "s"; "schema" ] ~docv:"FILE" ~doc:"RDFS schema file.")
+
+let schema_req_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "s"; "schema" ] ~docv:"FILE" ~doc:"RDFS schema file.")
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "w"; "workload" ] ~docv:"FILE" ~doc:"Workload file (Datalog-style).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to $(docv).")
+
+(* ---------- select --------------------------------------------------------- *)
+
+let strategy_conv =
+  let parse s =
+    match Core.Search.strategy_of_string s with
+    | Some strategy -> Ok strategy
+    | None -> Error (`Msg ("unknown strategy " ^ s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Core.Search.strategy_name s))
+
+let select_cmd =
+  let reasoning_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("saturation", `Saturation);
+                    ("pre", `Pre); ("post", `Post) ])
+          `None
+      & info [ "r"; "reasoning" ] ~docv:"MODE"
+          ~doc:"Reasoning mode: none, saturation, pre (pre-reformulation) or \
+                post (post-reformulation). All but none require --schema.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv Core.Search.Dfs
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:"Search strategy: dfs, gstr, exstr or exnaive.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) (Some 30.)
+      & info [ "budget" ] ~docv:"SECONDS" ~doc:"Search time budget (stoptime).")
+  in
+  let no_avf_arg =
+    Arg.(value & flag & info [ "no-avf" ] ~doc:"Disable aggressive view fusion.")
+  in
+  let no_stv_arg =
+    Arg.(value & flag & info [ "no-stv" ] ~doc:"Disable the stopvar condition.")
+  in
+  let materialize_arg =
+    Arg.(
+      value & flag
+      & info [ "materialize" ]
+          ~doc:"Also materialize the views and report their sizes and the \
+                query answers.")
+  in
+  let sql_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"FILE"
+          ~doc:"Write a SQL deployment script (view DDL + rewriting queries) \
+                to $(docv); use - for stdout.")
+  in
+  let run data workload schema reasoning strategy budget no_avf no_stv materialize sql =
+    handle_errors @@ fun () ->
+    let store = load_store data in
+    let queries = load_workload workload in
+    let schema = Option.map load_schema schema in
+    let reasoning =
+      match (reasoning, schema) with
+      | `None, _ -> Core.Selector.No_reasoning
+      | `Saturation, Some s -> Core.Selector.Saturation s
+      | `Pre, Some s -> Core.Selector.Pre_reformulation s
+      | `Post, Some s -> Core.Selector.Post_reformulation s
+      | (`Saturation | `Pre | `Post), None ->
+        failwith "this reasoning mode requires --schema"
+    in
+    let options =
+      {
+        Core.Search.default_options with
+        strategy;
+        avf = not no_avf;
+        stop_var = not no_stv;
+        time_budget = budget;
+      }
+    in
+    let result = Core.Selector.select ~store ~reasoning ~options queries in
+    let report = result.Core.Selector.report in
+    Printf.printf
+      "search (%s, %s): explored %d states in %.2fs; cost %.4g -> %.4g (rcr %.3f)%s\n\n"
+      (Core.Search.strategy_name strategy)
+      (Core.Selector.reasoning_name reasoning)
+      report.Core.Search.explored report.Core.Search.elapsed
+      report.Core.Search.initial_cost report.Core.Search.best_cost
+      (Core.Search.rcr report)
+      (if report.Core.Search.completed then " [complete]" else "");
+    print_endline "recommended views:";
+    List.iter
+      (fun u ->
+        List.iter
+          (fun d -> Printf.printf "  %s\n" (Query.Parser.query_to_text d))
+          (Query.Ucq.disjuncts u))
+      result.Core.Selector.recommended;
+    print_endline "\nrewritings:";
+    List.iter
+      (fun (q, r) -> Printf.printf "  %s = %s\n" q (Core.Rewriting.to_string r))
+      result.Core.Selector.rewritings;
+    (match sql with
+    | Some "-" -> print_endline ("\n" ^ Core.Sql.deployment_script result)
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Core.Sql.deployment_script result);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "\nSQL deployment script written to %s\n" file
+    | None -> ());
+    if materialize then begin
+      let mstore = result.Core.Selector.store_for_materialization in
+      let env = Engine.Materialize.materialize_views mstore result.Core.Selector.recommended in
+      Printf.printf "\nmaterialized: %d tuples, %d bytes\n"
+        (Engine.Materialize.total_cardinality env)
+        (Engine.Materialize.total_size_bytes mstore env);
+      List.iter
+        (fun (qname, rewriting) ->
+          let answers = Engine.Executor.execute_query mstore env rewriting in
+          Printf.printf "  %s: %d answers\n" qname (List.length answers))
+        result.Core.Selector.rewritings
+    end
+  in
+  let info =
+    Cmd.info "select" ~doc:"Recommend materialized views for a workload."
+  in
+  Cmd.v info
+    Term.(
+      const run $ data_arg $ workload_arg $ schema_opt_arg $ reasoning_arg
+      $ strategy_arg $ budget_arg $ no_avf_arg $ no_stv_arg $ materialize_arg
+      $ sql_arg)
+
+(* ---------- reformulate ---------------------------------------------------- *)
+
+let reformulate_cmd =
+  let run workload schema output =
+    handle_errors @@ fun () ->
+    let queries = load_workload workload in
+    let schema = load_schema schema in
+    let text =
+      String.concat "\n\n"
+        (List.map
+           (fun q ->
+             let u = Query.Reformulation.reformulate q schema in
+             Printf.sprintf "# %s: %d union term(s)\n%s" q.Query.Cq.name
+               (Query.Ucq.cardinal u)
+               (String.concat "\n"
+                  (List.map Query.Parser.query_to_text (Query.Ucq.disjuncts u))))
+           queries)
+    in
+    write_out output text
+  in
+  let info =
+    Cmd.info "reformulate"
+      ~doc:"Reformulate queries w.r.t. an RDFS (Algorithm 1 of the paper)."
+  in
+  Cmd.v info Term.(const run $ workload_arg $ schema_req_arg $ output_arg)
+
+(* ---------- saturate -------------------------------------------------------- *)
+
+let saturate_cmd =
+  let count_only =
+    Arg.(value & flag & info [ "count" ] ~doc:"Only print triple counts.")
+  in
+  let run data schema output count_only =
+    handle_errors @@ fun () ->
+    let store = load_store data in
+    let schema = load_schema schema in
+    let before = Rdf.Store.size store in
+    let added = Rdf.Entailment.saturate store schema in
+    if count_only then
+      Printf.printf "%d explicit + %d implicit = %d triples\n" before added
+        (Rdf.Store.size store)
+    else
+      write_out output (Query.Parser.triples_to_text (Rdf.Store.to_triples store))
+  in
+  let info = Cmd.info "saturate" ~doc:"Saturate a dataset w.r.t. an RDFS." in
+  Cmd.v info Term.(const run $ data_arg $ schema_req_arg $ output_arg $ count_only)
+
+(* ---------- eval ------------------------------------------------------------ *)
+
+let eval_cmd =
+  let run data workload schema =
+    handle_errors @@ fun () ->
+    let store = load_store data in
+    let queries = load_workload workload in
+    let schema = Option.map load_schema schema in
+    List.iter
+      (fun q ->
+        let answers =
+          match schema with
+          | None -> Query.Evaluation.eval_cq store q
+          | Some s ->
+            Query.Evaluation.eval_ucq store (Query.Reformulation.reformulate q s)
+        in
+        Printf.printf "%s: %d answer(s)\n" q.Query.Cq.name (List.length answers);
+        List.iter
+          (fun tuple ->
+            Printf.printf "  (%s)\n"
+              (String.concat ", "
+                 (List.map Rdf.Term.to_string (Array.to_list tuple))))
+          answers)
+      queries
+  in
+  let info =
+    Cmd.info "eval"
+      ~doc:"Evaluate queries; with --schema, answers reflect RDFS entailment \
+            (via reformulation)."
+  in
+  Cmd.v info Term.(const run $ data_arg $ workload_arg $ schema_opt_arg)
+
+(* ---------- generate --------------------------------------------------------- *)
+
+let generate_cmd =
+  let shape_conv =
+    let parse s =
+      match Workload.Generator.shape_of_string s with
+      | Some shape -> Ok shape
+      | None -> Error (`Msg ("unknown shape " ^ s))
+    in
+    Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Workload.Generator.shape_name s))
+  in
+  let shape_arg =
+    Arg.(
+      value
+      & opt shape_conv Workload.Generator.Star
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:"star, chain, cycle, random-sparse, random-dense or mixed.")
+  in
+  let queries_arg =
+    Arg.(value & opt int 5 & info [ "queries" ] ~docv:"N" ~doc:"Number of queries.")
+  in
+  let atoms_arg =
+    Arg.(value & opt int 5 & info [ "atoms" ] ~docv:"N" ~doc:"Atoms per query.")
+  in
+  let commonality_arg =
+    Arg.(
+      value
+      & opt (enum [ ("high", Workload.Generator.High); ("low", Workload.Generator.Low) ])
+          Workload.Generator.High
+      & info [ "commonality" ] ~docv:"LEVEL" ~doc:"high or low.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  let satisfiable_arg =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "satisfiable-on" ] ~docv:"FILE"
+          ~doc:"Sample constants from $(docv) so every query has answers.")
+  in
+  let run shape queries atoms commonality seed satisfiable output =
+    handle_errors @@ fun () ->
+    let spec =
+      {
+        Workload.Generator.shape;
+        n_queries = queries;
+        atoms_per_query = atoms;
+        commonality;
+        seed;
+      }
+    in
+    let workload =
+      match satisfiable with
+      | None -> Workload.Generator.generate spec
+      | Some data -> Workload.Generator.generate_satisfiable (load_store data) spec
+    in
+    write_out output
+      (String.concat "\n" (List.map Query.Parser.query_to_text workload))
+  in
+  let info = Cmd.info "generate" ~doc:"Generate a synthetic query workload." in
+  Cmd.v info
+    Term.(
+      const run $ shape_arg $ queries_arg $ atoms_arg $ commonality_arg
+      $ seed_arg $ satisfiable_arg $ output_arg)
+
+(* ---------- barton ----------------------------------------------------------- *)
+
+let barton_cmd =
+  let entities_arg =
+    Arg.(value & opt int 500 & info [ "entities" ] ~docv:"N" ~doc:"Number of entities.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  let schema_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schema-out" ] ~docv:"FILE" ~doc:"Also write the schema to $(docv).")
+  in
+  let run entities seed schema_out output =
+    handle_errors @@ fun () ->
+    let store = Workload.Barton.store ~n_entities:entities ~seed () in
+    write_out output (Query.Parser.triples_to_text (Rdf.Store.to_triples store));
+    match schema_out with
+    | Some file ->
+      write_out (Some file) (Query.Parser.schema_to_text (Workload.Barton.schema ()))
+    | None -> ()
+  in
+  let info =
+    Cmd.info "barton"
+      ~doc:"Emit the synthetic Barton-like dataset (and optionally its schema)."
+  in
+  Cmd.v info Term.(const run $ entities_arg $ seed_arg $ schema_out_arg $ output_arg)
+
+(* ---------- main -------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "rdfviews" ~version:"1.0.0"
+      ~doc:"Materialized view selection for Semantic Web databases."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ select_cmd; reformulate_cmd; saturate_cmd; eval_cmd; generate_cmd;
+            barton_cmd ]))

@@ -1,0 +1,1 @@
+examples/museum_reasoning.ml: Array Core Engine List Printf Query Rdf String

@@ -1,0 +1,1 @@
+examples/museum_reasoning.mli:

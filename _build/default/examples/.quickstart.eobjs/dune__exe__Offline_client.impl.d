@@ -1,0 +1,1 @@
+examples/offline_client.ml: Array Core Engine Hashtbl List Printf Query Rdf Workload

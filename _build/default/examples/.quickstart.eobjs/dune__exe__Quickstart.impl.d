@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Engine List Printf Query Rdf String

@@ -1,0 +1,1 @@
+examples/workload_tuning.mli:

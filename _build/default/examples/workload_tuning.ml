@@ -1,0 +1,61 @@
+(* Workload-shape exploration: how query shape, commonality and search
+   strategy affect the recommended view sets — a miniature of §6.2/§6.4.
+
+     dune exec examples/workload_tuning.exe *)
+
+let () =
+  let store = Workload.Barton.store ~n_entities:300 ~seed:12 () in
+  let stats = Stats.Statistics.create store in
+  Printf.printf "%-14s %-6s %-8s %-8s %-8s %-10s\n" "shape" "common" "strategy"
+    "rcr" "views" "atoms/view";
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun commonality ->
+          List.iter
+            (fun strategy ->
+              let queries =
+                Workload.Generator.generate
+                  {
+                    Workload.Generator.shape;
+                    n_queries = 4;
+                    atoms_per_query = 5;
+                    commonality;
+                    seed = 5;
+                  }
+              in
+              let report =
+                Core.Search.run stats
+                  {
+                    Core.Search.default_options with
+                    strategy;
+                    time_budget = Some 1.0;
+                  }
+                  queries
+              in
+              let best = report.Core.Search.best in
+              let atoms =
+                match best.Core.State.views with
+                | [] -> 0.
+                | views ->
+                  float_of_int
+                    (List.fold_left
+                       (fun acc v -> acc + Core.View.atom_count v)
+                       0 views)
+                  /. float_of_int (List.length views)
+              in
+              Printf.printf "%-14s %-6s %-8s %-8.3f %-8d %-10.1f\n"
+                (Workload.Generator.shape_name shape)
+                (Workload.Generator.commonality_name commonality)
+                (Core.Search.strategy_name strategy)
+                (Core.Search.rcr report)
+                (List.length best.Core.State.views)
+                atoms)
+            [ Core.Search.Dfs; Core.Search.Gstr ])
+        [ Workload.Generator.High; Workload.Generator.Low ])
+    [
+      Workload.Generator.Star;
+      Workload.Generator.Chain;
+      Workload.Generator.Random_sparse;
+    ];
+  print_endline "\n(higher commonality -> more view fusion -> higher rcr)"

@@ -1,0 +1,1 @@
+lib/core/competitors.ml: Cost Hashtbl List Queue Search State String Transition Unix View

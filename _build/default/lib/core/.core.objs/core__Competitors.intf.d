@@ -1,0 +1,1 @@
+lib/core/competitors.mli: Cost Query Search

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Float Hashtbl List Query Rewriting State Stats String View

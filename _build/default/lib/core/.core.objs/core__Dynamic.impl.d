@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: List Query Rewriting Search Selector Set State String View

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Hashtbl List Option Query Rdf Search Selector Set State Unix

@@ -1,0 +1,1 @@
+lib/core/rewriting.ml: Format Hashtbl List Rdf String

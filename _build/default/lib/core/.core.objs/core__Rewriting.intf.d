@@ -1,0 +1,1 @@
+lib/core/rewriting.mli: Format Hashtbl Rdf

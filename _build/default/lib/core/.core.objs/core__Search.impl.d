@@ -1,0 +1,1 @@
+lib/core/search.ml: Cost Hashtbl List Query Queue State String Transition Unix View

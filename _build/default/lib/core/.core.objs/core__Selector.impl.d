@@ -1,0 +1,1 @@
+lib/core/selector.ml: Cost List Query Rdf Rewriting Search Simplify State Stats View

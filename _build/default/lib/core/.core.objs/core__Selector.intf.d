@@ -1,0 +1,1 @@
+lib/core/selector.mli: Query Rdf Rewriting Search State Stats

@@ -1,0 +1,1 @@
+lib/core/sql.ml: Array Hashtbl List Printf Query Rdf Rewriting Selector String

@@ -1,0 +1,1 @@
+lib/core/state.ml: Format Hashtbl List Query Rewriting String View

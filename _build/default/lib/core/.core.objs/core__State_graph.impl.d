@@ -1,0 +1,1 @@
+lib/core/state_graph.ml: Hashtbl Int List Option Printf Query Rdf

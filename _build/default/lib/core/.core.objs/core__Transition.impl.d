@@ -1,0 +1,1 @@
+lib/core/transition.ml: Array Int List Query Rewriting State State_graph String View

@@ -1,0 +1,1 @@
+lib/core/view.ml: Format Lazy List Printf Query String

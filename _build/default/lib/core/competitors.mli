@@ -1,0 +1,30 @@
+(** The relational view-selection strategies of Theodoratos,
+    Ligoudistianos and Sellis (DKE 39(3), 2001 — reference [21]), used as
+    competitors in §6.2.
+
+    All three follow a divide-and-conquer scheme: each workload query is
+    developed in isolation into the full set of states reachable by edge
+    removals and view breaks, and the per-query state sets are then
+    recombined (adding the views of one state per query, fusing views
+    when possible) into states covering the whole workload:
+
+    - [Pruning] keeps every combination (pruning only dominated partial
+      states), which is what exhausts memory on larger workloads;
+    - [Greedy] keeps only the best combined state after each query is
+      added;
+    - [Heuristic] keeps, for each query, the minimal-cost state plus any
+      state offering a view-fusion opportunity with the other queries'
+      states.
+
+    Memory is modeled by [max_states] in the search options: when the
+    number of states materialized exceeds the cap, the run reports
+    [out_of_memory = true] — reproducing the failures of Fig. 4. *)
+
+type which = Pruning | Greedy | Heuristic
+
+val name : which -> string
+
+val run : Cost.t -> Search.options -> which -> Query.Cq.t list -> Search.report
+(** Runs the competitor.  When the strategy fails (memory cap or time
+    budget hit before a full-coverage state exists), the report's best
+    state is the trivial initial state and [rcr] is 0. *)

@@ -1,0 +1,218 @@
+type weights = {
+  cs : float;
+  cr : float;
+  cm : float;
+  c1 : float;
+  c2 : float;
+  f : float;
+}
+
+let default_weights = { cs = 1.; cr = 1.; cm = 0.5; c1 = 1.; c2 = 1.; f = 2. }
+
+type view_profile = {
+  cardinality : float;
+  distincts : (string * float) list;  (* per head column *)
+  width : float;                      (* bytes per tuple *)
+}
+
+type t = {
+  stats : Stats.Statistics.t;
+  weights : weights;
+  profiles : (string, view_profile) Hashtbl.t;  (* by view name *)
+  costs : (string, float) Hashtbl.t;            (* by state key *)
+}
+
+let create stats weights =
+  { stats; weights; profiles = Hashtbl.create 1024; costs = Hashtbl.create 1024 }
+
+let weights t = t.weights
+let stats t = t.stats
+
+(* The byte width of a head variable is the average term size of the
+   column where it first occurs in the body. *)
+let var_width stats (cq : Query.Cq.t) x =
+  let column_of =
+    List.find_map
+      (fun a ->
+        List.find_map
+          (fun pos ->
+            match Query.Atom.term_at a pos with
+            | Query.Qterm.Var y when String.equal x y ->
+              Some (match pos with Query.Atom.S -> `S | Query.Atom.P -> `P | Query.Atom.O -> `O)
+            | Query.Qterm.Var _ | Query.Qterm.Cst _ -> None)
+          Query.Atom.positions)
+      cq.Query.Cq.body
+  in
+  match column_of with
+  | Some col -> Stats.Statistics.avg_term_size stats col
+  | None -> 8.
+
+let profile t (v : View.t) =
+  match Hashtbl.find_opt t.profiles (View.name v) with
+  | Some p -> p
+  | None ->
+    let cq = v.View.cq in
+    let cardinality = Stats.Cardinality.estimate_cq t.stats cq in
+    let cols = View.columns v in
+    let distincts =
+      List.map (fun x -> (x, Stats.Cardinality.var_distinct t.stats cq x)) cols
+    in
+    let width =
+      List.fold_left (fun acc x -> acc +. var_width t.stats cq x) 0. cols
+    in
+    let p = { cardinality; distincts; width } in
+    Hashtbl.add t.profiles (View.name v) p;
+    p
+
+let view_cardinality t v = (profile t v).cardinality
+
+let view_size t v =
+  let p = profile t v in
+  p.cardinality *. Float.max p.width 1.
+
+let vso t (s : State.t) =
+  List.fold_left (fun acc v -> acc +. view_size t v) 0. s.State.views
+
+let vmc t (s : State.t) =
+  List.fold_left
+    (fun acc v -> acc +. Float.pow t.weights.f (float_of_int (View.atom_count v)))
+    0. s.State.views
+
+(* Estimation result for a sub-expression. *)
+type estimate = {
+  card : float;
+  dist : (string * float) list;
+  cpu : float;
+  io : float;
+}
+
+let dist_of est col =
+  match List.assoc_opt col est.dist with
+  | Some d -> Float.max 1. (Float.min d (Float.max est.card 1.))
+  | None -> Float.max 1. est.card
+
+let set_dist dist col value =
+  (col, value) :: List.remove_assoc col dist
+
+let rec estimate t (s : State.t) expr =
+  match expr with
+  | Rewriting.Scan name -> (
+    match State.find_view s name with
+    | Some v ->
+      let p = profile t v in
+      { card = p.cardinality; dist = p.distincts; cpu = 0.; io = p.cardinality }
+    | None -> failwith ("Cost.estimate: unknown view " ^ name))
+  | Rewriting.Select (conds, inner) ->
+    let e = estimate t s inner in
+    let apply acc = function
+      | Rewriting.Eq_cst (col, _) ->
+        let d = dist_of acc col in
+        { acc with card = acc.card /. d; dist = set_dist acc.dist col 1. }
+      | Rewriting.Eq_col (c1, c2) ->
+        let d1 = dist_of acc c1 in
+        let d2 = dist_of acc c2 in
+        let small = Float.min d1 d2 in
+        let dist = set_dist (set_dist acc.dist c1 small) c2 small in
+        { acc with card = acc.card /. Float.max d1 d2; dist }
+    in
+    let out = List.fold_left apply e conds in
+    { out with cpu = e.cpu +. e.card }
+  | Rewriting.Project (cols, inner) ->
+    let e = estimate t s inner in
+    { e with dist = List.filter (fun (c, _) -> List.mem c cols) e.dist }
+  | Rewriting.Rename (mapping, inner) ->
+    let e = estimate t s inner in
+    let rename (c, d) =
+      match List.assoc_opt c mapping with Some c' -> (c', d) | None -> (c, d)
+    in
+    { e with dist = List.map rename e.dist }
+  | Rewriting.Join (conds, l, r) ->
+    let el = estimate t s l in
+    let er = estimate t s r in
+    let pairs =
+      match conds with
+      | [] ->
+        let left_cols = List.map fst el.dist in
+        List.filter_map
+          (fun (c, _) -> if List.mem c left_cols then Some (c, c) else None)
+          er.dist
+      | _ :: _ -> conds
+    in
+    let selectivity =
+      List.fold_left
+        (fun acc (a, b) ->
+          acc /. Float.max (dist_of el a) (dist_of er b))
+        1. pairs
+    in
+    let card = Float.max (el.card *. er.card *. selectivity) 0. in
+    let joined_dist =
+      let from_left = el.dist in
+      let from_right =
+        List.filter (fun (c, _) -> not (List.mem_assoc c from_left)) er.dist
+      in
+      List.map
+        (fun (c, d) ->
+          match List.assoc_opt c pairs with
+          | Some b -> (c, Float.min d (dist_of er b))
+          | None -> (c, d))
+        from_left
+      @ from_right
+    in
+    {
+      card;
+      dist = joined_dist;
+      cpu = el.cpu +. er.cpu +. el.card +. er.card +. card;
+      io = el.io +. er.io;
+    }
+  | Rewriting.Union branches ->
+    let es = List.map (estimate t s) branches in
+    let card = List.fold_left (fun acc e -> acc +. e.card) 0. es in
+    let dist =
+      match es with
+      | [] -> []
+      | first :: _ ->
+        List.map
+          (fun (c, _) ->
+            (c, List.fold_left (fun acc e -> acc +. dist_of e c) 0. es))
+          first.dist
+    in
+    {
+      card;
+      dist;
+      cpu = List.fold_left (fun acc e -> acc +. e.cpu +. e.card) 0. es;
+      io = List.fold_left (fun acc e -> acc +. e.io) 0. es;
+    }
+
+let rewriting_cost t s expr =
+  let e = estimate t s expr in
+  (e.io, e.cpu)
+
+let rewriting_cardinality t s expr = (estimate t s expr).card
+
+let rec_cost t (s : State.t) =
+  List.fold_left
+    (fun acc (_, r) ->
+      let io, cpu = rewriting_cost t s r in
+      acc +. (t.weights.c1 *. io) +. (t.weights.c2 *. cpu))
+    0. s.State.rewritings
+
+type breakdown = { vso_part : float; rec_part : float; vmc_part : float; total : float }
+
+let breakdown t s =
+  let vso_part = vso t s in
+  let rec_part = rec_cost t s in
+  let vmc_part = vmc t s in
+  let total =
+    (t.weights.cs *. vso_part) +. (t.weights.cr *. rec_part)
+    +. (t.weights.cm *. vmc_part)
+  in
+  { vso_part; rec_part; vmc_part; total }
+
+let state_cost t s =
+  let key = State.key s in
+  match Hashtbl.find_opt t.costs key with
+  | Some c -> c
+  | None ->
+    let c = (breakdown t s).total in
+    Hashtbl.add t.costs key c;
+    c

@@ -1,0 +1,58 @@
+(** The estimated state cost cε (§3.3):
+
+    [cε(S) = cs·VSOε(S) + cr·RECε(S) + cm·VMCε(S)] with
+    [RECε(S) = Σ_r (c1·ioε(r) + c2·cpuε(r))] and
+    [VMCε(S) = Σ_v f^len(v)].
+
+    CPU costs follow the textbook formulas: a selection costs its input
+    cardinality, a hash join costs [|L| + |R| + |out|], projections and
+    renamings are free (column pruning during the producing scan — this
+    makes view fusion never increase the cost, as claimed at the end of
+    §3.3), and a union costs the sum of its branch cardinalities
+    (duplicate elimination). *)
+
+type weights = {
+  cs : float;  (** weight of view space occupancy *)
+  cr : float;  (** weight of rewriting evaluation cost *)
+  cm : float;  (** weight of view maintenance cost *)
+  c1 : float;  (** weight of I/O inside REC *)
+  c2 : float;  (** weight of CPU inside REC *)
+  f : float;   (** per-join fan-out factor of VMC *)
+}
+
+val default_weights : weights
+(** The paper's §6 settings: cs = cr = c1 = c2 = 1, cm = 0.5, f = 2. *)
+
+type t
+(** A cost estimator: statistics plus weights plus memo tables. *)
+
+val create : Stats.Statistics.t -> weights -> t
+
+val weights : t -> weights
+
+val stats : t -> Stats.Statistics.t
+
+val view_cardinality : t -> View.t -> float
+(** [|v|ε] (memoized). *)
+
+val view_size : t -> View.t -> float
+(** Estimated space occupancy of the view in bytes: cardinality times the
+    summed average size of its head columns. *)
+
+val vso : t -> State.t -> float
+val vmc : t -> State.t -> float
+val rec_cost : t -> State.t -> float
+
+val rewriting_cost : t -> State.t -> Rewriting.t -> float * float
+(** [(io, cpu)] estimation for one rewriting in the given state. *)
+
+val rewriting_cardinality : t -> State.t -> Rewriting.t -> float
+(** Estimated output cardinality of a rewriting. *)
+
+val state_cost : t -> State.t -> float
+(** cε(S), memoized on {!State.key}. *)
+
+type breakdown = { vso_part : float; rec_part : float; vmc_part : float; total : float }
+
+val breakdown : t -> State.t -> breakdown
+(** Unweighted components and the weighted total, for reporting. *)

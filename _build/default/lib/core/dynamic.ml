@@ -1,0 +1,48 @@
+module SSet = Set.Make (String)
+
+(* Trim the previous best state to the surviving queries, dropping the
+   views no surviving rewriting uses (Definition 2.3's "all views are
+   useful" invariant). *)
+let trim (state : State.t) removed =
+  let removed = SSet.of_list removed in
+  let rewritings =
+    List.filter (fun (q, _) -> not (SSet.mem q removed)) state.State.rewritings
+  in
+  let used =
+    SSet.of_list
+      (List.concat_map (fun (_, r) -> Rewriting.views_used r) rewritings)
+  in
+  let views =
+    List.filter (fun v -> SSet.mem (View.name v) used) state.State.views
+  in
+  { State.views; rewritings }
+
+let extend ~store ~reasoning ~options ~previous ~removed ~added =
+  let base = previous.Selector.report.Search.best in
+  let known = List.map fst base.State.rewritings in
+  List.iter
+    (fun name ->
+      if not (List.mem name known) then
+        invalid_arg ("Dynamic.extend: unknown query " ^ name))
+    removed;
+  let survivors = trim base removed in
+  let surviving_names = SSet.of_list (List.map fst survivors.State.rewritings) in
+  List.iter
+    (fun q ->
+      if SSet.mem q.Query.Cq.name surviving_names then
+        invalid_arg ("Dynamic.extend: duplicate query name " ^ q.Query.Cq.name))
+    added;
+  let fresh =
+    match added with
+    | [] -> { State.views = []; rewritings = [] }
+    | _ :: _ -> Selector.initial_state reasoning added
+  in
+  let warm =
+    {
+      State.views = survivors.State.views @ fresh.State.views;
+      rewritings = survivors.State.rewritings @ fresh.State.rewritings;
+    }
+  in
+  if warm.State.rewritings = [] then
+    invalid_arg "Dynamic.extend: empty resulting workload";
+  Selector.run_from_state ~store ~reasoning ~options warm

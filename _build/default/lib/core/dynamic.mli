@@ -1,0 +1,25 @@
+(** Dynamic query workloads (§8, future work): "adapting our approach to
+    dynamic query workloads".
+
+    When the workload evolves — queries retired, queries added — a full
+    re-selection discards everything the previous search learned.  This
+    module warm-starts instead: the previous best state is trimmed to the
+    surviving queries (dropping views no rewriting uses any more), the
+    new queries join as fresh initial views, and the search resumes from
+    that combined state.  Every state reachable from scratch is still
+    reachable (the transitions are closed over any valid state), so
+    quality is preserved while the surviving queries' structure is kept
+    for free. *)
+
+val extend :
+  store:Rdf.Store.t ->
+  reasoning:Selector.reasoning ->
+  options:Search.options ->
+  previous:Selector.result ->
+  removed:string list ->
+  added:Query.Cq.t list ->
+  Selector.result
+(** [extend ~previous ~removed ~added] re-selects for the workload
+    obtained by dropping the queries named in [removed] and adding
+    [added].  Raises [Invalid_argument] if a removed name is unknown, an
+    added name collides with a surviving query, or no query survives. *)

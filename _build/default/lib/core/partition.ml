@@ -1,0 +1,86 @@
+module TermSet = Set.Make (Rdf.Term)
+
+let constants_of q = TermSet.of_list (Query.Cq.constants q)
+
+(* Union-find over query indices, linked when constant sets intersect. *)
+let groups queries =
+  let items = Array.of_list queries in
+  let constant_sets = Array.map constants_of items in
+  let n = Array.length items in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j = parent.(find i) <- find j in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (TermSet.is_empty (TermSet.inter constant_sets.(i) constant_sets.(j)))
+      then union i j
+    done
+  done;
+  let table = Hashtbl.create 8 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    let root = find i in
+    if not (Hashtbl.mem table root) then begin
+      Hashtbl.add table root (ref []);
+      order := root :: !order
+    end;
+    let bucket = Hashtbl.find table root in
+    bucket := items.(i) :: !bucket
+  done;
+  List.rev_map (fun root -> List.rev !(Hashtbl.find table root)) !order
+
+let merge_reports total_elapsed reports =
+  match reports with
+  | [] -> invalid_arg "Partition.merge_reports: no groups"
+  | first :: _ ->
+    let sum f = List.fold_left (fun acc r -> acc +. f r) 0. reports in
+    let sumi f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+    {
+      Search.best =
+        {
+          State.views =
+            List.concat_map (fun r -> r.Search.best.State.views) reports;
+          rewritings =
+            List.concat_map (fun r -> r.Search.best.State.rewritings) reports;
+        };
+      best_cost = sum (fun r -> r.Search.best_cost);
+      initial_cost = sum (fun r -> r.Search.initial_cost);
+      created = sumi (fun r -> r.Search.created);
+      duplicates = sumi (fun r -> r.Search.duplicates);
+      discarded = sumi (fun r -> r.Search.discarded);
+      explored = sumi (fun r -> r.Search.explored);
+      elapsed = total_elapsed;
+      trajectory = first.Search.trajectory;
+      completed = List.for_all (fun r -> r.Search.completed) reports;
+      out_of_memory = List.exists (fun r -> r.Search.out_of_memory) reports;
+    }
+
+let select ~store ~reasoning ~options workload =
+  let started = Unix.gettimeofday () in
+  match groups workload with
+  | [] -> invalid_arg "Partition.select: empty workload"
+  | [ _ ] -> Selector.select ~store ~reasoning ~options workload
+  | query_groups ->
+    let share = float_of_int (List.length query_groups) in
+    let per_group_options =
+      {
+        options with
+        Search.time_budget =
+          Option.map (fun b -> b /. share) options.Search.time_budget;
+      }
+    in
+    let results =
+      List.map
+        (fun group ->
+          Selector.select ~store ~reasoning ~options:per_group_options group)
+        query_groups
+    in
+    let reports = List.map (fun r -> r.Selector.report) results in
+    {
+      Selector.report = merge_reports (Unix.gettimeofday () -. started) reports;
+      recommended = List.concat_map (fun r -> r.Selector.recommended) results;
+      rewritings = List.concat_map (fun r -> r.Selector.rewritings) results;
+      stats = (List.hd results).Selector.stats;
+      store_for_materialization =
+        (List.hd results).Selector.store_for_materialization;
+    }

@@ -1,0 +1,33 @@
+(** Workload partitioning (§8, future work): "parallelizing our view
+    search algorithms by identifying workload queries that do not have
+    many commonalities and running the search in parallel for each
+    group".
+
+    Two queries can only profit from a shared view when their atoms can
+    be made isomorphic — which requires sharing constants (properties or
+    values).  Partitioning the workload into constant-disjoint groups
+    therefore preserves the reachable cost exactly for the fusion-driven
+    gains, while cutting the search space multiplicatively: the search
+    over a group of size k explores its own candidate space instead of
+    the product space.
+
+    The search within each group is still sequential here (as in the
+    paper, which leaves the actual parallel runtime to future work); the
+    decomposition is the contribution. *)
+
+val groups : Query.Cq.t list -> Query.Cq.t list list
+(** Partition the workload into groups such that queries in different
+    groups share no constant.  Order of queries is preserved within a
+    group; groups are ordered by their first query. *)
+
+val select :
+  store:Rdf.Store.t ->
+  reasoning:Selector.reasoning ->
+  options:Search.options ->
+  Query.Cq.t list ->
+  Selector.result
+(** Like {!Selector.select} but running one search per constant-disjoint
+    group and merging the outcomes.  The merged report sums the state
+    counters and costs (both are additive over disjoint view sets); the
+    per-group time budget is the given budget divided by the number of
+    groups, so the total matches a single monolithic run. *)

@@ -1,0 +1,291 @@
+type strategy = Exnaive | Exstr | Dfs | Gstr
+
+type options = {
+  strategy : strategy;
+  avf : bool;
+  stop_tt : bool;
+  stop_var : bool;
+  time_budget : float option;
+  max_states : int option;
+  weights : Cost.weights;
+}
+
+let default_options =
+  {
+    strategy = Dfs;
+    avf = true;
+    stop_tt = true;
+    stop_var = true;
+    time_budget = None;
+    max_states = None;
+    weights = Cost.default_weights;
+  }
+
+type report = {
+  best : State.t;
+  best_cost : float;
+  initial_cost : float;
+  created : int;
+  duplicates : int;
+  discarded : int;
+  explored : int;
+  elapsed : float;
+  trajectory : (float * float) list;
+  completed : bool;
+  out_of_memory : bool;
+}
+
+let rcr r =
+  if r.initial_cost = 0. then 0.
+  else (r.initial_cost -. r.best_cost) /. r.initial_cost
+
+let strategy_name = function
+  | Exnaive -> "EXNAIVE"
+  | Exstr -> "EXSTR"
+  | Dfs -> "DFS"
+  | Gstr -> "GSTR"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "exnaive" -> Some Exnaive
+  | "exstr" -> Some Exstr
+  | "dfs" -> Some Dfs
+  | "gstr" -> Some Gstr
+  | _ -> None
+
+(* An all-variable view (stopvar) necessarily has a single atom: views
+   are connected, and two atoms sharing no constant would still share a
+   variable — but any multi-atom all-variable view is still rejected as
+   its space occupancy exceeds the full triple table. *)
+let is_all_var_view v =
+  Query.Cq.constant_count v.View.cq = 0
+
+let is_triple_table_view v =
+  View.atom_count v = 1 && Query.Cq.constant_count v.View.cq = 0
+
+let violates_stop options state =
+  List.exists
+    (fun v ->
+      (options.stop_tt && is_triple_table_view v)
+      || (options.stop_var && is_all_var_view v))
+    state.State.views
+
+type engine = {
+  estimator : Cost.t;
+  options : options;
+  seen : (string, int) Hashtbl.t;  (* state key -> lowest stratum rank *)
+  mutable created : int;
+  mutable duplicates : int;
+  mutable discarded : int;
+  mutable explored : int;
+  mutable best : State.t;
+  mutable best_cost : float;
+  mutable trajectory : (float * float) list;
+  mutable oom : bool;
+  started : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let elapsed engine = now () -. engine.started
+
+let timed_out engine =
+  match engine.options.time_budget with
+  | Some budget -> elapsed engine > budget
+  | None -> false
+
+let memory_exceeded engine =
+  match engine.options.max_states with
+  | Some cap ->
+    if Hashtbl.length engine.seen > cap then begin
+      engine.oom <- true;
+      true
+    end
+    else false
+  | None -> false
+
+let note_best engine state =
+  let cost = Cost.state_cost engine.estimator state in
+  if cost < engine.best_cost then begin
+    engine.best <- state;
+    engine.best_cost <- cost;
+    engine.trajectory <- (elapsed engine, cost) :: engine.trajectory
+  end
+
+(* Register a freshly produced state.  Returns [Some (state, rank)] when
+   the state is new (or re-opened at a lower stratum) and should be
+   expanded further. *)
+let consider engine ~rank state =
+  engine.created <- engine.created + 1;
+  let state =
+    if engine.options.avf then Transition.fusion_closure state else state
+  in
+  if violates_stop engine.options state then begin
+    engine.discarded <- engine.discarded + 1;
+    None
+  end
+  else begin
+    let key = State.key state in
+    match Hashtbl.find_opt engine.seen key with
+    | Some old_rank when old_rank <= rank ->
+      engine.duplicates <- engine.duplicates + 1;
+      None
+    | Some _ ->
+      (* reached again, but at a lower stratum: re-open *)
+      engine.duplicates <- engine.duplicates + 1;
+      Hashtbl.replace engine.seen key rank;
+      Some (state, rank)
+    | None ->
+      Hashtbl.replace engine.seen key rank;
+      note_best engine state;
+      Some (state, rank)
+  end
+
+let allowed_kinds options rank =
+  match options.strategy with
+  | Exnaive -> Transition.all_kinds
+  | Exstr | Dfs | Gstr ->
+    List.filter (fun k -> Transition.kind_rank k >= rank) Transition.all_kinds
+
+let expand engine state rank =
+  engine.explored <- engine.explored + 1;
+  let rank_of kind =
+    (* EXNAIVE is unstratified: every revisit is a plain duplicate *)
+    match engine.options.strategy with
+    | Exnaive -> 0
+    | Exstr | Dfs | Gstr -> Transition.kind_rank kind
+  in
+  List.concat_map
+    (fun kind ->
+      List.filter_map
+        (fun succ -> consider engine ~rank:(rank_of kind) succ)
+        (Transition.successors state kind))
+    (allowed_kinds engine.options rank)
+
+(* Worklist search; [lifo] makes it depth-first.  FIFO uses a Queue to
+   stay linear on large frontiers. *)
+let worklist_search engine ~lifo initial =
+  let completed = ref true in
+  if lifo then begin
+    let pending = ref [ (initial, 0) ] in
+    let rec loop () =
+      match !pending with
+      | [] -> ()
+      | (state, rank) :: rest ->
+        if timed_out engine || memory_exceeded engine then completed := false
+        else begin
+          pending := expand engine state rank @ rest;
+          loop ()
+        end
+    in
+    loop ()
+  end
+  else begin
+    let pending = Queue.create () in
+    Queue.add (initial, 0) pending;
+    let rec loop () =
+      if not (Queue.is_empty pending) then
+        if timed_out engine || memory_exceeded engine then completed := false
+        else begin
+          let state, rank = Queue.pop pending in
+          List.iter (fun item -> Queue.add item pending) (expand engine state rank);
+          loop ()
+        end
+    in
+    loop ()
+  end;
+  !completed
+
+(* Greedy stratified: full closure of one kind from the current best,
+   then restart from the best state found, next kind. *)
+let gstr_search engine initial =
+  let completed = ref true in
+  let closure_of kind start =
+    let stage_best = ref start in
+    let stage_best_cost = ref (Cost.state_cost engine.estimator start) in
+    let pending = ref [ start ] in
+    let rec loop () =
+      match !pending with
+      | [] -> ()
+      | state :: rest ->
+        if timed_out engine || memory_exceeded engine then completed := false
+        else begin
+          engine.explored <- engine.explored + 1;
+          let fresh =
+            List.filter_map
+              (fun succ ->
+                consider engine ~rank:(Transition.kind_rank kind) succ)
+              (Transition.successors state kind)
+          in
+          List.iter
+            (fun (s, _) ->
+              let c = Cost.state_cost engine.estimator s in
+              if c < !stage_best_cost then begin
+                stage_best := s;
+                stage_best_cost := c
+              end)
+            fresh;
+          pending := List.map fst fresh @ rest;
+          loop ()
+        end
+    in
+    loop ();
+    !stage_best
+  in
+  let final =
+    List.fold_left
+      (fun current kind -> closure_of kind current)
+      initial Transition.all_kinds
+  in
+  note_best engine final;
+  !completed
+
+let run_from estimator options initial =
+  (* S0's cost is that of the raw query set (§5.1); the AVF collapse of
+     the initial state, when enabled, counts as the first search gain *)
+  let initial_cost = Cost.state_cost estimator initial in
+  let initial =
+    if options.avf then Transition.fusion_closure initial else initial
+  in
+  let engine =
+    {
+      estimator;
+      options;
+      seen = Hashtbl.create 4096;
+      created = 0;
+      duplicates = 0;
+      discarded = 0;
+      explored = 0;
+      best = initial;
+      best_cost = Cost.state_cost estimator initial;
+      trajectory = [ (0., initial_cost) ];
+      oom = false;
+      started = now ();
+    }
+  in
+  if engine.best_cost < initial_cost then
+    engine.trajectory <- (0., engine.best_cost) :: engine.trajectory;
+  Hashtbl.replace engine.seen (State.key initial) 0;
+  let completed =
+    match options.strategy with
+    | Exnaive | Exstr -> worklist_search engine ~lifo:false initial
+    | Dfs -> worklist_search engine ~lifo:true initial
+    | Gstr -> gstr_search engine initial
+  in
+  {
+    best = engine.best;
+    best_cost = engine.best_cost;
+    initial_cost;
+    created = engine.created;
+    duplicates = engine.duplicates;
+    discarded = engine.discarded;
+    explored = engine.explored;
+    elapsed = elapsed engine;
+    trajectory = List.rev engine.trajectory;
+    completed = completed && not engine.oom;
+    out_of_memory = engine.oom;
+  }
+
+let run stats options workload =
+  let estimator = Cost.create stats options.weights in
+  run_from estimator options (State.initial workload)

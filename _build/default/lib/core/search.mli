@@ -1,0 +1,66 @@
+(** Search strategies over the space of candidate view sets (§5).
+
+    - [Exnaive] — Algorithm 2: unrestricted exhaustive search, any
+      transition anywhere (BFS order).
+    - [Exstr] — exhaustive stratified search: every path respects the
+      regular language VB* SC* JC* VF* (Definition 5.3); states reached at
+      a lower stratum are re-opened so the strategy stays exhaustive
+      (Theorem 5.3).
+    - [Dfs] — the depth-first stratified strategy of §5.2: same reachable
+      set as [Exstr] but explores deeper strata first, keeping the
+      candidate set small.
+    - [Gstr] — greedy stratified: develops the full VB closure of S0,
+      keeps only the best state, then its SC closure, and so on (§5.2).
+
+    Options toggle aggressive view fusion (AVF) and the stop conditions
+    stoptt, stopvar and stoptime; [max_states] caps the number of
+    distinct states held, standing in for the memory limit that makes the
+    competitor strategies of [21] fail on large workloads (§6.2). *)
+
+type strategy = Exnaive | Exstr | Dfs | Gstr
+
+type options = {
+  strategy : strategy;
+  avf : bool;           (** aggressive view fusion *)
+  stop_tt : bool;       (** discard states containing the full triple table *)
+  stop_var : bool;      (** discard states containing an all-variable view *)
+  time_budget : float option;  (** stoptime, in seconds *)
+  max_states : int option;     (** memory stand-in; exceeded → out_of_memory *)
+  weights : Cost.weights;
+}
+
+val default_options : options
+(** DFS-AVF-STV with no time budget and the paper's default weights. *)
+
+type report = {
+  best : State.t;
+  best_cost : float;
+  initial_cost : float;
+  created : int;     (** states produced by transitions *)
+  duplicates : int;  (** states reached again through another path *)
+  discarded : int;   (** states rejected by a stop condition *)
+  explored : int;    (** states fully expanded *)
+  elapsed : float;   (** seconds *)
+  trajectory : (float * float) list;
+      (** (elapsed, best-cost) samples, oldest first — Fig. 7's curves *)
+  completed : bool;      (** the reachable space was exhausted *)
+  out_of_memory : bool;  (** stopped by [max_states] *)
+}
+
+val violates_stop : options -> State.t -> bool
+(** Whether a state is rejected by the active stop conditions (stoptt /
+    stopvar).  Exposed for the competitor strategies, which honour the
+    same conditions during their per-query development. *)
+
+val rcr : report -> float
+(** Relative cost reduction [(cε(S0) − cε(Sb)) / cε(S0)] (§6.1). *)
+
+val run_from : Cost.t -> options -> State.t -> report
+(** Search from a given initial state (used for pre-reformulation and by
+    the competitor harness). *)
+
+val run : Stats.Statistics.t -> options -> Query.Cq.t list -> report
+(** Search from the standard initial state S0 of the workload. *)
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy option

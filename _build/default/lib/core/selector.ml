@@ -1,0 +1,76 @@
+type reasoning =
+  | No_reasoning
+  | Saturation of Rdf.Schema.t
+  | Pre_reformulation of Rdf.Schema.t
+  | Post_reformulation of Rdf.Schema.t
+
+type result = {
+  report : Search.report;
+  recommended : Query.Ucq.t list;
+  rewritings : (string * Rewriting.t) list;
+  stats : Stats.Statistics.t;
+  store_for_materialization : Rdf.Store.t;
+}
+
+let reasoning_name = function
+  | No_reasoning -> "none"
+  | Saturation _ -> "saturation"
+  | Pre_reformulation _ -> "pre-reformulation"
+  | Post_reformulation _ -> "post-reformulation"
+
+let plain_views state =
+  List.map (fun v -> Query.Ucq.of_cq v.View.cq) state.State.views
+
+(* final rewritings are normalized (Simplify) so that downstream engines
+   receive compact select-project-join plans *)
+let simplified_rewritings state =
+  let env = State.env state in
+  List.map
+    (fun (q, r) -> (q, Simplify.simplify env r))
+    state.State.rewritings
+
+(* Statistics and the store views are materialized against, per mode. *)
+let statistics_for ~store = function
+  | No_reasoning | Pre_reformulation _ ->
+    (Stats.Statistics.create ~mode:Stats.Statistics.Plain store, store)
+  | Saturation schema ->
+    let saturated = Rdf.Entailment.saturated_copy store schema in
+    (Stats.Statistics.create ~mode:Stats.Statistics.Plain saturated, saturated)
+  | Post_reformulation schema ->
+    (Stats.Statistics.create ~mode:(Stats.Statistics.Reformulated schema) store, store)
+
+(* Materializable view definitions for the best state, per mode. *)
+let recommended_views reasoning state =
+  match reasoning with
+  | No_reasoning | Saturation _ | Pre_reformulation _ -> plain_views state
+  | Post_reformulation schema ->
+    List.map
+      (fun v -> Query.Ucq.dedup (Query.Reformulation.reformulate v.View.cq schema))
+      state.State.views
+
+let run_from_state ~store ~reasoning ~options initial =
+  let stats, store_for_materialization = statistics_for ~store reasoning in
+  let estimator = Cost.create stats options.Search.weights in
+  let report = Search.run_from estimator options initial in
+  {
+    report;
+    recommended = recommended_views reasoning report.Search.best;
+    rewritings = simplified_rewritings report.Search.best;
+    stats;
+    store_for_materialization;
+  }
+
+(* The standard initial state of a workload, per mode (§5.1 / §4.3). *)
+let initial_state reasoning workload =
+  match reasoning with
+  | No_reasoning | Saturation _ | Post_reformulation _ -> State.initial workload
+  | Pre_reformulation schema ->
+    State.initial_union
+      (List.map
+         (fun q ->
+           ( q.Query.Cq.name,
+             Query.Ucq.disjuncts (Query.Reformulation.reformulate q schema) ))
+         workload)
+
+let select ~store ~reasoning ~options workload =
+  run_from_state ~store ~reasoning ~options (initial_state reasoning workload)

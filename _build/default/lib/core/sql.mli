@@ -1,0 +1,37 @@
+(** SQL generation: ship the recommended views and rewritings to a
+    relational back-end.
+
+    The paper deploys over PostgreSQL with a single triple table (§6) and
+    notes that the framework "could easily translate our rewritings
+    directly to any RDF platform's logical plans".  This module emits
+    portable SQL92:
+
+    - {!view_ddl} renders a (possibly UCQ) view definition as
+      [CREATE MATERIALIZED VIEW … AS SELECT … FROM triples …];
+    - {!rewriting_query} renders a rewriting as a [SELECT] over the view
+      relations;
+    - {!deployment_script} bundles a whole selector result.
+
+    Constants are emitted as string literals of their Turtle rendering;
+    the triple table is assumed to be [triples(s, p, o)] (configurable). *)
+
+type config = {
+  triple_table : string;  (** name of the triple table (default ["triples"]) *)
+  materialized : bool;    (** emit MATERIALIZED views (default true) *)
+}
+
+val default_config : config
+
+val view_ddl : ?config:config -> Query.Ucq.t -> string
+(** [CREATE [MATERIALIZED] VIEW <name>(<cols>) AS <select> [UNION …];]. *)
+
+val cq_select : ?config:config -> Query.Cq.t -> string
+(** The [SELECT … FROM triples …] body for one conjunctive query. *)
+
+val rewriting_query : Rewriting.env -> string -> Rewriting.t -> string
+(** [rewriting_query env qname r] renders the rewriting of query [qname]
+    as a [SELECT] over the view relations. *)
+
+val deployment_script : ?config:config -> Selector.result -> string
+(** All view DDL statements followed by one commented query per
+    rewriting. *)

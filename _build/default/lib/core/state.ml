@@ -1,0 +1,91 @@
+type t = {
+  views : View.t list;
+  rewritings : (string * Rewriting.t) list;
+}
+
+let check_distinct_names queries =
+  let names = List.map (fun q -> q.Query.Cq.name) queries in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "State.initial: duplicate query names"
+
+let initial queries =
+  check_distinct_names queries;
+  let entries =
+    List.map
+      (fun q ->
+        let view = View.make (Query.Cq.freshen q) in
+        (view, (q.Query.Cq.name, Rewriting.Scan (View.name view))))
+      queries
+  in
+  { views = List.map fst entries; rewritings = List.map snd entries }
+
+let initial_union groups =
+  let entries =
+    List.map
+      (fun (qname, disjuncts) ->
+        if disjuncts = [] then invalid_arg "State.initial_union: empty group";
+        let views =
+          List.map (fun d -> View.make (Query.Cq.freshen d)) disjuncts
+        in
+        let branches = List.map (fun v -> Rewriting.Scan (View.name v)) views in
+        let expr =
+          match branches with [ single ] -> single | _ -> Rewriting.Union branches
+        in
+        (views, (qname, expr)))
+      groups
+  in
+  {
+    views = List.concat_map fst entries;
+    rewritings = List.map snd entries;
+  }
+
+let env t =
+  let table = Hashtbl.create (List.length t.views) in
+  List.iter (fun v -> Hashtbl.replace table (View.name v) (View.columns v)) t.views;
+  table
+
+let key t =
+  String.concat "\x01" (List.sort String.compare (List.map View.canonical t.views))
+
+let find_view t name =
+  List.find_opt (fun v -> String.equal (View.name v) name) t.views
+
+let replace_view t ~victim ~replacements ~expression =
+  let views =
+    replacements @ List.filter (fun v -> not (v == victim)) t.views
+  in
+  let rewritings =
+    List.map
+      (fun (q, r) -> (q, Rewriting.substitute (View.name victim) expression r))
+      t.rewritings
+  in
+  { views; rewritings }
+
+let remove_views t victims =
+  { t with views = List.filter (fun v -> not (List.memq v victims)) t.views }
+
+let invariants_hold t =
+  let env = env t in
+  let rewritings_ok =
+    List.for_all (fun (_, r) -> Rewriting.well_formed env r) t.rewritings
+  in
+  let used =
+    List.concat_map (fun (_, r) -> Rewriting.views_used r) t.rewritings
+  in
+  let all_used =
+    List.for_all (fun v -> List.mem (View.name v) used) t.views
+  in
+  let connected =
+    List.for_all (fun v -> Query.Cq.is_connected v.View.cq) t.views
+  in
+  rewritings_ok && all_used && connected
+
+let to_string t =
+  let views = String.concat "\n  " (List.map View.to_string t.views) in
+  let rewritings =
+    String.concat "\n  "
+      (List.map (fun (q, r) -> q ^ " = " ^ Rewriting.to_string r) t.rewritings)
+  in
+  "views:\n  " ^ views ^ "\nrewritings:\n  " ^ rewritings
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

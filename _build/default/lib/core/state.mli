@@ -1,0 +1,50 @@
+(** States: candidate view sets with the rewritings of every workload
+    query (Definition 2.3, §3.1).
+
+    A state pairs a set of views with exactly one rewriting per workload
+    query; every view participates in at least one rewriting (this is an
+    invariant maintained by the transitions, checked by
+    {!invariants_hold}). *)
+
+type t = {
+  views : View.t list;
+  rewritings : (string * Rewriting.t) list;
+      (** query name → rewriting; columns align positionally with the
+          query head *)
+}
+
+val initial : Query.Cq.t list -> t
+(** The initial state S0: one view per workload query (the query itself,
+    with freshened variables), each query rewritten as a view scan
+    (§5.1).  Query names must be distinct. *)
+
+val initial_union : (string * Query.Cq.t list) list -> t
+(** Initial state for the pre-reformulation scenario (§4.3): each query
+    is rewritten as the union of the scans of its reformulations. *)
+
+val env : t -> Rewriting.env
+(** View name → columns, for algebra operations. *)
+
+val key : t -> string
+(** Canonical identity of the state: the sorted multiset of the views'
+    canonical forms.  Two states are equivalent iff they have the same
+    view sets (§3.1). *)
+
+val find_view : t -> string -> View.t option
+
+val replace_view : t -> victim:View.t -> replacements:View.t list ->
+  expression:Rewriting.t -> t
+(** The common shape of all transitions: remove [victim], add
+    [replacements], and substitute [expression] for the victim's symbol
+    in every rewriting. *)
+
+val remove_views : t -> View.t list -> t
+(** Remove views without touching rewritings (used by fusion, which
+    substitutes two symbols). *)
+
+val invariants_hold : t -> bool
+(** All rewritings well-formed over the state's views; every view used by
+    at least one rewriting; no view has a Cartesian product. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+type join_edge = {
+  atom_a : int;
+  pos_a : Query.Atom.position;
+  atom_b : int;
+  pos_b : Query.Atom.position;
+  var : string;
+}
+
+type selection_edge = {
+  atom : int;
+  pos : Query.Atom.position;
+  constant : Rdf.Term.t;
+}
+
+let occurrences (q : Query.Cq.t) =
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun i a ->
+      List.iter
+        (fun pos ->
+          match Query.Atom.term_at a pos with
+          | Query.Qterm.Var x ->
+            let prev = Option.value (Hashtbl.find_opt table x) ~default:[] in
+            Hashtbl.replace table x (prev @ [ (i, pos) ])
+          | Query.Qterm.Cst _ -> ())
+        Query.Atom.positions)
+    q.Query.Cq.body;
+  table
+
+let join_edges q =
+  let table = occurrences q in
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun var places ->
+      let rec pairs = function
+        | [] -> ()
+        | (i, pi) :: rest ->
+          List.iter
+            (fun (j, pj) ->
+              if i <> j then
+                let (atom_a, pos_a), (atom_b, pos_b) =
+                  if i < j then ((i, pi), (j, pj)) else ((j, pj), (i, pi))
+                in
+                edges := { atom_a; pos_a; atom_b; pos_b; var } :: !edges)
+            rest;
+          pairs rest
+      in
+      pairs places)
+    table;
+  List.sort compare !edges
+
+let selection_edges q =
+  List.concat
+    (List.mapi
+       (fun i a ->
+         List.filter_map
+           (fun pos ->
+             match Query.Atom.term_at a pos with
+             | Query.Qterm.Cst c -> Some { atom = i; pos; constant = c }
+             | Query.Qterm.Var _ -> None)
+           Query.Atom.positions)
+       q.Query.Cq.body)
+
+(* Connected components over a node set, given a multiset of undirected
+   edges (atom index pairs). *)
+let components nodes edges =
+  let adjacency = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      if List.mem a nodes && List.mem b nodes then begin
+        Hashtbl.add adjacency a b;
+        Hashtbl.add adjacency b a
+      end)
+    edges;
+  let visited = Hashtbl.create 16 in
+  let rec bfs frontier acc =
+    match frontier with
+    | [] -> acc
+    | n :: rest ->
+      let next =
+        List.filter
+          (fun m -> not (Hashtbl.mem visited m))
+          (Hashtbl.find_all adjacency n)
+      in
+      List.iter (fun m -> Hashtbl.replace visited m ()) next;
+      bfs (next @ rest) (n :: acc)
+  in
+  List.filter_map
+    (fun n ->
+      if Hashtbl.mem visited n then None
+      else begin
+        Hashtbl.replace visited n ();
+        Some (List.sort_uniq Int.compare (bfs [ n ] []))
+      end)
+    nodes
+
+let edge_pairs q = List.map (fun e -> (e.atom_a, e.atom_b)) (join_edges q)
+
+let is_connected_subset q nodes =
+  match nodes with
+  | [] -> false
+  | _ -> List.length (components nodes (edge_pairs q)) = 1
+
+let components_without_edge q edge =
+  let all = List.mapi (fun i _ -> i) q.Query.Cq.body in
+  (* remove exactly one occurrence of the edge's endpoints pair *)
+  let removed = ref false in
+  let surviving =
+    List.filter
+      (fun e ->
+        if (not !removed) && e = edge then begin
+          removed := true;
+          false
+        end
+        else true)
+      (join_edges q)
+  in
+  components all (List.map (fun e -> (e.atom_a, e.atom_b)) surviving)
+
+let components_without_occurrence q i pos =
+  let all = List.mapi (fun k _ -> k) q.Query.Cq.body in
+  let surviving =
+    List.filter
+      (fun e ->
+        not
+          ((e.atom_a = i && e.pos_a = pos) || (e.atom_b = i && e.pos_b = pos)))
+      (join_edges q)
+  in
+  components all (List.map (fun e -> (e.atom_a, e.atom_b)) surviving)
+
+let edge_to_string e =
+  Printf.sprintf "n%d.%s=n%d.%s (%s)" e.atom_a
+    (Query.Atom.position_name e.pos_a)
+    e.atom_b
+    (Query.Atom.position_name e.pos_b)
+    e.var
+
+let selection_to_string e =
+  Printf.sprintf "n%d.%s=%s" e.atom
+    (Query.Atom.position_name e.pos)
+    (Rdf.Term.to_string e.constant)

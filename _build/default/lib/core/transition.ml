@@ -1,0 +1,314 @@
+type kind = VB | SC | JC | VF
+
+let kind_rank = function VB -> 0 | SC -> 1 | JC -> 2 | VF -> 3
+
+let kind_name = function VB -> "VB" | SC -> "SC" | JC -> "JC" | VF -> "VF"
+
+let all_kinds = [ VB; SC; JC; VF ]
+
+let dedup_head terms =
+  let rec go seen = function
+    | [] -> []
+    | (Query.Qterm.Var x as term) :: rest ->
+      if List.mem x seen then go seen rest else term :: go (x :: seen) rest
+    | (Query.Qterm.Cst _ as term) :: rest -> term :: go seen rest
+  in
+  go [] terms
+
+let body_of (v : View.t) = v.View.cq.Query.Cq.body
+
+let head_of (v : View.t) = v.View.cq.Query.Cq.head
+
+let view_of_parts head body =
+  View.make (Query.Cq.make ~name:"tmp" ~head:(dedup_head head) ~body)
+
+let replace_atom body i atom =
+  List.mapi (fun j a -> if j = i then atom else a) body
+
+(* ---------------- Selection cut ---------------------------------------- *)
+
+let selection_cuts state =
+  List.concat_map
+    (fun v ->
+      let cq = v.View.cq in
+      List.map
+        (fun (edge : State_graph.selection_edge) ->
+          let fresh = Query.Qterm.fresh_var () in
+          let atom =
+            Query.Atom.set_at
+              (List.nth (body_of v) edge.atom)
+              edge.pos (Query.Qterm.Var fresh)
+          in
+          let body' = replace_atom (body_of v) edge.atom atom in
+          let head' = head_of v @ [ Query.Qterm.Var fresh ] in
+          let v' = view_of_parts head' body' in
+          let expr =
+            Rewriting.Project
+              ( View.columns v,
+                Rewriting.Select
+                  ( [ Rewriting.Eq_cst (fresh, edge.constant) ],
+                    Rewriting.Scan (View.name v') ) )
+          in
+          State.replace_view state ~victim:v ~replacements:[ v' ]
+            ~expression:expr)
+        (State_graph.selection_edges cq))
+    state.State.views
+
+(* ---------------- Join cut --------------------------------------------- *)
+
+let head_terms_for_component (v : View.t) body_atoms extra_vars =
+  let vars =
+    List.concat_map Query.Atom.var_set body_atoms
+    |> List.sort_uniq String.compare
+  in
+  let from_head =
+    List.filter
+      (function
+        | Query.Qterm.Var x -> List.mem x vars
+        | Query.Qterm.Cst _ -> false)
+      (head_of v)
+  in
+  from_head @ List.map (fun x -> Query.Qterm.Var x) extra_vars
+
+let join_cut_connected state v (edge : State_graph.join_edge) (i, pos) =
+  let fresh = Query.Qterm.fresh_var () in
+  let atom =
+    Query.Atom.set_at (List.nth (body_of v) i) pos (Query.Qterm.Var fresh)
+  in
+  let body' = replace_atom (body_of v) i atom in
+  let head' =
+    head_of v @ [ Query.Qterm.Var edge.var; Query.Qterm.Var fresh ]
+  in
+  let v' = view_of_parts head' body' in
+  let expr =
+    Rewriting.Project
+      ( View.columns v,
+        Rewriting.Select
+          ( [ Rewriting.Eq_col (edge.var, fresh) ],
+            Rewriting.Scan (View.name v') ) )
+  in
+  State.replace_view state ~victim:v ~replacements:[ v' ] ~expression:expr
+
+let join_cut_split state v (edge : State_graph.join_edge) comp_a comp_b =
+  let body = Array.of_list (body_of v) in
+  let atoms_of comp = List.map (fun i -> body.(i)) comp in
+  let make_side comp =
+    view_of_parts
+      (head_terms_for_component v (atoms_of comp) [ edge.var ])
+      (atoms_of comp)
+  in
+  let va = make_side comp_a in
+  let vb = make_side comp_b in
+  let expr =
+    Rewriting.Project
+      ( View.columns v,
+        Rewriting.Join ([], Rewriting.Scan (View.name va), Rewriting.Scan (View.name vb))
+      )
+  in
+  State.replace_view state ~victim:v ~replacements:[ va; vb ] ~expression:expr
+
+let join_cuts state =
+  List.concat_map
+    (fun v ->
+      let cq = v.View.cq in
+      List.concat_map
+        (fun (edge : State_graph.join_edge) ->
+          match State_graph.components_without_edge cq edge with
+          | [ _ ] ->
+            (* connected case: an orientation is only valid if replacing
+               that occurrence (which removes all its edges) leaves the
+               view connected — otherwise the new view would have a
+               Cartesian product *)
+            let orientation (i, pos) =
+              match State_graph.components_without_occurrence cq i pos with
+              | [ _ ] -> [ join_cut_connected state v edge (i, pos) ]
+              | _ -> []
+            in
+            orientation (edge.atom_a, edge.pos_a)
+            @ orientation (edge.atom_b, edge.pos_b)
+          | [ comp_a; comp_b ] -> [ join_cut_split state v edge comp_a comp_b ]
+          | _ -> [] (* cannot happen: removing one edge splits in ≤ 2 *))
+        (State_graph.join_edges cq))
+    state.State.views
+
+(* ---------------- View break ------------------------------------------- *)
+
+(* Disjoint connected splits, plus splits overlapping on exactly one
+   node.  Atom 0's side is called A to halve the enumeration. *)
+let split_candidates (v : View.t) =
+  let cq = v.View.cq in
+  let n = Query.Cq.atom_count cq in
+  if n < 3 then []
+  else begin
+    let indices mask members =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) members
+    in
+    let all = List.init n (fun i -> i) in
+    let disjoint = ref [] in
+    for mask = 1 to (1 lsl n) - 2 do
+      if mask land 1 = 1 then begin
+        let a = indices mask all in
+        let b = List.filter (fun i -> not (List.mem i a)) all in
+        if
+          b <> []
+          && State_graph.is_connected_subset cq a
+          && State_graph.is_connected_subset cq b
+        then disjoint := (a, b) :: !disjoint
+      end
+    done;
+    let overlapping = ref [] in
+    for k = 0 to n - 1 do
+      let rest = List.filter (fun i -> i <> k) all in
+      let m = List.length rest in
+      for mask = 1 to (1 lsl m) - 2 do
+        let a' = indices mask rest in
+        let b' = List.filter (fun i -> not (List.mem i a')) rest in
+        (* canonical orientation: the smallest non-shared index sits in A *)
+        if a' <> [] && b' <> [] && List.hd rest = List.hd a' then begin
+          let a = List.sort Int.compare (k :: a') in
+          let b = List.sort Int.compare (k :: b') in
+          if
+            State_graph.is_connected_subset cq a
+            && State_graph.is_connected_subset cq b
+          then overlapping := (a, b) :: !overlapping
+        end
+      done
+    done;
+    !disjoint @ !overlapping
+  end
+
+let view_breaks state =
+  List.concat_map
+    (fun v ->
+      let body = Array.of_list (body_of v) in
+      List.map
+        (fun (comp_a, comp_b) ->
+          let atoms_of comp = List.map (fun i -> body.(i)) comp in
+          let atoms_a = atoms_of comp_a in
+          let atoms_b = atoms_of comp_b in
+          let vars_of atoms =
+            List.concat_map Query.Atom.var_set atoms
+            |> List.sort_uniq String.compare
+          in
+          let shared =
+            List.filter (fun x -> List.mem x (vars_of atoms_b)) (vars_of atoms_a)
+          in
+          let v1 = view_of_parts (head_terms_for_component v atoms_a shared) atoms_a in
+          let v2 = view_of_parts (head_terms_for_component v atoms_b shared) atoms_b in
+          let expr =
+            Rewriting.Project
+              ( View.columns v,
+                Rewriting.Join
+                  ([], Rewriting.Scan (View.name v1), Rewriting.Scan (View.name v2)) )
+          in
+          State.replace_view state ~victim:v ~replacements:[ v1; v2 ]
+            ~expression:expr)
+        (split_candidates v))
+    state.State.views
+
+(* ---------------- View fusion ------------------------------------------ *)
+
+(* A total renaming of v3's columns such that exactly the columns hosting
+   v2's head variables receive their v2 names; all other columns get
+   fresh throwaway names that cannot clash. *)
+let total_rename cols_v3 fwd head_vars_v2 =
+  let wanted =
+    List.filter_map
+      (fun x2 ->
+        match List.assoc_opt x2 fwd with
+        | Some c -> Some (c, x2)
+        | None -> None)
+      head_vars_v2
+  in
+  let targets = List.map snd wanted in
+  List.map
+    (fun c ->
+      match List.assoc_opt c wanted with
+      | Some x2 -> (c, x2)
+      | None ->
+        let rec junk candidate =
+          if List.mem candidate targets then junk ("_" ^ candidate)
+          else candidate
+        in
+        (c, junk ("_dead_" ^ c)))
+    cols_v3
+
+let fuse state v1 v2 =
+  match Query.Cq.body_isomorphism v1.View.cq v2.View.cq with
+  | None -> None
+  | Some fwd ->
+    (* fwd maps v2's variables to v1's *)
+    let mapped_head_v2 =
+      List.filter_map
+        (function
+          | Query.Qterm.Var x2 -> (
+            match List.assoc_opt x2 fwd with
+            | Some x1 -> Some (Query.Qterm.Var x1)
+            | None -> None)
+          | Query.Qterm.Cst _ -> None)
+        (head_of v2)
+    in
+    let head3 = dedup_head (head_of v1 @ mapped_head_v2) in
+    let v3 = View.make (Query.Cq.make ~name:"tmp" ~head:head3 ~body:(body_of v1)) in
+    let expr1 =
+      Rewriting.Project (View.columns v1, Rewriting.Scan (View.name v3))
+    in
+    let mapping =
+      total_rename (View.columns v3) fwd (Query.Cq.head_vars v2.View.cq)
+    in
+    let expr2 =
+      Rewriting.Project
+        (View.columns v2, Rewriting.Rename (mapping, Rewriting.Scan (View.name v3)))
+    in
+    let views =
+      v3 :: List.filter (fun v -> not (v == v1 || v == v2)) state.State.views
+    in
+    let rewritings =
+      List.map
+        (fun (q, r) ->
+          ( q,
+            Rewriting.substitute (View.name v2) expr2
+              (Rewriting.substitute (View.name v1) expr1 r) ))
+        state.State.rewritings
+    in
+    Some { State.views; rewritings }
+
+let fusion_pairs state =
+  let tagged =
+    List.map (fun v -> (View.canonical_body v, v)) state.State.views
+  in
+  let rec pairs = function
+    | [] -> []
+    | (key1, v1) :: rest ->
+      List.filter_map
+        (fun (key2, v2) ->
+          if String.equal key1 key2 then Some (v1, v2) else None)
+        rest
+      @ pairs rest
+  in
+  pairs tagged
+
+let view_fusions state =
+  List.filter_map (fun (v1, v2) -> fuse state v1 v2) (fusion_pairs state)
+
+let successors state = function
+  | VB -> view_breaks state
+  | SC -> selection_cuts state
+  | JC -> join_cuts state
+  | VF -> view_fusions state
+
+let rec fusion_closure state =
+  match fusion_pairs state with
+  | [] -> state
+  | (v1, v2) :: rest -> (
+    match fuse state v1 v2 with
+    | Some state' -> fusion_closure state'
+    | None -> (
+      (* isomorphism can fail despite equal canonical bodies only in
+         pathological hash-free cases; fall through to other pairs *)
+      match
+        List.find_map (fun (a, b) -> fuse state a b) rest
+      with
+      | Some state' -> fusion_closure state'
+      | None -> state))
+

@@ -1,0 +1,40 @@
+(** The four state transitions of §3.2.
+
+    - View break (VB, Definition 3.2) splits a view with at least three
+      atoms along a node partition (possibly overlapping on one node);
+      the view is rewritten as the projection of the natural join of the
+      two pieces.
+    - Selection cut (SC, Definition 3.3) promotes a constant to a fresh
+      head variable; the view is rewritten as a projection of a selection.
+    - Join cut (JC, Definition 3.4) removes one join edge; when the view
+      graph stays connected, the two sides of the join become head
+      variables and the view is rewritten with a column-equality
+      selection; when it splits, the view is replaced by its two
+      components joined on the cut variable.
+    - View fusion (VF, Definition 3.5) merges two views with isomorphic
+      bodies into one view with the union of their heads.
+
+    VB enumeration covers all disjoint connected two-way splits and all
+    splits overlapping on exactly one node.  (Fully general overlapping
+    splits grow as 3^n and add no reachable state of interest; the
+    restriction is documented in DESIGN.md.) *)
+
+type kind = VB | SC | JC | VF
+
+val kind_rank : kind -> int
+(** VB < SC < JC < VF, the stratification order of Definition 5.3. *)
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+(** In stratification order. *)
+
+val successors : State.t -> kind -> State.t list
+(** All states reachable from the given state by one application of the
+    given transition kind.  No deduplication is performed here; the
+    search deduplicates by {!State.key}. *)
+
+val fusion_closure : State.t -> State.t
+(** Repeatedly apply view fusions until none is applicable — the
+    aggressive-view-fusion (AVF) collapse of §5.2; the result is unique
+    no matter the fusion order. *)

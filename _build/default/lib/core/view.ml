@@ -1,0 +1,40 @@
+type t = { id : int; cq : Query.Cq.t; canon : string Lazy.t; canon_body : string Lazy.t }
+
+let counter = ref 0
+
+let make cq =
+  if not (Query.Cq.is_connected cq) then
+    invalid_arg
+      ("View.make: view with Cartesian product: " ^ Query.Cq.to_string cq);
+  let head_names = List.filter_map Query.Qterm.var_name cq.Query.Cq.head in
+  if List.length (List.sort_uniq String.compare head_names)
+     <> List.length head_names
+  then invalid_arg ("View.make: duplicate head variable: " ^ Query.Cq.to_string cq);
+  incr counter;
+  let id = !counter in
+  let cq = Query.Cq.rename cq (Printf.sprintf "v%d" id) in
+  {
+    id;
+    cq;
+    canon = lazy (Query.Cq.canonical_head_set_string cq);
+    canon_body = lazy (Query.Cq.canonical_body_string cq);
+  }
+
+let name v = v.cq.Query.Cq.name
+
+let head v = v.cq.Query.Cq.head
+
+let columns v =
+  List.filter_map Query.Qterm.var_name v.cq.Query.Cq.head
+
+let atom_count v = Query.Cq.atom_count v.cq
+
+let canonical v = Lazy.force v.canon
+
+let canonical_body v = Lazy.force v.canon_body
+
+let reset_counter () = counter := 0
+
+let to_string v = Query.Cq.to_string v.cq
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,42 @@
+(** Materialized-view candidates: named conjunctive queries over the
+    triple table (Definition 2.1).
+
+    Views carry a process-unique id; the view name ["v<id>"] is the symbol
+    used in rewritings. *)
+
+type t = private {
+  id : int;
+  cq : Query.Cq.t;
+  canon : string Lazy.t;
+  canon_body : string Lazy.t;
+}
+
+val make : Query.Cq.t -> t
+(** Wrap a query as a view under a fresh name.  Raises
+    [Invalid_argument] if the query's body is disconnected (views with
+    Cartesian products are disallowed, §3.1) or if two head variables
+    share a name (view columns must be unambiguous). *)
+
+val name : t -> string
+
+val head : t -> Query.Qterm.t list
+
+val columns : t -> string list
+(** The head variable names, in head order — the schema of the
+    materialized relation. *)
+
+val atom_count : t -> int
+
+val canonical : t -> string
+(** Canonical string of the underlying query with the head compared as a
+    set (column order is storage-irrelevant), used for state identity. *)
+
+val canonical_body : t -> string
+(** Canonical string of the body only, used to detect fusion
+    candidates. *)
+
+val reset_counter : unit -> unit
+(** Reset the id counter; only for reproducible tests. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

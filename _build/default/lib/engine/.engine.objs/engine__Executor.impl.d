@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Array Core Hashtbl List Rdf Relation String

@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Core Materialize Rdf Relation

@@ -1,0 +1,1 @@
+lib/engine/maintenance.ml: Array Hashtbl List Map Query Rdf Relation String

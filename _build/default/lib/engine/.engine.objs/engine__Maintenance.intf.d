@@ -1,0 +1,1 @@
+lib/engine/maintenance.mli: Query Rdf Relation

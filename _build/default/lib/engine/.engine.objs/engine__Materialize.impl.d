@@ -1,0 +1,1 @@
+lib/engine/materialize.ml: Core Hashtbl List Printf Query Relation

@@ -1,0 +1,1 @@
+lib/engine/materialize.mli: Core Hashtbl Query Rdf Relation

@@ -1,0 +1,1 @@
+lib/engine/relation.ml: Array Hashtbl List Rdf String

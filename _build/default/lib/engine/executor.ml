@@ -1,0 +1,124 @@
+let column_index cols c =
+  let rec find i = function
+    | [] -> failwith ("Executor: unknown column " ^ c)
+    | c' :: rest -> if String.equal c c' then i else find (i + 1) rest
+  in
+  find 0 cols
+
+let rec eval store env expr : string list * int array list =
+  match expr with
+  | Core.Rewriting.Scan name -> (
+    match Hashtbl.find_opt env name with
+    | Some rel -> (rel.Relation.cols, rel.Relation.rows)
+    | None -> failwith ("Executor: unknown view " ^ name))
+  | Core.Rewriting.Select (conds, inner) ->
+    let cols, rows = eval store env inner in
+    let tests =
+      List.map
+        (fun cond ->
+          match cond with
+          | Core.Rewriting.Eq_cst (c, term) -> (
+            let i = column_index cols c in
+            match Rdf.Store.find_term store term with
+            | Some code -> fun row -> row.(i) = code
+            | None -> fun _ -> false)
+          | Core.Rewriting.Eq_col (c1, c2) ->
+            let i = column_index cols c1 in
+            let j = column_index cols c2 in
+            fun row -> row.(i) = row.(j))
+        conds
+    in
+    (cols, List.filter (fun row -> List.for_all (fun test -> test row) tests) rows)
+  | Core.Rewriting.Project (out_cols, inner) ->
+    let cols, rows = eval store env inner in
+    let idx = List.map (column_index cols) out_cols in
+    let seen = Hashtbl.create 64 in
+    let projected =
+      List.filter_map
+        (fun row ->
+          let tuple = Array.of_list (List.map (fun i -> row.(i)) idx) in
+          let key = Array.to_list tuple in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some tuple
+          end)
+        rows
+    in
+    (out_cols, projected)
+  | Core.Rewriting.Rename (mapping, inner) ->
+    let cols, rows = eval store env inner in
+    let renamed =
+      List.map
+        (fun c ->
+          match List.assoc_opt c mapping with Some c' -> c' | None -> c)
+        cols
+    in
+    (renamed, rows)
+  | Core.Rewriting.Join (conds, l, r) ->
+    let lcols, lrows = eval store env l in
+    let rcols, rrows = eval store env r in
+    let pairs =
+      match conds with
+      | [] -> List.filter_map
+                (fun c -> if List.mem c lcols then Some (c, c) else None)
+                rcols
+      | _ :: _ -> conds
+    in
+    let lkey = List.map (fun (a, _) -> column_index lcols a) pairs in
+    let rkey = List.map (fun (_, b) -> column_index rcols b) pairs in
+    (* output columns mirror Rewriting.columns: left columns, then the
+       right columns whose names are not already present on the left *)
+    let kept_right =
+      List.filter
+        (fun (_, c) -> not (List.mem c lcols))
+        (List.mapi (fun i c -> (i, c)) rcols)
+    in
+    let out_cols = lcols @ List.map snd kept_right in
+    let table = Hashtbl.create (List.length lrows) in
+    List.iter
+      (fun row ->
+        let key = List.map (fun i -> row.(i)) lkey in
+        Hashtbl.add table key row)
+      lrows;
+    let joined =
+      List.concat_map
+        (fun rrow ->
+          let key = List.map (fun i -> rrow.(i)) rkey in
+          List.map
+            (fun lrow ->
+              Array.append lrow
+                (Array.of_list (List.map (fun (i, _) -> rrow.(i)) kept_right)))
+            (Hashtbl.find_all table key))
+        rrows
+    in
+    (out_cols, joined)
+  | Core.Rewriting.Union branches ->
+    let results = List.map (eval store env) branches in
+    (match results with
+    | [] -> failwith "Executor: empty union"
+    | (cols, _) :: _ ->
+      let seen = Hashtbl.create 64 in
+      let rows =
+        List.concat_map
+          (fun (_, rows) ->
+            List.filter
+              (fun row ->
+                let key = Array.to_list row in
+                if Hashtbl.mem seen key then false
+                else begin
+                  Hashtbl.add seen key ();
+                  true
+                end)
+              rows)
+          results
+      in
+      (cols, rows))
+
+let execute store env expr =
+  let cols, rows = eval store env expr in
+  Relation.make ~name:"result" ~cols rows
+
+let execute_query store env expr =
+  let rel = execute store env expr in
+  Relation.to_term_rows store rel

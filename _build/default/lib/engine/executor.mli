@@ -1,0 +1,16 @@
+(** Execution of view-based rewritings over materialized relations
+    (§6.6): the runtime counterpart of {!Core.Rewriting}.
+
+    Selections filter, projections deduplicate, joins are hash joins,
+    unions deduplicate.  Constants in selection conditions are resolved
+    through the store's dictionary. *)
+
+val execute :
+  Rdf.Store.t -> Materialize.env -> Core.Rewriting.t -> Relation.t
+(** Evaluate the rewriting; raises [Failure] on an unknown view symbol or
+    column. *)
+
+val execute_query :
+  Rdf.Store.t -> Materialize.env -> Core.Rewriting.t -> Rdf.Term.t array list
+(** Like {!execute} but returning decoded tuples, for comparison against
+    {!Query.Evaluation.eval_cq}. *)

@@ -1,0 +1,24 @@
+(** Incremental view maintenance under triple insertions and deletions —
+    the operations whose cost the VMC component of §3.3 models.
+
+    Insertion uses the standard delta rule: for each atom of the view
+    unifiable with the new triple, the remainder of the body is evaluated
+    against the updated store; the union of the deltas is added to the
+    materialized relation.  Deletion computes the candidate tuples that
+    used the removed triple and re-derives each against the shrunken
+    store, removing those no longer derivable. *)
+
+val insert_triple :
+  Rdf.Store.t -> (Query.Cq.t * Relation.t) list -> Rdf.Triple.t -> int
+(** Add the triple to the store and propagate to every view; returns the
+    total number of tuples added across views.  A triple already present
+    changes nothing. *)
+
+val delete_triple :
+  Rdf.Store.t -> (Query.Cq.t * Relation.t) list -> Rdf.Triple.t -> int
+(** Remove the triple from the store and propagate; returns the total
+    number of tuples removed. *)
+
+val delta_insert : Rdf.Store.t -> Query.Cq.t -> Rdf.Store.encoded -> int array list
+(** The tuples the view gains when the (already inserted) triple arrives;
+    exposed for testing. *)

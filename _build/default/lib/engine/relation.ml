@@ -1,0 +1,65 @@
+type t = {
+  name : string;
+  cols : string list;
+  mutable rows : int array list;
+  index : (int list, unit) Hashtbl.t;  (* set-semantics membership *)
+}
+
+let make ~name ~cols rows =
+  let index = Hashtbl.create (max 64 (List.length rows)) in
+  let deduped =
+    List.filter
+      (fun row ->
+        let key = Array.to_list row in
+        if Hashtbl.mem index key then false
+        else begin
+          Hashtbl.add index key ();
+          true
+        end)
+      rows
+  in
+  { name; cols; rows = deduped; index }
+
+let arity t = List.length t.cols
+let cardinality t = List.length t.rows
+
+let mem t row = Hashtbl.mem t.index (Array.to_list row)
+
+let add_row t row =
+  let key = Array.to_list row in
+  if Hashtbl.mem t.index key then false
+  else begin
+    Hashtbl.add t.index key ();
+    t.rows <- row :: t.rows;
+    true
+  end
+
+let remove_row t row =
+  let key = Array.to_list row in
+  if not (Hashtbl.mem t.index key) then false
+  else begin
+    Hashtbl.remove t.index key;
+    t.rows <- List.filter (fun r -> r <> row) t.rows;
+    true
+  end
+
+let project_indices t cols =
+  List.map
+    (fun c ->
+      let rec find i = function
+        | [] -> failwith ("Relation.project_indices: unknown column " ^ c)
+        | c' :: rest -> if String.equal c c' then i else find (i + 1) rest
+      in
+      find 0 t.cols)
+    cols
+
+let size_bytes store t =
+  List.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc code -> acc + Rdf.Term.size (Rdf.Store.decode_term store code))
+        acc row)
+    0 t.rows
+
+let to_term_rows store t =
+  List.map (Array.map (Rdf.Store.decode_term store)) t.rows

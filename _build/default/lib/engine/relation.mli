@@ -1,0 +1,33 @@
+(** Materialized relations: named, column-labeled sets of
+    dictionary-encoded tuples — the physical representation of a
+    materialized view. *)
+
+type t = private {
+  name : string;
+  cols : string list;
+  mutable rows : int array list;
+  index : (int list, unit) Hashtbl.t;  (** membership index (set semantics) *)
+}
+
+val make : name:string -> cols:string list -> int array list -> t
+(** Builds a relation, deduplicating rows (set semantics). *)
+
+val arity : t -> int
+val cardinality : t -> int
+
+val mem : t -> int array -> bool
+
+val add_row : t -> int array -> bool
+(** Insert a tuple; [false] when already present. *)
+
+val remove_row : t -> int array -> bool
+
+val project_indices : t -> string list -> int list
+(** Column indices of the given column names.  Raises [Failure] on an
+    unknown column. *)
+
+val size_bytes : Rdf.Store.t -> t -> int
+(** Actual storage footprint: the summed byte sizes of the decoded terms
+    of every tuple. *)
+
+val to_term_rows : Rdf.Store.t -> t -> Rdf.Term.t array list

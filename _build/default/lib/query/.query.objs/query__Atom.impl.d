@@ -1,0 +1,1 @@
+lib/query/atom.ml: Format Int List Option Printf Qterm String

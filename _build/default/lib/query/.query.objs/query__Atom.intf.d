@@ -1,0 +1,1 @@
+lib/query/atom.mli: Format Qterm Rdf

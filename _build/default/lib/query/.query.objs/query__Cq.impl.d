@@ -1,0 +1,1 @@
+lib/query/cq.ml: Array Atom Format Int List Map Option Printf Qterm Rdf Set String

@@ -1,0 +1,1 @@
+lib/query/evaluation.ml: Array Atom Cq Hashtbl List Map Qterm Rdf String Ucq

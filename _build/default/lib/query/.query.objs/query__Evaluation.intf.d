@@ -1,0 +1,1 @@
+lib/query/evaluation.mli: Cq Rdf Ucq

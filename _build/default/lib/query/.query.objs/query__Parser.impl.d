@@ -1,0 +1,1 @@
+lib/query/parser.ml: Atom Cq List Printf Qterm Rdf String

@@ -1,0 +1,1 @@
+lib/query/qterm.ml: Format Printf Rdf String

@@ -1,0 +1,1 @@
+lib/query/qterm.mli: Format Rdf

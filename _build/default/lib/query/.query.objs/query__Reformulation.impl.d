@@ -1,0 +1,1 @@
+lib/query/reformulation.ml: Atom Cq Float Hashtbl List Printf Qterm Queue Rdf Ucq

@@ -1,0 +1,1 @@
+lib/query/reformulation.mli: Atom Cq Rdf Ucq

@@ -1,0 +1,1 @@
+lib/query/ucq.ml: Cq Format Hashtbl List String

@@ -1,0 +1,375 @@
+type t = { name : string; head : Qterm.t list; body : Atom.t list }
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+let body_var_set body =
+  List.fold_left
+    (fun acc a -> List.fold_left (fun acc v -> SSet.add v acc) acc (Atom.vars a))
+    SSet.empty body
+
+let make ~name ~head ~body =
+  if body = [] then invalid_arg "Cq.make: empty body";
+  let bvars = body_var_set body in
+  List.iter
+    (fun term ->
+      match term with
+      | Qterm.Var x when not (SSet.mem x bvars) ->
+        invalid_arg ("Cq.make: unsafe head variable " ^ x)
+      | Qterm.Var _ | Qterm.Cst _ -> ())
+    head;
+  { name; head; body }
+
+let rename q name = { q with name }
+
+let arity q = List.length q.head
+
+let head_vars q =
+  let rec collect seen = function
+    | [] -> []
+    | Qterm.Var x :: rest when not (SSet.mem x seen) ->
+      x :: collect (SSet.add x seen) rest
+    | _ :: rest -> collect seen rest
+  in
+  collect SSet.empty q.head
+
+let body_vars q = SSet.elements (body_var_set q.body)
+
+let existential_vars q =
+  let heads = SSet.of_list (head_vars q) in
+  List.filter (fun v -> not (SSet.mem v heads)) (body_vars q)
+
+let atom_count q = List.length q.body
+
+let constants q =
+  List.sort_uniq Rdf.Term.compare
+    (List.concat_map (fun a -> List.map snd (Atom.constants a)) q.body)
+
+let constant_count q =
+  List.fold_left (fun acc a -> acc + Atom.constant_count a) 0 q.body
+
+let equal_syntactic a b =
+  List.length a.head = List.length b.head
+  && List.for_all2 Qterm.equal a.head b.head
+  && List.length a.body = List.length b.body
+  && List.for_all2 Atom.equal a.body b.body
+
+let subst f q =
+  let apply_term = function
+    | Qterm.Var x as v -> Option.value (f x) ~default:v
+    | Qterm.Cst _ as c -> c
+  in
+  { q with head = List.map apply_term q.head; body = List.map (Atom.subst f) q.body }
+
+let subst_var x v q = subst (fun y -> if String.equal x y then Some v else None) q
+
+let rename_var x y q = subst_var x (Qterm.Var y) q
+
+let freshen q =
+  let mapping =
+    List.fold_left
+      (fun acc v -> SMap.add v (Qterm.Var (Qterm.fresh_var ())) acc)
+      SMap.empty (body_vars q)
+  in
+  subst (fun v -> SMap.find_opt v mapping) q
+
+(* -- Containment mappings (Chandra-Merlin) ------------------------------ *)
+
+let unify_term subst from_term into_term =
+  match from_term with
+  | Qterm.Cst c -> (
+    match into_term with
+    | Qterm.Cst c' when Rdf.Term.equal c c' -> Some subst
+    | Qterm.Cst _ | Qterm.Var _ -> None)
+  | Qterm.Var x -> (
+    match SMap.find_opt x subst with
+    | Some bound -> if Qterm.equal bound into_term then Some subst else None
+    | None -> Some (SMap.add x into_term subst))
+
+let unify_atom subst (a : Atom.t) (b : Atom.t) =
+  Option.bind (unify_term subst a.s b.s) (fun subst ->
+      Option.bind (unify_term subst a.p b.p) (fun subst ->
+          unify_term subst a.o b.o))
+
+let homomorphism ?(check_head = true) ~from ~into () =
+  let seed =
+    if not check_head then Some SMap.empty
+    else if List.length from.head <> List.length into.head then None
+    else
+      List.fold_left2
+        (fun acc hf hi -> Option.bind acc (fun subst -> unify_term subst hf hi))
+        (Some SMap.empty) from.head into.head
+  in
+  match seed with
+  | None -> None
+  | Some seed ->
+    let rec search subst = function
+      | [] -> Some subst
+      | atom :: rest ->
+        let try_target target =
+          match unify_atom subst atom target with
+          | Some subst' -> search subst' rest
+          | None -> None
+        in
+        List.find_map try_target into.body
+    in
+    Option.map
+      (fun subst -> SMap.bindings subst)
+      (search seed from.body)
+
+let contained_in q1 q2 =
+  Option.is_some (homomorphism ~from:q2 ~into:q1 ())
+
+let equivalent a b = contained_in a b && contained_in b a
+
+(* A query is minimized by repeatedly folding it into itself minus one
+   atom; the head must be preserved, so atoms whose removal makes a head
+   variable unsafe are kept. *)
+let minimize q =
+  let try_drop q i =
+    let body' = List.filteri (fun j _ -> j <> i) q.body in
+    if body' = [] then None
+    else
+      let bvars = body_var_set body' in
+      let head_safe =
+        List.for_all
+          (function Qterm.Var x -> SSet.mem x bvars | Qterm.Cst _ -> true)
+          q.head
+      in
+      if not head_safe then None
+      else
+        let candidate = { q with body = body' } in
+        match homomorphism ~from:q ~into:candidate () with
+        | Some _ -> Some candidate
+        | None -> None
+    in
+  let rec loop q =
+    let n = List.length q.body in
+    let rec attempt i = if i >= n then q else
+      match try_drop q i with
+      | Some smaller -> loop smaller
+      | None -> attempt (i + 1)
+    in
+    attempt 0
+  in
+  loop q
+
+let is_minimal q = atom_count (minimize q) = atom_count q
+
+(* -- Connectivity -------------------------------------------------------- *)
+
+let components q =
+  let atoms = Array.of_list q.body in
+  let n = Array.length atoms in
+  let visited = Array.make n false in
+  let adjacent i j = Atom.shares_var atoms.(i) atoms.(j) in
+  let rec bfs frontier acc =
+    match frontier with
+    | [] -> acc
+    | i :: rest ->
+      let fresh = ref [] in
+      for j = 0 to n - 1 do
+        if (not visited.(j)) && adjacent i j then begin
+          visited.(j) <- true;
+          fresh := j :: !fresh
+        end
+      done;
+      bfs (!fresh @ rest) (i :: acc)
+  in
+  let comps = ref [] in
+  for i = 0 to n - 1 do
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      let comp = bfs [ i ] [] in
+      comps := List.map (fun j -> atoms.(j)) (List.sort Int.compare comp) :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected q = List.length (components q) <= 1
+
+(* -- Body isomorphism (for view fusion) ---------------------------------- *)
+
+let body_isomorphism v1 v2 =
+  if List.length v1.body <> List.length v2.body then None
+  else
+    let targets = Array.of_list v1.body in
+    let n = Array.length targets in
+    (* forward: v2 var -> v1 var; backward ensures injectivity *)
+    let match_term fwd bwd t2 t1 =
+      match (t2, t1) with
+      | Qterm.Cst c2, Qterm.Cst c1 when Rdf.Term.equal c2 c1 -> Some (fwd, bwd)
+      | Qterm.Var x2, Qterm.Var x1 -> (
+        match (SMap.find_opt x2 fwd, SMap.find_opt x1 bwd) with
+        | Some y1, Some y2 ->
+          if String.equal y1 x1 && String.equal y2 x2 then Some (fwd, bwd) else None
+        | None, None -> Some (SMap.add x2 x1 fwd, SMap.add x1 x2 bwd)
+        | Some _, None | None, Some _ -> None)
+      | Qterm.Cst _, _ | Qterm.Var _, _ -> None
+    in
+    let match_atom fwd bwd (a2 : Atom.t) (a1 : Atom.t) =
+      Option.bind (match_term fwd bwd a2.s a1.s) (fun (fwd, bwd) ->
+          Option.bind (match_term fwd bwd a2.p a1.p) (fun (fwd, bwd) ->
+              match_term fwd bwd a2.o a1.o))
+    in
+    let rec search fwd bwd used = function
+      | [] -> Some fwd
+      | a2 :: rest ->
+        let rec try_target i =
+          if i >= n then None
+          else if List.mem i used then try_target (i + 1)
+          else
+            match match_atom fwd bwd a2 targets.(i) with
+            | Some (fwd', bwd') -> (
+              match search fwd' bwd' (i :: used) rest with
+              | Some _ as found -> found
+              | None -> try_target (i + 1))
+            | None -> try_target (i + 1)
+        in
+        try_target 0
+    in
+    Option.map SMap.bindings (search SMap.empty SMap.empty [] v2.body)
+
+(* -- Canonical labeling --------------------------------------------------- *)
+
+let slot_color colors = function
+  | Qterm.Cst c -> "C:" ^ Rdf.Term.to_string c
+  | Qterm.Var x -> SMap.find x colors
+
+let atom_signature colors (a : Atom.t) =
+  "(" ^ slot_color colors a.s ^ "," ^ slot_color colors a.p ^ ","
+  ^ slot_color colors a.o ^ ")"
+
+let refine_colors body vars colors =
+  let signature v =
+    let occurrences =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun pos ->
+              match Atom.term_at a pos with
+              | Qterm.Var x when String.equal x v ->
+                Some (Atom.position_name pos ^ atom_signature colors a)
+              | Qterm.Var _ | Qterm.Cst _ -> None)
+            Atom.positions)
+        body
+    in
+    SMap.find v colors ^ "|" ^ String.concat ";" (List.sort String.compare occurrences)
+  in
+  let sigs = List.map (fun v -> (v, signature v)) vars in
+  let distinct = List.sort_uniq String.compare (List.map snd sigs) in
+  let rank s =
+    let rec index i = function
+      | [] -> assert false
+      | x :: rest -> if String.equal x s then i else index (i + 1) rest
+    in
+    index 0 distinct
+  in
+  List.fold_left
+    (fun acc (v, s) -> SMap.add v (Printf.sprintf "c%03d" (rank s)) acc)
+    SMap.empty sigs
+
+let rec refine_to_fixpoint body vars colors =
+  let next = refine_colors body vars colors in
+  if SMap.equal String.equal colors next then colors
+  else refine_to_fixpoint body vars next
+
+type head_mode = Ordered | Set | NoHead
+
+let render ~head_mode q colors =
+  let var_rank =
+    let sorted =
+      List.sort
+        (fun (_, c1) (_, c2) -> String.compare c1 c2)
+        (SMap.bindings colors)
+    in
+    List.mapi (fun i (v, _) -> (v, Printf.sprintf "V%d" i)) sorted
+  in
+  let label = function
+    | Qterm.Cst c -> Rdf.Term.to_string c
+    | Qterm.Var x -> List.assoc x var_rank
+  in
+  let atom_str (a : Atom.t) =
+    "t(" ^ label a.s ^ "," ^ label a.p ^ "," ^ label a.o ^ ")"
+  in
+  let body_str = String.concat "&" (List.sort String.compare (List.map atom_str q.body)) in
+  match head_mode with
+  | Ordered -> "[" ^ String.concat "," (List.map label q.head) ^ "]<=" ^ body_str
+  | Set ->
+    "{" ^ String.concat ","
+      (List.sort String.compare (List.map label q.head)) ^ "}<=" ^ body_str
+  | NoHead -> body_str
+
+let canonical_generic ~head_mode q =
+  let vars = body_vars q in
+  let initial =
+    let head_tags =
+      match head_mode with
+      | NoHead -> SMap.empty
+      | Set ->
+        (* heads compared as sets: every head variable gets the same tag *)
+        List.fold_left
+          (fun acc term ->
+            match term with
+            | Qterm.Var x -> SMap.add x "H" acc
+            | Qterm.Cst _ -> acc)
+          SMap.empty q.head
+      | Ordered ->
+        List.fold_left
+          (fun (acc, i) term ->
+            match term with
+            | Qterm.Var x ->
+              let prev = Option.value (SMap.find_opt x acc) ~default:"" in
+              (SMap.add x (prev ^ "H" ^ string_of_int i) acc, i + 1)
+            | Qterm.Cst _ -> (acc, i + 1))
+          (SMap.empty, 0) q.head
+        |> fst
+    in
+    List.fold_left
+      (fun acc v ->
+        SMap.add v ("0" ^ Option.value (SMap.find_opt v head_tags) ~default:"E") acc)
+      SMap.empty vars
+  in
+  let discrete colors =
+    let values = List.map snd (SMap.bindings colors) in
+    List.length (List.sort_uniq String.compare values) = List.length values
+  in
+  let rec solve colors =
+    let colors = refine_to_fixpoint q.body vars colors in
+    if discrete colors then render ~head_mode q colors
+    else begin
+      (* individualize each member of the first ambiguous class, keep the
+         lexicographically least outcome: canonical and order-independent *)
+      let by_color =
+        List.fold_left
+          (fun acc (v, c) ->
+            SMap.update c
+              (function None -> Some [ v ] | Some vs -> Some (v :: vs))
+              acc)
+          SMap.empty (SMap.bindings colors)
+      in
+      let _, clash =
+        List.find (fun (_, vs) -> List.length vs > 1) (SMap.bindings by_color)
+      in
+      let candidates =
+        List.map
+          (fun v -> solve (SMap.add v (SMap.find v colors ^ "!") colors))
+          clash
+      in
+      List.fold_left min (List.hd candidates) (List.tl candidates)
+    end
+  in
+  if vars = [] then render ~head_mode q SMap.empty else solve initial
+
+let canonical_string q = canonical_generic ~head_mode:Ordered q
+
+let canonical_body_string q = canonical_generic ~head_mode:NoHead q
+
+let canonical_head_set_string q = canonical_generic ~head_mode:Set q
+
+let to_string q =
+  Printf.sprintf "%s(%s) :- %s" q.name
+    (String.concat ", " (List.map Qterm.to_string q.head))
+    (String.concat ", " (List.map Atom.to_string q.body))
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

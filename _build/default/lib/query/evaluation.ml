@@ -1,0 +1,135 @@
+module SMap = Map.Make (String)
+
+type slot =
+  | Bound of int
+  | Unbound of string
+  | Impossible  (* the atom mentions a constant absent from the store *)
+
+let slot_of store bindings = function
+  | Qterm.Cst c -> (
+    match Rdf.Store.find_term store c with
+    | Some code -> Bound code
+    | None -> Impossible)
+  | Qterm.Var x -> (
+    match SMap.find_opt x bindings with
+    | Some code -> Bound code
+    | None -> Unbound x)
+
+let slots_of store bindings (a : Atom.t) =
+  (slot_of store bindings a.s, slot_of store bindings a.p, slot_of store bindings a.o)
+
+let pattern_of (s, p, o) =
+  let bound = function Bound c -> Some c | Unbound _ | Impossible -> None in
+  { Rdf.Store.ps = bound s; pp = bound p; po = bound o }
+
+let has_impossible (s, p, o) =
+  s = Impossible || p = Impossible || o = Impossible
+
+(* Estimated result count of an atom under the current bindings: used to
+   pick the cheapest next atom (most selective first). *)
+let atom_cost store slots =
+  if has_impossible slots then 0
+  else Rdf.Store.count_matching store (pattern_of slots)
+
+let extend_bindings bindings slots (ts, tp, to_) =
+  let extend acc slot code =
+    match acc with
+    | None -> None
+    | Some bindings -> (
+      match slot with
+      | Impossible -> None
+      | Bound c -> if c = code then Some bindings else None
+      | Unbound x -> (
+        match SMap.find_opt x bindings with
+        | Some c -> if c = code then Some bindings else None
+        | None -> Some (SMap.add x code bindings)))
+  in
+  let (s, p, o) = slots in
+  extend (extend (extend (Some bindings) s ts) p tp) o to_
+
+let eval_bindings store (q : Cq.t) emit =
+  let rec go bindings remaining =
+    match remaining with
+    | [] -> emit bindings
+    | _ ->
+      (* dynamic ordering: cheapest atom first *)
+      let with_cost =
+        List.map
+          (fun a ->
+            let slots = slots_of store bindings a in
+            (a, slots, atom_cost store slots))
+          remaining
+      in
+      let best =
+        List.fold_left
+          (fun acc item ->
+            let _, _, c = item in
+            match acc with
+            | Some (_, _, cbest) when cbest <= c -> acc
+            | Some _ | None -> Some item)
+          None with_cost
+      in
+      (match best with
+      | None -> ()
+      | Some (atom, slots, _) ->
+        if not (has_impossible slots) then
+          let rest = List.filter (fun a -> not (a == atom)) remaining in
+          Rdf.Store.iter_matching store (pattern_of slots) (fun triple ->
+              match extend_bindings bindings slots triple with
+              | Some bindings' -> go bindings' rest
+              | None -> ()))
+  in
+  go SMap.empty q.body
+
+let eval_into store (q : Cq.t) results =
+  let project bindings =
+    let term_of = function
+      | Qterm.Cst c -> c
+      | Qterm.Var x -> Rdf.Store.decode_term store (SMap.find x bindings)
+    in
+    Array.of_list (List.map term_of q.head)
+  in
+  eval_bindings store q (fun bindings ->
+      let tuple = project bindings in
+      let key = Array.to_list tuple in
+      if not (Hashtbl.mem results key) then Hashtbl.add results key tuple)
+
+let eval_codes_into store (q : Cq.t) results =
+  let project bindings =
+    let code_of = function
+      | Qterm.Cst c -> Rdf.Store.encode_term store c
+      | Qterm.Var x -> SMap.find x bindings
+    in
+    Array.of_list (List.map code_of q.head)
+  in
+  eval_bindings store q (fun bindings ->
+      let tuple = project bindings in
+      let key = Array.to_list tuple in
+      if not (Hashtbl.mem results key) then Hashtbl.add results key tuple)
+
+let eval_cq_codes store q =
+  let results = Hashtbl.create 64 in
+  eval_codes_into store q results;
+  Hashtbl.fold (fun _ tuple acc -> tuple :: acc) results []
+
+let eval_ucq_codes store u =
+  let results = Hashtbl.create 64 in
+  List.iter (fun q -> eval_codes_into store q results) (Ucq.disjuncts u);
+  Hashtbl.fold (fun _ tuple acc -> tuple :: acc) results []
+
+let eval_cq store q =
+  let results = Hashtbl.create 64 in
+  eval_into store q results;
+  Hashtbl.fold (fun _ tuple acc -> tuple :: acc) results []
+
+let eval_ucq store u =
+  let results = Hashtbl.create 64 in
+  List.iter (fun q -> eval_into store q results) (Ucq.disjuncts u);
+  Hashtbl.fold (fun _ tuple acc -> tuple :: acc) results []
+
+let count_cq store q = List.length (eval_cq store q)
+let count_ucq store u = List.length (eval_ucq store u)
+
+let same_answers a b =
+  let norm l = List.sort compare (List.map Array.to_list l) in
+  norm a = norm b

@@ -1,0 +1,25 @@
+(** Evaluation of conjunctive queries and UCQs over a triple store.
+
+    This is [evaluate] in the sense of Theorem 4.2: standard evaluation of
+    plain RDF basic graph patterns, with set semantics.  Joins are executed
+    by index nested loops with a most-bound-atom-first dynamic ordering,
+    exploiting the store's column-combination indexes. *)
+
+val eval_cq : Rdf.Store.t -> Cq.t -> Rdf.Term.t array list
+(** All distinct answer tuples of the query on the store.  Head constants
+    (arising from reformulation rules 5 and 6) are returned verbatim. *)
+
+val eval_ucq : Rdf.Store.t -> Ucq.t -> Rdf.Term.t array list
+(** Set-semantics union of the disjuncts' answers. *)
+
+val eval_cq_codes : Rdf.Store.t -> Cq.t -> int array list
+(** Like {!eval_cq} but dictionary-encoded; head constants are encoded
+    into the store's dictionary on the fly. *)
+
+val eval_ucq_codes : Rdf.Store.t -> Ucq.t -> int array list
+
+val count_cq : Rdf.Store.t -> Cq.t -> int
+val count_ucq : Rdf.Store.t -> Ucq.t -> int
+
+val same_answers : Rdf.Term.t array list -> Rdf.Term.t array list -> bool
+(** Order-insensitive comparison of two answer sets. *)

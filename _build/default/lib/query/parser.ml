@@ -1,0 +1,312 @@
+exception Parse_error of string
+
+(* ---------- lexer -------------------------------------------------------- *)
+
+type token =
+  | Ident of string      (* bare word *)
+  | Variable of string
+  | Uri of string
+  | Literal of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Turnstile            (* :- *)
+  | Dot
+
+let token_to_string = function
+  | Ident s -> s
+  | Variable s -> "?" ^ s
+  | Uri s -> "<" ^ s ^ ">"
+  | Literal s -> "\"" ^ s ^ "\""
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Turnstile -> ":-"
+  | Dot -> "."
+
+let fail_at line message =
+  raise (Parse_error (Printf.sprintf "line %d: %s" line message))
+
+let is_word_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = ':' || ch = '-'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = tokens := (tok, !line) :: !tokens in
+  while !i < n do
+    let ch = input.[!i] in
+    if ch = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if ch = ' ' || ch = '\t' || ch = '\r' then incr i
+    else if ch = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if ch = '(' then (push Lparen; incr i)
+    else if ch = ')' then (push Rparen; incr i)
+    else if ch = ',' then (push Comma; incr i)
+    else if ch = ':' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      push Turnstile;
+      i := !i + 2
+    end
+    else if ch = '.' then (push Dot; incr i)
+    else if ch = '<' then begin
+      let close = try String.index_from input !i '>' with Not_found ->
+        fail_at !line "unterminated URI"
+      in
+      push (Uri (String.sub input (!i + 1) (close - !i - 1)));
+      i := close + 1
+    end
+    else if ch = '"' then begin
+      let close = try String.index_from input (!i + 1) '"' with Not_found ->
+        fail_at !line "unterminated literal"
+      in
+      push (Literal (String.sub input (!i + 1) (close - !i - 1)));
+      i := close + 1
+    end
+    else if ch = '?' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_word_char input.[!j] do
+        incr j
+      done;
+      if !j = start then fail_at !line "empty variable name";
+      push (Variable (String.sub input start (!j - start)));
+      i := !j
+    end
+    else if is_word_char ch then begin
+      let start = !i in
+      let j = ref start in
+      while !j < n && is_word_char input.[!j] do
+        incr j
+      done;
+      let word = String.sub input start (!j - start) in
+      (if word.[0] >= 'A' && word.[0] <= 'Z' then push (Variable word)
+       else push (Ident word));
+      i := !j
+    end
+    else fail_at !line (Printf.sprintf "unexpected character %c" ch)
+  done;
+  List.rev !tokens
+
+(* ---------- token stream -------------------------------------------------- *)
+
+type stream = { mutable tokens : (token * int) list }
+
+let peek s = match s.tokens with [] -> None | (tok, _) :: _ -> Some tok
+
+let line_of s = match s.tokens with [] -> 0 | (_, line) :: _ -> line
+
+let advance s =
+  match s.tokens with
+  | [] -> raise (Parse_error "unexpected end of input")
+  | (tok, _) :: rest ->
+    s.tokens <- rest;
+    tok
+
+let expect s expected =
+  let tok = advance s in
+  if tok <> expected then
+    fail_at (line_of s)
+      (Printf.sprintf "expected %s, found %s" (token_to_string expected)
+         (token_to_string tok))
+
+(* ---------- term parsing -------------------------------------------------- *)
+
+let rdf_type_keyword = "type"
+
+let term_of_token line = function
+  | Variable x -> Qterm.Var x
+  | Uri u -> Qterm.Cst (Rdf.Term.Uri u)
+  | Literal l -> Qterm.Cst (Rdf.Term.Literal l)
+  | Ident w when String.equal w rdf_type_keyword ->
+    Qterm.Cst Rdf.Vocabulary.rdf_type
+  | Ident w -> Qterm.Cst (Rdf.Term.Uri w)
+  | tok ->
+    fail_at line (Printf.sprintf "expected a term, found %s" (token_to_string tok))
+
+let parse_term s =
+  let line = line_of s in
+  term_of_token line (advance s)
+
+(* ---------- query parsing ------------------------------------------------- *)
+
+let parse_term_list s =
+  expect s Lparen;
+  let rec loop acc =
+    let term = parse_term s in
+    match advance s with
+    | Comma -> loop (term :: acc)
+    | Rparen -> List.rev (term :: acc)
+    | tok ->
+      fail_at (line_of s)
+        (Printf.sprintf "expected , or ), found %s" (token_to_string tok))
+  in
+  loop []
+
+let parse_atom s =
+  (match advance s with
+  | Ident "t" -> ()
+  | tok ->
+    fail_at (line_of s)
+      (Printf.sprintf "expected atom t(...), found %s" (token_to_string tok)));
+  match parse_term_list s with
+  | [ subject; predicate; obj ] -> Atom.make subject predicate obj
+  | terms ->
+    fail_at (line_of s)
+      (Printf.sprintf "atom must have 3 terms, found %d" (List.length terms))
+
+let parse_rule s =
+  let name =
+    match advance s with
+    | Ident n -> n
+    | tok ->
+      fail_at (line_of s)
+        (Printf.sprintf "expected query name, found %s" (token_to_string tok))
+  in
+  let head = parse_term_list s in
+  expect s Turnstile;
+  let rec body acc =
+    let atom = parse_atom s in
+    match advance s with
+    | Comma -> body (atom :: acc)
+    | Dot -> List.rev (atom :: acc)
+    | tok ->
+      fail_at (line_of s)
+        (Printf.sprintf "expected , or ., found %s" (token_to_string tok))
+  in
+  let body = body [] in
+  try Cq.make ~name ~head ~body
+  with Invalid_argument message -> raise (Parse_error message)
+
+let parse_workload input =
+  let s = { tokens = tokenize input } in
+  let rec loop acc =
+    match peek s with
+    | None -> List.rev acc
+    | Some _ -> loop (parse_rule s :: acc)
+  in
+  loop []
+
+let parse_query input =
+  match parse_workload input with
+  | [ q ] -> q
+  | queries ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected exactly one query, found %d"
+            (List.length queries)))
+
+(* ---------- schema parsing ------------------------------------------------ *)
+
+let constant_of_term line = function
+  | Qterm.Cst (Rdf.Term.Uri _ as t) -> t
+  | Qterm.Cst _ -> fail_at line "schema terms must be URIs"
+  | Qterm.Var _ -> fail_at line "schema statements cannot contain variables"
+
+let parse_schema input =
+  let s = { tokens = tokenize input } in
+  let rec loop acc =
+    match peek s with
+    | None -> Rdf.Schema.of_statements (List.rev acc)
+    | Some _ ->
+      let line = line_of s in
+      let subject = constant_of_term line (parse_term s) in
+      let relation =
+        match advance s with
+        | Ident r -> String.lowercase_ascii r
+        | tok ->
+          fail_at (line_of s)
+            (Printf.sprintf "expected a schema relation, found %s"
+               (token_to_string tok))
+      in
+      let obj = constant_of_term (line_of s) (parse_term s) in
+      expect s Dot;
+      let statement =
+        match relation with
+        | "subclassof" -> Rdf.Schema.Subclass (subject, obj)
+        | "subpropertyof" -> Rdf.Schema.Subproperty (subject, obj)
+        | "domain" -> Rdf.Schema.Domain (subject, obj)
+        | "range" -> Rdf.Schema.Range (subject, obj)
+        | other -> fail_at line ("unknown schema relation " ^ other)
+      in
+      loop (statement :: acc)
+  in
+  loop []
+
+(* ---------- triple parsing ------------------------------------------------ *)
+
+let parse_triples input =
+  let s = { tokens = tokenize input } in
+  let rdf_term line = function
+    | Qterm.Cst t -> t
+    | Qterm.Var _ -> fail_at line "triples cannot contain variables"
+  in
+  let rec loop acc =
+    match peek s with
+    | None -> List.rev acc
+    | Some _ ->
+      let line = line_of s in
+      let subject = rdf_term line (parse_term s) in
+      let predicate = rdf_term (line_of s) (parse_term s) in
+      let obj = rdf_term (line_of s) (parse_term s) in
+      expect s Dot;
+      let triple =
+        try Rdf.Triple.make subject predicate obj
+        with Invalid_argument message -> raise (Parse_error message)
+      in
+      loop (triple :: acc)
+  in
+  loop []
+
+(* ---------- printers ------------------------------------------------------ *)
+
+let term_to_text = function
+  | Qterm.Var x -> "?" ^ x
+  | Qterm.Cst t when Rdf.Term.equal t Rdf.Vocabulary.rdf_type -> rdf_type_keyword
+  | Qterm.Cst (Rdf.Term.Uri u) -> "<" ^ u ^ ">"
+  | Qterm.Cst (Rdf.Term.Literal l) -> "\"" ^ l ^ "\""
+  | Qterm.Cst (Rdf.Term.Blank b) -> "<_:" ^ b ^ ">"
+
+let rdf_term_to_text t = term_to_text (Qterm.Cst t)
+
+let query_to_text (q : Cq.t) =
+  Printf.sprintf "%s(%s) :- %s." q.name
+    (String.concat ", " (List.map term_to_text q.head))
+    (String.concat ",\n    "
+       (List.map
+          (fun (a : Atom.t) ->
+            Printf.sprintf "t(%s, %s, %s)" (term_to_text a.s) (term_to_text a.p)
+              (term_to_text a.o))
+          q.body))
+
+let schema_to_text schema =
+  let statement_to_text = function
+    | Rdf.Schema.Subclass (a, b) ->
+      Printf.sprintf "%s subClassOf %s ." (rdf_term_to_text a) (rdf_term_to_text b)
+    | Rdf.Schema.Subproperty (a, b) ->
+      Printf.sprintf "%s subPropertyOf %s ." (rdf_term_to_text a)
+        (rdf_term_to_text b)
+    | Rdf.Schema.Domain (p, cls) ->
+      Printf.sprintf "%s domain %s ." (rdf_term_to_text p) (rdf_term_to_text cls)
+    | Rdf.Schema.Range (p, cls) ->
+      Printf.sprintf "%s range %s ." (rdf_term_to_text p) (rdf_term_to_text cls)
+  in
+  String.concat "\n" (List.map statement_to_text (Rdf.Schema.statements schema))
+
+let triples_to_text triples =
+  String.concat "\n"
+    (List.map
+       (fun (tr : Rdf.Triple.t) ->
+         Printf.sprintf "%s %s %s ." (rdf_term_to_text tr.s) (rdf_term_to_text tr.p)
+           (rdf_term_to_text tr.o))
+       triples)

@@ -1,0 +1,36 @@
+type t =
+  | Var of string
+  | Cst of Rdf.Term.t
+
+let compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Cst x, Cst y -> Rdf.Term.compare x y
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let var x = Var x
+let cst c = Cst c
+let uri u = Cst (Rdf.Term.Uri u)
+
+let is_var = function Var _ -> true | Cst _ -> false
+let is_cst = function Cst _ -> true | Var _ -> false
+
+let var_name = function Var x -> Some x | Cst _ -> None
+let constant = function Cst c -> Some c | Var _ -> None
+
+let counter = ref 0
+
+let fresh_var () =
+  incr counter;
+  Printf.sprintf "_v%d" !counter
+
+let reset_fresh_counter () = counter := 0
+
+let to_string = function
+  | Var x -> "?" ^ x
+  | Cst c -> Rdf.Term.to_string c
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

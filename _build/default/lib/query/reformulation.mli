@@ -1,0 +1,36 @@
+(** RDF query reformulation w.r.t. an RDFS (Algorithm 1, §4.2).
+
+    [reformulate q s] computes a union of conjunctive queries [ucq] such
+    that for any database [D] associated to schema [s]:
+    [evaluate(q, saturate(D, s)) = evaluate(ucq, D)] (Theorem 4.2).
+
+    The algorithm applies the six backward rules of Fig. 2 to a fixpoint:
+    + class inclusion: [t(s, rdf:type, c2)] ⇐ [t(s, rdf:type, c1)]
+      for [c1 ⊑ c2];
+    + property inclusion: [t(s, p2, o)] ⇐ [t(s, p1, o)] for [p1 ⊑p p2];
+    + domain typing: [t(s, rdf:type, c)] ⇐ [∃X t(s, p, X)] for
+      [domain(p) = c];
+    + range typing: [t(o, rdf:type, c)] ⇐ [∃X t(X, p, o)] for
+      [range(p) = c];
+    + class generalization: [t(s, rdf:type, X)] ⇐ [t(s, rdf:type, ci)]
+      binding [X := ci] throughout the query, for every class [ci];
+    + property generalization: [t(s, X, o)] ⇐ [t(s, pi, o)] binding
+      [X := pi], for every property [pi] and for [rdf:type].
+
+    Rules 5 and 6 extend the state of the art (DL-fragment reformulation)
+    to atoms with variables in class or property position. *)
+
+val reformulate : Cq.t -> Rdf.Schema.t -> Ucq.t
+(** The reformulation of [q]; the original query is always the first
+    disjunct.  Duplicates (up to variable renaming) are removed. *)
+
+val reformulate_atom : Atom.t -> Rdf.Schema.t -> Ucq.t
+(** Reformulation of the 1-atom query whose head projects all the atom's
+    variables — the per-atom reformulation used by post-reformulation
+    statistics (§4.3, Table 2). *)
+
+val bound : Cq.t -> Rdf.Schema.t -> float
+(** The [(2|S|^2)^m] bound of Theorem 4.1 on the number of output
+    queries.  The constant is too tight for very small schemas when
+    rules 5/6 fire (they bind a variable over the whole vocabulary);
+    see the adjusted-constant property in [test_reformulation.ml]. *)

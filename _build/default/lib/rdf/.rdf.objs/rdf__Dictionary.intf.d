@@ -1,0 +1,1 @@
+lib/rdf/dictionary.mli: Term

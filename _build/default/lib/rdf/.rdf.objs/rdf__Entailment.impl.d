@@ -1,0 +1,1 @@
+lib/rdf/entailment.ml: List Queue Schema Store Vocabulary

@@ -1,0 +1,1 @@
+lib/rdf/entailment.mli: Schema Store

@@ -1,0 +1,1 @@
+lib/rdf/incremental.ml: Entailment Hashtbl List Queue Schema Store Triple Vocabulary

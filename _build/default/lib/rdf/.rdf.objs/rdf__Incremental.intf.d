@@ -1,0 +1,1 @@
+lib/rdf/incremental.mli: Schema Store Triple

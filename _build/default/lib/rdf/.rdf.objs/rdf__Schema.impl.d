@@ -1,0 +1,1 @@
+lib/rdf/schema.ml: Format List Map Option Set Term Triple Vocabulary

@@ -1,0 +1,1 @@
+lib/rdf/store.ml: Dictionary Hashtbl List Term Triple

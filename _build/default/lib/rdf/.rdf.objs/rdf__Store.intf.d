@@ -1,0 +1,1 @@
+lib/rdf/store.mli: Dictionary Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/triple.ml: Format Hashtbl Printf Term

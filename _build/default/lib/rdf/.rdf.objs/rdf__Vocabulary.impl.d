@@ -1,0 +1,1 @@
+lib/rdf/vocabulary.ml: Term

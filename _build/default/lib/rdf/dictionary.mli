@@ -1,0 +1,25 @@
+(** Dictionary encoding of RDF terms.
+
+    As in the paper's data layout (§6), every distinct URI, blank node or
+    literal is assigned a distinct integer code; the triple table and all
+    indexes operate on codes.  The dictionary is append-only: codes are
+    never reused. *)
+
+type t
+
+val create : unit -> t
+
+val encode : t -> Term.t -> int
+(** [encode d term] returns the code of [term], assigning a fresh one on
+    first encounter. *)
+
+val find : t -> Term.t -> int option
+(** Like {!encode} but without assigning: [None] when unseen. *)
+
+val decode : t -> int -> Term.t
+(** Inverse of {!encode}.  Raises [Not_found] on unknown codes. *)
+
+val size : t -> int
+(** Number of distinct encoded terms. *)
+
+val fold : (Term.t -> int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,48 @@
+let saturate store schema =
+  let rdf_type = Store.encode_term store Vocabulary.rdf_type in
+  let decode = Store.decode_term store in
+  let encode = Store.encode_term store in
+  let added = ref 0 in
+  (* Consequences of a single (possibly new) triple under the four
+     instance-level rules, using direct schema statements; the worklist
+     fixpoint takes care of transitivity. *)
+  let consequences (s, p, o) =
+    if p = rdf_type then
+      let c1 = decode o in
+      List.map
+        (fun c2 -> (s, rdf_type, encode c2))
+        (Schema.direct_superclasses schema c1)
+    else begin
+      let prop = decode p in
+      let by_subprop =
+        List.map (fun p2 -> (s, encode p2, o)) (Schema.direct_superproperties schema prop)
+      in
+      let by_domain =
+        List.map (fun c -> (s, rdf_type, encode c)) (Schema.domains_of schema prop)
+      in
+      let by_range =
+        List.map (fun c -> (o, rdf_type, encode c)) (Schema.ranges_of schema prop)
+      in
+      by_subprop @ by_domain @ by_range
+    end
+  in
+  let queue = Queue.create () in
+  Store.fold_all store (fun triple () -> Queue.add triple queue) ();
+  while not (Queue.is_empty queue) do
+    let triple = Queue.pop queue in
+    let push candidate =
+      if Store.add_encoded store candidate then begin
+        incr added;
+        Queue.add candidate queue
+      end
+    in
+    List.iter push (consequences triple)
+  done;
+  !added
+
+let saturated_copy store schema =
+  let fresh = Store.copy store in
+  let _ = saturate fresh schema in
+  fresh
+
+let entailed_bound ~data_size ~schema_size = data_size * schema_size

@@ -1,0 +1,24 @@
+(** RDFS entailment: database saturation (§4.2).
+
+    Saturation adds to a database all the implicit triples entailed by the
+    RDFS rules of Table 1: propagation of class and property inclusions,
+    and domain/range typing.  This is the inflationary fixpoint the paper
+    contrasts with query reformulation; Theorem 4.2 relates the two and is
+    exercised by the property tests. *)
+
+val saturate : Store.t -> Schema.t -> int
+(** Saturate the store in place w.r.t. the schema's instance-level rules:
+    {ul
+    {- [(x, rdf:type, c1)] and [c1 ⊑ c2] entail [(x, rdf:type, c2)];}
+    {- [(x, p1, y)] and [p1 ⊑p p2] entail [(x, p2, y)];}
+    {- [(x, p, y)] and [domain(p) = c] entail [(x, rdf:type, c)];}
+    {- [(x, p, y)] and [range(p) = c] entail [(y, rdf:type, c)].}}
+    Returns the number of implicit triples added.  The computation is
+    semi-naive: each rule fires only on newly derived triples. *)
+
+val saturated_copy : Store.t -> Schema.t -> Store.t
+(** Like {!saturate} but on a copy, leaving the original untouched. *)
+
+val entailed_bound : data_size:int -> schema_size:int -> int
+(** The [O(|D| * |S|)] bound on the number of implicit triples stated in
+    §6.5, used as a sanity check in tests. *)

@@ -1,0 +1,41 @@
+(** Incremental maintenance of a saturated database (§4.2).
+
+    The paper notes that maintaining a saturated database under updates
+    "may be complex and costly" because saturation is an inflationary
+    fixpoint: deleting an explicit triple must retract exactly those
+    implicit triples whose every derivation used it.  This module
+    implements the classical delete-and-rederive (DRed) scheme over the
+    RDFS instance-level rules, so that the saturation scenario of the
+    selector stays usable under updates:
+
+    - insertion: semi-naive propagation from the new triple only;
+    - deletion: over-delete everything reachable from the deleted triple
+      through rule applications, then re-derive what is still supported.
+
+    The structure distinguishes the explicit triples (the database) from
+    the derived ones, which plain saturation does not track. *)
+
+type t
+
+val create : Schema.t -> Store.t -> t
+(** [create schema store] wraps and saturates [store] in place.  The
+    store must not be modified except through this module afterwards. *)
+
+val store : t -> Store.t
+(** The underlying saturated store (explicit + implicit triples). *)
+
+val schema : t -> Schema.t
+
+val explicit_count : t -> int
+val implicit_count : t -> int
+
+val is_explicit : t -> Triple.t -> bool
+
+val insert : t -> Triple.t -> int
+(** Insert an explicit triple and propagate; returns the number of
+    triples (explicit + implicit) actually added. *)
+
+val delete : t -> Triple.t -> int
+(** Delete an explicit triple (a no-op when absent or merely implicit);
+    retracts the implicit triples that lose all derivations.  Returns
+    the number of triples removed. *)

@@ -1,0 +1,187 @@
+type encoded = int * int * int
+
+type pattern = { ps : int option; pp : int option; po : int option }
+
+(* Index buckets keep an explicit length so that [count_matching] is O(1),
+   matching the paper's assumption that counts for 1- and 2-constant
+   patterns are available exactly (§3.3). *)
+type bucket = { mutable items : encoded list; mutable n : int }
+
+type index = (int, bucket) Hashtbl.t
+
+type t = {
+  dict : Dictionary.t;
+  all : (encoded, unit) Hashtbl.t;
+  idx_s : index;
+  idx_p : index;
+  idx_o : index;
+  idx_sp : index;
+  idx_so : index;
+  idx_po : index;
+}
+
+let create () =
+  {
+    dict = Dictionary.create ();
+    all = Hashtbl.create 4096;
+    idx_s = Hashtbl.create 1024;
+    idx_p = Hashtbl.create 64;
+    idx_o = Hashtbl.create 1024;
+    idx_sp = Hashtbl.create 1024;
+    idx_so = Hashtbl.create 1024;
+    idx_po = Hashtbl.create 1024;
+  }
+
+let dictionary t = t.dict
+let encode_term t term = Dictionary.encode t.dict term
+let find_term t term = Dictionary.find t.dict term
+let decode_term t code = Dictionary.decode t.dict code
+
+(* Codes fit comfortably in 31 bits at any scale we run; pack pairs into a
+   single int key. *)
+let pair_key a b = (a lsl 31) lor b
+
+let bucket_add idx key triple =
+  match Hashtbl.find_opt idx key with
+  | Some b ->
+    b.items <- triple :: b.items;
+    b.n <- b.n + 1
+  | None -> Hashtbl.add idx key { items = [ triple ]; n = 1 }
+
+let bucket_remove idx key triple =
+  match Hashtbl.find_opt idx key with
+  | None -> ()
+  | Some b ->
+    b.items <- List.filter (fun x -> x <> triple) b.items;
+    b.n <- List.length b.items;
+    if b.n = 0 then Hashtbl.remove idx key
+
+let add_encoded t ((s, p, o) as triple) =
+  if Hashtbl.mem t.all triple then false
+  else begin
+    Hashtbl.add t.all triple ();
+    bucket_add t.idx_s s triple;
+    bucket_add t.idx_p p triple;
+    bucket_add t.idx_o o triple;
+    bucket_add t.idx_sp (pair_key s p) triple;
+    bucket_add t.idx_so (pair_key s o) triple;
+    bucket_add t.idx_po (pair_key p o) triple;
+    true
+  end
+
+let encode_triple t (tr : Triple.t) =
+  (encode_term t tr.Triple.s, encode_term t tr.Triple.p, encode_term t tr.Triple.o)
+
+let add t tr = add_encoded t (encode_triple t tr)
+
+let remove_encoded t ((s, p, o) as triple) =
+  if not (Hashtbl.mem t.all triple) then false
+  else begin
+    Hashtbl.remove t.all triple;
+    bucket_remove t.idx_s s triple;
+    bucket_remove t.idx_p p triple;
+    bucket_remove t.idx_o o triple;
+    bucket_remove t.idx_sp (pair_key s p) triple;
+    bucket_remove t.idx_so (pair_key s o) triple;
+    bucket_remove t.idx_po (pair_key p o) triple;
+    true
+  end
+
+let remove t (tr : Triple.t) =
+  match (find_term t tr.Triple.s, find_term t tr.Triple.p, find_term t tr.Triple.o) with
+  | Some s, Some p, Some o -> remove_encoded t (s, p, o)
+  | _ -> false
+
+let mem_encoded t triple = Hashtbl.mem t.all triple
+
+let mem t (tr : Triple.t) =
+  match (find_term t tr.Triple.s, find_term t tr.Triple.p, find_term t tr.Triple.o) with
+  | Some s, Some p, Some o -> mem_encoded t (s, p, o)
+  | _ -> false
+
+let size t = Hashtbl.length t.all
+
+let pattern_all = { ps = None; pp = None; po = None }
+
+let bucket_of t pat =
+  match pat with
+  | { ps = Some s; pp = Some p; po = None } ->
+    Some (Hashtbl.find_opt t.idx_sp (pair_key s p))
+  | { ps = Some s; pp = None; po = Some o } ->
+    Some (Hashtbl.find_opt t.idx_so (pair_key s o))
+  | { ps = None; pp = Some p; po = Some o } ->
+    Some (Hashtbl.find_opt t.idx_po (pair_key p o))
+  | { ps = Some s; pp = None; po = None } -> Some (Hashtbl.find_opt t.idx_s s)
+  | { ps = None; pp = Some p; po = None } -> Some (Hashtbl.find_opt t.idx_p p)
+  | { ps = None; pp = None; po = Some o } -> Some (Hashtbl.find_opt t.idx_o o)
+  | { ps = None; pp = None; po = None } | { ps = Some _; pp = Some _; po = Some _ }
+    -> None
+
+let fold_all t f init = Hashtbl.fold (fun triple () acc -> f triple acc) t.all init
+
+let fold_matching t pat f init =
+  match pat with
+  | { ps = None; pp = None; po = None } -> fold_all t f init
+  | { ps = Some s; pp = Some p; po = Some o } ->
+    if mem_encoded t (s, p, o) then f (s, p, o) init else init
+  | _ -> (
+    match bucket_of t pat with
+    | Some (Some b) -> List.fold_left (fun acc tr -> f tr acc) init b.items
+    | Some None -> init
+    | None -> assert false)
+
+let iter_matching t pat f = fold_matching t pat (fun tr () -> f tr) ()
+
+let count_matching t pat =
+  match pat with
+  | { ps = None; pp = None; po = None } -> size t
+  | { ps = Some s; pp = Some p; po = Some o } ->
+    if mem_encoded t (s, p, o) then 1 else 0
+  | _ -> (
+    match bucket_of t pat with
+    | Some (Some b) -> b.n
+    | Some None -> 0
+    | None -> assert false)
+
+let matching t pat = fold_matching t pat (fun tr acc -> tr :: acc) []
+
+let index_of_column t = function
+  | `S -> t.idx_s
+  | `P -> t.idx_p
+  | `O -> t.idx_o
+
+let distinct_in_column t col = Hashtbl.length (index_of_column t col)
+
+let column_codes t col =
+  Hashtbl.fold (fun code _ acc -> code :: acc) (index_of_column t col) []
+
+let copy t =
+  let fresh = create () in
+  fold_all t
+    (fun (s, p, o) () ->
+      let reencode c = Dictionary.encode fresh.dict (decode_term t c) in
+      ignore (add_encoded fresh (reencode s, reencode p, reencode o)))
+    ();
+  fresh
+
+let of_triples triples =
+  let t = create () in
+  List.iter (fun tr -> ignore (add t tr)) triples;
+  t
+
+let to_triples t =
+  fold_all t
+    (fun (s, p, o) acc ->
+      { Triple.s = decode_term t s; p = decode_term t p; o = decode_term t o }
+      :: acc)
+    []
+
+let avg_term_size t col =
+  let codes = column_codes t col in
+  match codes with
+  | [] -> 0.
+  | _ ->
+    let total =
+      List.fold_left (fun acc c -> acc + Term.size (decode_term t c)) 0 codes
+    in
+    float_of_int total /. float_of_int (List.length codes)

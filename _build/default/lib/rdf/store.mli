@@ -1,0 +1,77 @@
+(** In-memory dictionary-encoded triple store.
+
+    Mirrors the paper's storage layout (§6): a single triple table
+    [t(s, p, o)] over integer codes, indexed on every column and every
+    column combination (the "heavily indexed" layout, in the spirit of
+    Hexastore).  All pattern lookups — any subset of positions bound to
+    constants — are answered from the best index. *)
+
+type t
+
+type encoded = int * int * int
+(** A dictionary-encoded triple [(s, p, o)]. *)
+
+type pattern = { ps : int option; pp : int option; po : int option }
+(** A lookup pattern: [None] positions are wildcards. *)
+
+val create : unit -> t
+
+val dictionary : t -> Dictionary.t
+(** The shared dictionary of the store. *)
+
+val encode_term : t -> Term.t -> int
+(** Encode a term, assigning a fresh code if needed. *)
+
+val find_term : t -> Term.t -> int option
+(** Encode without assigning. *)
+
+val decode_term : t -> int -> Term.t
+
+val add : t -> Triple.t -> bool
+(** Insert a triple; returns [false] when it was already present. *)
+
+val add_encoded : t -> encoded -> bool
+
+val remove : t -> Triple.t -> bool
+(** Delete a triple; returns [false] when absent. *)
+
+val remove_encoded : t -> encoded -> bool
+
+val mem : t -> Triple.t -> bool
+val mem_encoded : t -> encoded -> bool
+
+val size : t -> int
+(** Number of distinct triples. *)
+
+val pattern_all : pattern
+(** The all-wildcard pattern. *)
+
+val fold_matching : t -> pattern -> (encoded -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all triples matching the pattern, using the most selective
+    available index. *)
+
+val iter_matching : t -> pattern -> (encoded -> unit) -> unit
+
+val count_matching : t -> pattern -> int
+(** Exact number of triples matching the pattern; O(1) for patterns with
+    at most two constants thanks to the indexes (§3.3's statistics). *)
+
+val matching : t -> pattern -> encoded list
+
+val distinct_in_column : t -> [ `S | `P | `O ] -> int
+(** Number of distinct codes in a column, as gathered for the cost model. *)
+
+val column_codes : t -> [ `S | `P | `O ] -> int list
+(** The distinct codes appearing in a column. *)
+
+val fold_all : t -> (encoded -> 'a -> 'a) -> 'a -> 'a
+
+val copy : t -> t
+(** Deep copy sharing no mutable state (the dictionary is copied too). *)
+
+val of_triples : Triple.t list -> t
+
+val to_triples : t -> Triple.t list
+
+val avg_term_size : t -> [ `S | `P | `O ] -> float
+(** Average byte size of the terms in a column (used by VSO, §3.3). *)

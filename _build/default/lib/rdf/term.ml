@@ -1,0 +1,41 @@
+type t =
+  | Uri of string
+  | Blank of string
+  | Literal of string
+
+let rank = function Uri _ -> 0 | Blank _ -> 1 | Literal _ -> 2
+
+let label = function Uri s | Blank s | Literal s -> s
+
+let compare a b =
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c else String.compare (label a) (label b)
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash (rank t, label t)
+
+let uri u = Uri u
+let blank b = Blank b
+let literal l = Literal l
+
+let is_uri = function Uri _ -> true | Blank _ | Literal _ -> false
+let is_blank = function Blank _ -> true | Uri _ | Literal _ -> false
+let is_literal = function Literal _ -> true | Uri _ | Blank _ -> false
+
+let to_string = function
+  | Uri u -> if String.contains u ':' then "<" ^ u ^ ">" else u
+  | Blank b -> "_:" ^ b
+  | Literal l -> "\"" ^ l ^ "\""
+
+let of_string s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '<' && s.[n - 1] = '>' then Uri (String.sub s 1 (n - 2))
+  else if n >= 2 && s.[0] = '_' && s.[1] = ':' then Blank (String.sub s 2 (n - 2))
+  else if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+    Literal (String.sub s 1 (n - 2))
+  else Uri s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let size t = String.length (label t)

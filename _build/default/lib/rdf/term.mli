@@ -1,0 +1,48 @@
+(** RDF terms: URIs, blank nodes and literals.
+
+    Terms are the values appearing in the subject, property and object
+    positions of RDF triples.  Following the RDF recommendation, subjects
+    are URIs or blank nodes, properties are URIs, and objects are URIs,
+    blank nodes or literals.  Well-formedness of a whole triple is checked
+    in {!Triple}. *)
+
+type t =
+  | Uri of string      (** a resource identifier *)
+  | Blank of string    (** a blank node, standing for an unknown constant *)
+  | Literal of string  (** a literal value *)
+
+val compare : t -> t -> int
+(** Total order on terms: URIs < blank nodes < literals, then by label. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val uri : string -> t
+(** [uri u] is [Uri u]. *)
+
+val blank : string -> t
+(** [blank b] is [Blank b]. *)
+
+val literal : string -> t
+(** [literal l] is [Literal l]. *)
+
+val is_uri : t -> bool
+val is_blank : t -> bool
+val is_literal : t -> bool
+
+val label : t -> string
+(** The raw label of the term, without any syntactic decoration. *)
+
+val to_string : t -> string
+(** Turtle-ish rendering: URIs as [<u>] when they contain a scheme,
+    bare otherwise; blank nodes as [_:b]; literals as ["l"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string} on its image; bare words parse as URIs. *)
+
+val pp : Format.formatter -> t -> unit
+
+val size : t -> int
+(** Storage footprint of the term in bytes (its label length); used by the
+    view-space-occupancy component of the cost model. *)

@@ -1,0 +1,1 @@
+lib/stats/cardinality.ml: Float Hashtbl List Option Query Statistics

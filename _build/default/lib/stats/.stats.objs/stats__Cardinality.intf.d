@@ -1,0 +1,1 @@
+lib/stats/cardinality.mli: Query Statistics

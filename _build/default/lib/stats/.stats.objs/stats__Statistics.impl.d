@@ -1,0 +1,1 @@
+lib/stats/statistics.ml: Hashtbl List Query Rdf

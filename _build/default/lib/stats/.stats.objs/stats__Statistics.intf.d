@@ -1,0 +1,1 @@
+lib/stats/statistics.mli: Query Rdf

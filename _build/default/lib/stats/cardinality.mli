@@ -1,0 +1,25 @@
+(** View cardinality estimation [|v|ε] (§3.3).
+
+    One-atom views use the exact gathered counts.  Multi-atom views assume
+    uniform value distribution within each column and independence across
+    columns, and combine the exact per-atom counts with join selectivities
+    using the textbook System-R formulas: a join variable shared by [k]
+    atom positions with distinct-value estimates [d_1..d_k] contributes a
+    selectivity of [min(d_i) / prod(d_i)] (which is [1/max(d_1,d_2)] for
+    [k = 2]). *)
+
+val position_distinct : Statistics.t -> Query.Atom.t -> Query.Atom.position -> float
+(** Estimated number of distinct values at a position of an atom: exact
+    per-property distincts when the atom's property is a constant, global
+    column distincts otherwise, always capped by the atom's own count. *)
+
+val estimate_cq : Statistics.t -> Query.Cq.t -> float
+(** [|v|ε] for a conjunctive view. *)
+
+val estimate_ucq : Statistics.t -> Query.Ucq.t -> float
+(** Upper-bound estimate for a UCQ view: sum of disjunct estimates. *)
+
+val var_distinct : Statistics.t -> Query.Cq.t -> string -> float
+(** Estimated number of distinct bindings of a variable in the view's
+    answers: the minimum distinct estimate over the variable's
+    occurrences, capped by the view cardinality. *)

@@ -1,0 +1,139 @@
+type mode =
+  | Plain
+  | Reformulated of Rdf.Schema.t
+
+type t = {
+  store : Rdf.Store.t;
+  mode : mode;
+  atom_counts : (string, float) Hashtbl.t;
+  column_distincts : (string, float) Hashtbl.t;
+  property_distincts : (string, float) Hashtbl.t;
+  mutable reasoning_store : Rdf.Store.t option;
+      (* lazily-built saturated copy backing the [Reformulated] mode:
+         Theorem 4.2 guarantees the counts equal the per-atom
+         reformulation counts (property-tested), and pattern counting on
+         the copy is O(1); the database itself is never written *)
+}
+
+let create ?(mode = Plain) store =
+  {
+    store;
+    mode;
+    atom_counts = Hashtbl.create 256;
+    column_distincts = Hashtbl.create 8;
+    property_distincts = Hashtbl.create 64;
+    reasoning_store = None;
+  }
+
+let mode t = t.mode
+let store t = t.store
+
+(* the store counts are gathered on: the saturated copy under
+   [Reformulated], the store itself under [Plain] *)
+let counting_store t =
+  match t.mode with
+  | Plain -> t.store
+  | Reformulated schema -> (
+    match t.reasoning_store with
+    | Some s -> s
+    | None ->
+      let s = Rdf.Entailment.saturated_copy t.store schema in
+      t.reasoning_store <- Some s;
+      s)
+
+(* Atoms are keyed by their constant pattern only: variable names are
+   irrelevant to the count (they are relaxations of one another). *)
+let pattern_key (a : Query.Atom.t) =
+  let part = function
+    | Query.Qterm.Cst c -> Rdf.Term.to_string c
+    | Query.Qterm.Var _ -> "?"
+  in
+  part a.s ^ "\x00" ^ part a.p ^ "\x00" ^ part a.o
+
+(* Rebuild the atom with canonical variable names so that repeated
+   variables (t(X,p,X)) do not skew eval-based counts differently from
+   pattern counts. *)
+let canonical_atom (a : Query.Atom.t) =
+  let fresh prefix = Query.Qterm.Var prefix in
+  let rebuild pos prefix =
+    match Query.Atom.term_at a pos with
+    | Query.Qterm.Cst _ as c -> c
+    | Query.Qterm.Var _ -> fresh prefix
+  in
+  Query.Atom.make (rebuild Query.Atom.S "_s") (rebuild Query.Atom.P "_p") (rebuild Query.Atom.O "_o")
+
+let pattern_count store (a : Query.Atom.t) =
+  let bound = function
+    | Query.Qterm.Cst c -> (
+      match Rdf.Store.find_term store c with
+      | Some code -> `Ok (Some code)
+      | None -> `Absent)
+    | Query.Qterm.Var _ -> `Ok None
+  in
+  match (bound a.s, bound a.p, bound a.o) with
+  | `Ok s, `Ok p, `Ok o ->
+    float_of_int (Rdf.Store.count_matching store { Rdf.Store.ps = s; pp = p; po = o })
+  | _ -> 0.
+
+let atom_count t a =
+  let key = pattern_key a in
+  match Hashtbl.find_opt t.atom_counts key with
+  | Some n -> n
+  | None ->
+    let n = pattern_count (counting_store t) (canonical_atom a) in
+    Hashtbl.add t.atom_counts key n;
+    n
+
+let all_var_atom = Query.Atom.make (Query.Qterm.Var "_s") (Query.Qterm.Var "_p") (Query.Qterm.Var "_o")
+
+let total_triples t = atom_count t all_var_atom
+
+let column_name = function `S -> "s" | `P -> "p" | `O -> "o"
+
+let column_distinct t col =
+  let key = column_name col in
+  match Hashtbl.find_opt t.column_distincts key with
+  | Some n -> n
+  | None ->
+    let n = float_of_int (Rdf.Store.distinct_in_column (counting_store t) col) in
+    Hashtbl.add t.column_distincts key n;
+    n
+
+let property_distinct t prop col =
+  let key = Rdf.Term.to_string prop ^ "\x00" ^ column_name (col :> [ `S | `P | `O ]) in
+  match Hashtbl.find_opt t.property_distincts key with
+  | Some n -> if n < 0. then None else Some n
+  | None ->
+    let var = match col with `S -> "_s" | `O -> "_o" in
+    let body = [ Query.Atom.make (Query.Qterm.Var "_s") (Query.Qterm.Cst prop) (Query.Qterm.Var "_o") ] in
+    let q = Query.Cq.make ~name:"distinct" ~head:[ Query.Qterm.Var var ] ~body in
+    let n = float_of_int (Query.Evaluation.count_cq (counting_store t) q) in
+    let stored = if n = 0. then -1. else n in
+    Hashtbl.add t.property_distincts key stored;
+    if stored < 0. then None else Some n
+
+let avg_term_size t col = Rdf.Store.avg_term_size (counting_store t) col
+
+let relaxations (a : Query.Atom.t) =
+  let options pos =
+    match Query.Atom.term_at a pos with
+    | Query.Qterm.Cst _ as c ->
+      [ c; Query.Qterm.Var ("_r" ^ Query.Atom.position_name pos) ]
+    | Query.Qterm.Var _ as v -> [ v ]
+  in
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun p -> List.map (fun o -> Query.Atom.make s p o) (options Query.Atom.O))
+        (options Query.Atom.P))
+    (options Query.Atom.S)
+
+let prewarm t queries =
+  List.iter
+    (fun q ->
+      List.iter
+        (fun a -> List.iter (fun r -> ignore (atom_count t r)) (relaxations a))
+        q.Query.Cq.body)
+    queries
+
+let cache_size t = Hashtbl.length t.atom_counts

@@ -1,0 +1,61 @@
+(** Workload-driven statistics over a triple store (§3.3, §4.3).
+
+    The paper gathers, for each query atom and each relaxation of it
+    obtained by removing constants, the exact number of matching triples;
+    plus per-column distinct-value counts.  Statistics are exposed here as
+    a memoized on-demand cache over the store, which yields exactly the
+    numbers the offline gathering would (every atom reachable during the
+    search is a relaxation of a workload atom).
+
+    The [mode] controls how implicit triples are reflected (§4.3):
+    {ul
+    {- [Plain] — counts on the store as-is (use on a saturated store for
+       the saturation scenario, or when reasoning is ignored);}
+    {- [Reformulated schema] — the count of an atom [a] is
+       [|Reformulate(a, schema)|] (§4.3): the post-reformulation
+       statistics.  Theorem 4.2 makes these equal to pattern counts on
+       the saturated database, so the implementation backs them with a
+       lazily-built in-memory saturated copy (the database itself is
+       never written, preserving the post-reformulation deployment
+       story); the equality with explicit per-atom reformulation
+       counting is property-tested.}} *)
+
+type mode =
+  | Plain
+  | Reformulated of Rdf.Schema.t
+
+type t
+
+val create : ?mode:mode -> Rdf.Store.t -> t
+(** [create ~mode store] builds a statistics cache over [store];
+    [mode] defaults to [Plain]. *)
+
+val mode : t -> mode
+
+val store : t -> Rdf.Store.t
+
+val prewarm : t -> Query.Cq.t list -> unit
+(** Eagerly count every atom of every query and all its relaxations —
+    the paper's offline gathering step.  Purely an optimization. *)
+
+val atom_count : t -> Query.Atom.t -> float
+(** Number of triples matching the atom's constant pattern (reflecting
+    implicit triples under [Reformulated]).  Exact. *)
+
+val total_triples : t -> float
+(** Size of the dataset (reflecting implicit triples under
+    [Reformulated]). *)
+
+val column_distinct : t -> [ `S | `P | `O ] -> float
+(** Distinct values in a triple-table column. *)
+
+val property_distinct : t -> Rdf.Term.t -> [ `S | `O ] -> float option
+(** [property_distinct t p col] is the number of distinct subjects
+    (resp. objects) among triples with property [p]; [None] when [p] does
+    not appear as a property. *)
+
+val avg_term_size : t -> [ `S | `P | `O ] -> float
+(** Average byte size of column values, for the space-occupancy model. *)
+
+val cache_size : t -> int
+(** Number of memoized atom counts (for instrumentation). *)

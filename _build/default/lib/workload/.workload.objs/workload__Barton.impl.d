@@ -1,0 +1,1 @@
+lib/workload/barton.ml: List Printf Random Rdf

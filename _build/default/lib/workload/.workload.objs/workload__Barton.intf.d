@@ -1,0 +1,1 @@
+lib/workload/barton.mli: Rdf

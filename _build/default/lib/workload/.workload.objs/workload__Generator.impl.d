@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Hashtbl List Option Printf Query Random Rdf String

@@ -1,0 +1,77 @@
+let ns = "barton:"
+
+let class_term i = Rdf.Term.Uri (Printf.sprintf "%sClass%d" ns i)
+let property_term i = Rdf.Term.Uri (Printf.sprintf "%sprop%d" ns i)
+let entity_term i = Rdf.Term.Uri (Printf.sprintf "%sentity%d" ns i)
+
+let n_classes = 39
+let n_properties = 61
+
+let classes () = List.init n_classes class_term
+let properties () = List.init n_properties property_term
+
+(* 38 subclass + 15 subproperty + 30 domain + 23 range = 106 statements,
+   the exact counts reported in §6.5. *)
+let schema () =
+  let subclass =
+    List.init (n_classes - 1) (fun i ->
+        let child = i + 1 in
+        Rdf.Schema.Subclass (class_term child, class_term ((child - 1) / 2)))
+  in
+  let subproperty =
+    List.init 15 (fun i ->
+        let child = 46 + i in
+        Rdf.Schema.Subproperty (property_term child, property_term (child mod 5)))
+  in
+  (* Domains and ranges target a band of mid-tree classes (c5..c12):
+     leaf-class membership atoms then reformulate compactly, while atoms
+     mentioning a mid-tree class unfold through a small subtree plus its
+     domain/range properties — the moderate growth shape of Table 3. *)
+  let domain =
+    List.init 30 (fun i ->
+        Rdf.Schema.Domain (property_term i, class_term (5 + (i mod 8))))
+  in
+  let range =
+    List.init 23 (fun i ->
+        Rdf.Schema.Range (property_term i, class_term (5 + (i * 3 mod 8))))
+  in
+  Rdf.Schema.of_statements (subclass @ subproperty @ domain @ range)
+
+let literal_pool = 40
+
+let store ?(n_entities = 500) ~seed () =
+  let rng = Random.State.make [| seed; 4242 |] in
+  let store = Rdf.Store.create () in
+  let add s p o = ignore (Rdf.Store.add store (Rdf.Triple.make s p o)) in
+  for e = 0 to n_entities - 1 do
+    let entity = entity_term e in
+    (* leaf-heavy class assignment; one entity in five stays untyped *)
+    let cls = class_term (19 + Random.State.int rng (n_classes - 19)) in
+    if Random.State.float rng 1.0 > 0.2 then
+      add entity Rdf.Vocabulary.rdf_type cls;
+    (* a handful of property links; sub-properties (46..60) are common so
+       that reasoning adds super-property triples *)
+    let links = 2 + Random.State.int rng 6 in
+    for _ = 1 to links do
+      let p =
+        if Random.State.float rng 1.0 < 0.5 then
+          property_term (46 + Random.State.int rng 15)
+        else property_term (Random.State.int rng n_properties)
+      in
+      let o =
+        if Random.State.float rng 1.0 < 0.6 then
+          entity_term (Random.State.int rng n_entities)
+        else
+          Rdf.Term.Literal (Printf.sprintf "value%d" (Random.State.int rng literal_pool))
+      in
+      add entity p o
+    done
+  done;
+  store
+
+let store_with_schema_triples ?n_entities ~seed () =
+  let s = store ?n_entities ~seed () in
+  List.iter
+    (fun tr -> ignore (Rdf.Store.add s tr))
+    (Rdf.Schema.to_triples (schema ()));
+  s

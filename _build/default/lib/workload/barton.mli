@@ -1,0 +1,28 @@
+(** A synthetic stand-in for the Barton library dataset and its RDFS
+    (§6, [24]).
+
+    The real Barton dump (≈35M distinct triples, MIT Simile) is not
+    redistributable here; this module generates a dataset with the same
+    schema shape — exactly 39 classes, 61 properties and 106 RDFS
+    statements, the counts reported in §6.5 — and a scale-controllable
+    instance whose entities are typed, linked and annotated through the
+    schema's domains, ranges and sub-hierarchies, so that saturation and
+    reformulation have real work to do. *)
+
+val schema : unit -> Rdf.Schema.t
+(** The fixed synthetic schema: 39 classes, 61 properties, 106
+    statements (asserted in tests). *)
+
+val classes : unit -> Rdf.Term.t list
+val properties : unit -> Rdf.Term.t list
+
+val store : ?n_entities:int -> seed:int -> unit -> Rdf.Store.t
+(** Generate an instance; [n_entities] defaults to 500 (≈ 3500 triples).
+    Deterministic in [seed].  Some entities are deliberately left
+    untyped (their type is only implied by domain/range constraints) and
+    many links use sub-properties, so the saturated store is strictly
+    larger than the original. *)
+
+val store_with_schema_triples : ?n_entities:int -> seed:int -> unit -> Rdf.Store.t
+(** Like {!store} but with the 106 schema statements also stored as
+    triples (the usual Barton layout). *)

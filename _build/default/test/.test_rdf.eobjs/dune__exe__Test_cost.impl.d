@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Core Float List QCheck Query Stats Support

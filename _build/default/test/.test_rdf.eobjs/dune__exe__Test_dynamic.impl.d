@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Core Engine List QCheck Query Rdf Support

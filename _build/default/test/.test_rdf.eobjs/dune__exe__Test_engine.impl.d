@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Core Engine Gen Hashtbl List QCheck Query Rdf Support

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Gen List QCheck Rdf Support

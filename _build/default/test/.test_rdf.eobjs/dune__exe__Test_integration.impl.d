@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Core Engine List QCheck Query Rdf Support Workload

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Gen List Option QCheck Query Rdf Support

@@ -1,0 +1,1 @@
+test/test_reformulation.ml: Alcotest Float List QCheck Query Rdf String Support

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Core Engine Float List QCheck Query Stats Support Workload

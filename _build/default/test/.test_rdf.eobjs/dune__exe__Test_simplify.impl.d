@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Core Engine Gen Hashtbl List QCheck Query Support

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Core Hashtbl List QCheck Query String Support

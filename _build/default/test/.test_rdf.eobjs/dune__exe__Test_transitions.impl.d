@@ -1,0 +1,1 @@
+test/test_transitions.ml: Alcotest Core Engine Gen List QCheck Query Stats Support

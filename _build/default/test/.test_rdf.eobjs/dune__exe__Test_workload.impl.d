@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Gen List QCheck Query Rdf Support Workload

@@ -1,0 +1,196 @@
+(* Shared helpers and QCheck generators for the test suites. *)
+
+let uri u = Rdf.Term.Uri u
+let lit l = Rdf.Term.Literal l
+let blank b = Rdf.Term.Blank b
+
+let v x = Query.Qterm.Var x
+let c u = Query.Qterm.Cst (Rdf.Term.Uri u)
+let cl l = Query.Qterm.Cst (Rdf.Term.Literal l)
+
+let atom s p o = Query.Atom.make s p o
+
+let cq ?(name = "q") head body = Query.Cq.make ~name ~head ~body
+
+let triple s p o = Rdf.Triple.make s p o
+
+let store_of triples = Rdf.Store.of_triples triples
+
+let rdf_type = Rdf.Vocabulary.rdf_type
+
+(* ---------- reference (naive) CQ evaluation ----------------------------- *)
+
+module SMap = Map.Make (String)
+
+(* Cartesian-product evaluation: only for tiny stores and short queries. *)
+let eval_reference store (q : Query.Cq.t) =
+  let triples = Rdf.Store.to_triples store in
+  let unify_term env qt (term : Rdf.Term.t) =
+    match qt with
+    | Query.Qterm.Cst cst ->
+      if Rdf.Term.equal cst term then Some env else None
+    | Query.Qterm.Var x -> (
+      match SMap.find_opt x env with
+      | Some bound -> if Rdf.Term.equal bound term then Some env else None
+      | None -> Some (SMap.add x term env))
+  in
+  let unify_atom env (a : Query.Atom.t) (tr : Rdf.Triple.t) =
+    Option.bind (unify_term env a.s tr.Rdf.Triple.s) (fun env ->
+        Option.bind (unify_term env a.p tr.Rdf.Triple.p) (fun env ->
+            unify_term env a.o tr.Rdf.Triple.o))
+  in
+  let rec go env = function
+    | [] ->
+      [
+        Array.of_list
+          (List.map
+             (function
+               | Query.Qterm.Cst cst -> cst
+               | Query.Qterm.Var x -> SMap.find x env)
+             q.Query.Cq.head);
+      ]
+    | a :: rest ->
+      List.concat_map
+        (fun tr ->
+          match unify_atom env a tr with
+          | Some env' -> go env' rest
+          | None -> [])
+        triples
+  in
+  List.sort_uniq compare (go SMap.empty q.Query.Cq.body)
+
+let same_answers = Query.Evaluation.same_answers
+
+(* ---------- QCheck generators ------------------------------------------- *)
+
+open QCheck
+
+let gen_uri =
+  Gen.map (fun i -> uri (Printf.sprintf "u%d" i)) (Gen.int_range 0 7)
+
+let gen_class = Gen.map (fun i -> uri (Printf.sprintf "C%d" i)) (Gen.int_range 0 4)
+let gen_prop = Gen.map (fun i -> uri (Printf.sprintf "P%d" i)) (Gen.int_range 0 4)
+
+let gen_entity =
+  Gen.map (fun i -> uri (Printf.sprintf "e%d" i)) (Gen.int_range 0 9)
+
+let gen_object =
+  Gen.oneof
+    [
+      gen_entity;
+      Gen.map (fun i -> lit (Printf.sprintf "l%d" i)) (Gen.int_range 0 3);
+      gen_class;
+    ]
+
+(* Data triples use either a plain property or rdf:type with a class, so
+   that schemas have something to entail. *)
+let gen_data_triple =
+  Gen.oneof
+    [
+      Gen.map3 (fun s p o -> Rdf.Triple.make s p o) gen_entity gen_prop gen_object;
+      Gen.map2 (fun s cls -> Rdf.Triple.make s rdf_type cls) gen_entity gen_class;
+    ]
+
+let gen_store =
+  Gen.map store_of (Gen.list_size (Gen.int_range 3 30) gen_data_triple)
+
+let arb_store = make ~print:(fun s -> Printf.sprintf "<store:%d triples>" (Rdf.Store.size s)) gen_store
+
+let gen_statement =
+  Gen.oneof
+    [
+      Gen.map2 (fun a b -> Rdf.Schema.Subclass (a, b)) gen_class gen_class;
+      Gen.map2 (fun a b -> Rdf.Schema.Subproperty (a, b)) gen_prop gen_prop;
+      Gen.map2 (fun p cls -> Rdf.Schema.Domain (p, cls)) gen_prop gen_class;
+      Gen.map2 (fun p cls -> Rdf.Schema.Range (p, cls)) gen_prop gen_class;
+    ]
+
+let gen_schema =
+  Gen.map Rdf.Schema.of_statements (Gen.list_size (Gen.int_range 0 6) gen_statement)
+
+let arb_schema =
+  make
+    ~print:(fun s -> Format.asprintf "%a" Rdf.Schema.pp s)
+    gen_schema
+
+(* Small connected conjunctive queries.  Atom i ≥ 1 reuses a variable
+   from the previous atoms so the query never has a Cartesian product. *)
+let gen_cq =
+  let open Gen in
+  let* n_atoms = int_range 1 3 in
+  let var_name i = Printf.sprintf "V%d" i in
+  let rec build i vars acc =
+    if i >= n_atoms then return (List.rev acc)
+    else
+      let* anchor =
+        if vars = [] then return (var_name 0)
+        else oneofl vars
+      in
+      let fresh = var_name (2 * i + 1) in
+      let* kind = int_range 0 3 in
+      let* cls = gen_class in
+      let* prop = gen_prop in
+      let* obj_cst = gen_object in
+      let a, new_vars =
+        match kind with
+        | 0 -> (atom (v anchor) (Query.Qterm.Cst rdf_type) (Query.Qterm.Cst cls), [])
+        | 1 -> (atom (v anchor) (Query.Qterm.Cst prop) (v fresh), [ fresh ])
+        | 2 -> (atom (v anchor) (Query.Qterm.Cst prop) (Query.Qterm.Cst obj_cst), [])
+        | _ -> (atom (v fresh) (Query.Qterm.Cst prop) (v anchor), [ fresh ])
+      in
+      build (i + 1) (new_vars @ vars) (a :: acc)
+  in
+  let* body = build 0 [] [] in
+  let vars =
+    List.sort_uniq String.compare (List.concat_map Query.Atom.var_set body)
+  in
+  let* head_size = int_range 1 (min 2 (List.length vars)) in
+  let head = List.filteri (fun i _ -> i < head_size) vars in
+  return (cq (List.map v head) body)
+
+let arb_cq = make ~print:Query.Cq.to_string gen_cq
+
+(* Queries with variables in property or class position exercise
+   reformulation rules 5 and 6. *)
+let gen_cq_with_schema_vars =
+  let open Gen in
+  let* base = gen_cq in
+  let* flip = bool in
+  if not flip then return base
+  else
+    let body = base.Query.Cq.body in
+    let* idx = int_range 0 (List.length body - 1) in
+    let target = List.nth body idx in
+    let* mode = bool in
+    let replaced =
+      if mode then Query.Atom.set_at target Query.Atom.P (v "PV")
+      else if Query.Qterm.equal target.Query.Atom.p (Query.Qterm.Cst rdf_type)
+      then Query.Atom.set_at target Query.Atom.O (v "CV")
+      else target
+    in
+    let body' = List.mapi (fun i a -> if i = idx then replaced else a) body in
+    return
+      (Query.Cq.make ~name:base.Query.Cq.name ~head:base.Query.Cq.head ~body:body')
+
+let arb_cq_schema_vars = make ~print:Query.Cq.to_string gen_cq_with_schema_vars
+
+(* Random variable renaming of a query, for canonicalization tests. *)
+let gen_renaming (q : Query.Cq.t) =
+  let open Gen in
+  let vars = Query.Cq.body_vars q in
+  let* salt = int_range 0 1000 in
+  let* shuffled = Gen.shuffle_l vars in
+  let mapping = List.combine vars shuffled in
+  return
+    (Query.Cq.subst
+       (fun x ->
+         match List.assoc_opt x mapping with
+         | Some y -> Some (Query.Qterm.Var (Printf.sprintf "R%d_%s" salt y))
+         | None -> None)
+       q)
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)

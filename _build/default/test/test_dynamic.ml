@@ -1,0 +1,180 @@
+open Support
+
+let store =
+  store_of
+    [
+      triple (uri "s1") (uri "ex:p") (uri "ex:k");
+      triple (uri "s1") (uri "ex:q") (uri "o1");
+      triple (uri "s2") (uri "ex:p") (uri "ex:k");
+      triple (uri "s2") (uri "ex:r") (uri "o2");
+      triple (uri "s3") (uri "ex:r") (uri "o2");
+    ]
+
+let qa =
+  cq ~name:"qa" [ v "X" ]
+    [ atom (v "X") (c "ex:p") (c "ex:k"); atom (v "X") (c "ex:q") (v "Y") ]
+
+let qb = cq ~name:"qb" [ v "A"; v "B" ] [ atom (v "A") (c "ex:r") (v "B") ]
+
+let qc = cq ~name:"qc" [ v "Z" ] [ atom (v "Z") (c "ex:p") (c "ex:k") ]
+
+let options = { Core.Search.default_options with time_budget = Some 0.5 }
+
+let fresh_select workload =
+  Core.Selector.select ~store ~reasoning:Core.Selector.No_reasoning ~options
+    workload
+
+let answers_ok result workload =
+  let mstore = result.Core.Selector.store_for_materialization in
+  let env =
+    Engine.Materialize.materialize_views mstore result.Core.Selector.recommended
+  in
+  List.for_all
+    (fun q ->
+      same_answers
+        (Query.Evaluation.eval_cq mstore q)
+        (Engine.Executor.execute_query mstore env
+           (List.assoc q.Query.Cq.name result.Core.Selector.rewritings)))
+    workload
+
+let test_add_query () =
+  let previous = fresh_select [ qa; qb ] in
+  let result =
+    Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning ~options
+      ~previous ~removed:[] ~added:[ qc ]
+  in
+  check_int "three rewritings" 3 (List.length result.Core.Selector.rewritings);
+  check_bool "all queries answered" true (answers_ok result [ qa; qb; qc ])
+
+let test_remove_query () =
+  let previous = fresh_select [ qa; qb ] in
+  let result =
+    Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning ~options
+      ~previous ~removed:[ "qb" ] ~added:[]
+  in
+  check_int "one rewriting left" 1 (List.length result.Core.Selector.rewritings);
+  check_bool "qa still answered" true (answers_ok result [ qa ]);
+  (* views only used by qb are gone *)
+  check_bool "no stale views" true
+    (Core.State.invariants_hold result.Core.Selector.report.Core.Search.best)
+
+let test_swap_queries () =
+  let previous = fresh_select [ qa; qb ] in
+  let result =
+    Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning ~options
+      ~previous ~removed:[ "qa" ] ~added:[ qc ]
+  in
+  check_bool "qb and qc answered" true (answers_ok result [ qb; qc ])
+
+let test_unknown_removed_rejected () =
+  let previous = fresh_select [ qa ] in
+  Alcotest.check_raises "unknown name"
+    (Invalid_argument "Dynamic.extend: unknown query nope") (fun () ->
+      ignore
+        (Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning
+           ~options ~previous ~removed:[ "nope" ] ~added:[]))
+
+let test_duplicate_added_rejected () =
+  let previous = fresh_select [ qa ] in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Dynamic.extend: duplicate query name qa") (fun () ->
+      ignore
+        (Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning
+           ~options ~previous ~removed:[] ~added:[ qa ]))
+
+let test_empty_workload_rejected () =
+  let previous = fresh_select [ qa ] in
+  Alcotest.check_raises "empty workload"
+    (Invalid_argument "Dynamic.extend: empty resulting workload") (fun () ->
+      ignore
+        (Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning
+           ~options ~previous ~removed:[ "qa" ] ~added:[]))
+
+let test_warm_start_not_worse_than_previous () =
+  (* the surviving structure is kept: extending with a disjoint query
+     cannot make the surviving queries' situation worse *)
+  let previous = fresh_select [ qa ] in
+  let extended =
+    Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning ~options
+      ~previous ~removed:[] ~added:[ qb ]
+  in
+  let scratch = fresh_select [ qa; qb ] in
+  check_bool "warm best ≤ scratch initial" true
+    (extended.Core.Selector.report.Core.Search.best_cost
+    <= scratch.Core.Selector.report.Core.Search.initial_cost +. 1e-6)
+
+let test_with_reasoning () =
+  let schema =
+    Rdf.Schema.of_statements
+      [ Rdf.Schema.Subproperty (uri "ex:q", uri "ex:r") ]
+  in
+  let reasoning = Core.Selector.Post_reformulation schema in
+  let previous =
+    Core.Selector.select ~store ~reasoning ~options [ qa ]
+  in
+  let result =
+    Core.Dynamic.extend ~store ~reasoning ~options ~previous ~removed:[]
+      ~added:[ qb ]
+  in
+  let saturated = Rdf.Entailment.saturated_copy store schema in
+  let env =
+    Engine.Materialize.materialize_views store result.Core.Selector.recommended
+  in
+  List.iter
+    (fun q ->
+      check_bool
+        (q.Query.Cq.name ^ " complete w.r.t. schema")
+        true
+        (same_answers
+           (Query.Evaluation.eval_cq saturated q)
+           (Engine.Executor.execute_query store env
+              (List.assoc q.Query.Cq.name result.Core.Selector.rewritings))))
+    [ qa; qb ]
+
+let prop_dynamic_answers_preserved =
+  QCheck.Test.make
+    ~name:"dynamic extension answers old and new queries" ~count:30
+    QCheck.(triple arb_store arb_cq arb_cq)
+    (fun (store, q1, q2) ->
+      let q1 = Query.Cq.rename q1 "q1" in
+      let q2 = Query.Cq.rename q2 "q2" in
+      let opts = { options with max_states = Some 300 } in
+      let previous =
+        Core.Selector.select ~store ~reasoning:Core.Selector.No_reasoning
+          ~options:opts [ q1 ]
+      in
+      let result =
+        Core.Dynamic.extend ~store ~reasoning:Core.Selector.No_reasoning
+          ~options:opts ~previous ~removed:[] ~added:[ q2 ]
+      in
+      let env =
+        Engine.Materialize.materialize_views store result.Core.Selector.recommended
+      in
+      List.for_all
+        (fun q ->
+          same_answers
+            (Query.Evaluation.eval_cq store q)
+            (Engine.Executor.execute_query store env
+               (List.assoc q.Query.Cq.name result.Core.Selector.rewritings)))
+        [ q1; q2 ])
+
+let () =
+  Alcotest.run "dynamic"
+    [
+      ( "extend",
+        [
+          Alcotest.test_case "add query" `Quick test_add_query;
+          Alcotest.test_case "remove query" `Quick test_remove_query;
+          Alcotest.test_case "swap queries" `Quick test_swap_queries;
+          Alcotest.test_case "unknown removed rejected" `Quick
+            test_unknown_removed_rejected;
+          Alcotest.test_case "duplicate added rejected" `Quick
+            test_duplicate_added_rejected;
+          Alcotest.test_case "empty workload rejected" `Quick
+            test_empty_workload_rejected;
+          Alcotest.test_case "warm start not worse" `Quick
+            test_warm_start_not_worse_than_previous;
+          Alcotest.test_case "with reasoning" `Quick test_with_reasoning;
+          to_alcotest prop_dynamic_answers_preserved;
+        ] );
+    ]

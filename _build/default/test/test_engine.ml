@@ -1,0 +1,276 @@
+open Support
+
+let museum =
+  [
+    triple (uri "ex:vanGogh") (uri "ex:hasPainted") (uri "ex:starryNight");
+    triple (uri "ex:vanGogh") (uri "ex:isParentOf") (uri "ex:vincentJr");
+    triple (uri "ex:vincentJr") (uri "ex:hasPainted") (uri "ex:sunflowers2");
+    triple (uri "ex:monet") (uri "ex:hasPainted") (uri "ex:waterLilies");
+  ]
+
+let museum_store = store_of museum
+
+(* ---------- relations ----------------------------------------------------- *)
+
+let test_relation_dedup () =
+  let rel =
+    Engine.Relation.make ~name:"r" ~cols:[ "a"; "b" ]
+      [ [| 1; 2 |]; [| 1; 2 |]; [| 3; 4 |] ]
+  in
+  check_int "deduplicated" 2 (Engine.Relation.cardinality rel);
+  check_bool "mem" true (Engine.Relation.mem rel [| 1; 2 |]);
+  check_bool "not mem" false (Engine.Relation.mem rel [| 9; 9 |])
+
+let test_relation_add_remove () =
+  let rel = Engine.Relation.make ~name:"r" ~cols:[ "a" ] [ [| 1 |] ] in
+  check_bool "add new" true (Engine.Relation.add_row rel [| 2 |]);
+  check_bool "add dup" false (Engine.Relation.add_row rel [| 2 |]);
+  check_int "two rows" 2 (Engine.Relation.cardinality rel);
+  check_bool "remove" true (Engine.Relation.remove_row rel [| 1 |]);
+  check_bool "remove absent" false (Engine.Relation.remove_row rel [| 1 |]);
+  check_int "one row" 1 (Engine.Relation.cardinality rel)
+
+let test_relation_projection_indices () =
+  let rel = Engine.Relation.make ~name:"r" ~cols:[ "a"; "b"; "c" ] [] in
+  check_bool "indices" true (Engine.Relation.project_indices rel [ "c"; "a" ] = [ 2; 0 ])
+
+(* ---------- materialization ----------------------------------------------- *)
+
+let test_materialize_single_atom () =
+  let view =
+    cq ~name:"v" [ v "X"; v "Y" ] [ atom (v "X") (c "ex:hasPainted") (v "Y") ]
+  in
+  let rel = Engine.Materialize.materialize_cq museum_store view in
+  check_int "three painters" 3 (Engine.Relation.cardinality rel);
+  check_bool "cols" true (rel.Engine.Relation.cols = [ "X"; "Y" ])
+
+let test_materialize_join_view () =
+  let view =
+    cq ~name:"v" [ v "X"; v "Z" ]
+      [
+        atom (v "X") (c "ex:isParentOf") (v "Y");
+        atom (v "Y") (c "ex:hasPainted") (v "Z");
+      ]
+  in
+  let rel = Engine.Materialize.materialize_cq museum_store view in
+  check_int "one tuple" 1 (Engine.Relation.cardinality rel)
+
+let test_materialize_ucq () =
+  let a = cq ~name:"u" [ v "X" ] [ atom (v "X") (c "ex:hasPainted") (v "Y") ] in
+  let b = cq ~name:"u2" [ v "X" ] [ atom (v "X") (c "ex:isParentOf") (v "Y") ] in
+  let u = Query.Ucq.make ~name:"u" [ a; b ] in
+  let rel = Engine.Materialize.materialize_ucq museum_store u in
+  (* vanGogh, vincentJr, monet *)
+  check_int "union dedup" 3 (Engine.Relation.cardinality rel)
+
+let test_size_bytes_positive () =
+  let view = cq ~name:"v" [ v "X" ] [ atom (v "X") (c "ex:hasPainted") (v "Y") ] in
+  let rel = Engine.Materialize.materialize_cq museum_store view in
+  check_bool "positive size" true
+    (Engine.Relation.size_bytes museum_store rel > 0)
+
+(* ---------- executor ------------------------------------------------------- *)
+
+let env_of_rels rels =
+  let env = Hashtbl.create 8 in
+  List.iter (fun (r : Engine.Relation.t) -> Hashtbl.replace env r.name r) rels;
+  env
+
+let test_executor_select () =
+  let code t = Rdf.Store.encode_term museum_store t in
+  let rel =
+    Engine.Relation.make ~name:"v" ~cols:[ "X"; "Y" ]
+      [
+        [| code (uri "ex:vanGogh"); code (uri "ex:starryNight") |];
+        [| code (uri "ex:monet"); code (uri "ex:waterLilies") |];
+      ]
+  in
+  let env = env_of_rels [ rel ] in
+  let result =
+    Engine.Executor.execute museum_store env
+      (Core.Rewriting.Select
+         ([ Core.Rewriting.Eq_cst ("Y", uri "ex:starryNight") ], Core.Rewriting.Scan "v"))
+  in
+  check_int "one row" 1 (Engine.Relation.cardinality result)
+
+let test_executor_select_unknown_constant () =
+  let rel = Engine.Relation.make ~name:"v" ~cols:[ "X" ] [ [| 0 |] ] in
+  let env = env_of_rels [ rel ] in
+  let result =
+    Engine.Executor.execute museum_store env
+      (Core.Rewriting.Select
+         ([ Core.Rewriting.Eq_cst ("X", uri "ex:notInDictionary") ],
+          Core.Rewriting.Scan "v"))
+  in
+  check_int "empty" 0 (Engine.Relation.cardinality result)
+
+let test_executor_join_natural () =
+  let r1 =
+    Engine.Relation.make ~name:"r1" ~cols:[ "X"; "Y" ]
+      [ [| 1; 2 |]; [| 3; 4 |] ]
+  in
+  let r2 =
+    Engine.Relation.make ~name:"r2" ~cols:[ "Y"; "Z" ]
+      [ [| 2; 10 |]; [| 2; 11 |]; [| 5; 12 |] ]
+  in
+  let env = env_of_rels [ r1; r2 ] in
+  let result =
+    Engine.Executor.execute museum_store env
+      (Core.Rewriting.Join ([], Core.Rewriting.Scan "r1", Core.Rewriting.Scan "r2"))
+  in
+  check_int "two joined rows" 2 (Engine.Relation.cardinality result);
+  check_bool "columns" true (result.Engine.Relation.cols = [ "X"; "Y"; "Z" ])
+
+let test_executor_project_dedups () =
+  let r =
+    Engine.Relation.make ~name:"r" ~cols:[ "X"; "Y" ]
+      [ [| 1; 2 |]; [| 1; 3 |] ]
+  in
+  let env = env_of_rels [ r ] in
+  let result =
+    Engine.Executor.execute museum_store env
+      (Core.Rewriting.Project ([ "X" ], Core.Rewriting.Scan "r"))
+  in
+  check_int "set semantics" 1 (Engine.Relation.cardinality result)
+
+let test_executor_rename_and_union () =
+  let r1 = Engine.Relation.make ~name:"r1" ~cols:[ "A" ] [ [| 1 |]; [| 2 |] ] in
+  let r2 = Engine.Relation.make ~name:"r2" ~cols:[ "B" ] [ [| 2 |]; [| 3 |] ] in
+  let env = env_of_rels [ r1; r2 ] in
+  let result =
+    Engine.Executor.execute museum_store env
+      (Core.Rewriting.Union
+         [
+           Core.Rewriting.Scan "r1";
+           Core.Rewriting.Rename ([ ("B", "A") ], Core.Rewriting.Scan "r2");
+         ])
+  in
+  check_int "union dedup" 3 (Engine.Relation.cardinality result)
+
+let test_executor_unknown_view () =
+  let env = env_of_rels [] in
+  Alcotest.check_raises "unknown view" (Failure "Executor: unknown view nope")
+    (fun () ->
+      ignore (Engine.Executor.execute museum_store env (Core.Rewriting.Scan "nope")))
+
+(* ---------- maintenance ---------------------------------------------------- *)
+
+let parent_painting_view =
+  cq ~name:"v" [ v "X"; v "Z" ]
+    [
+      atom (v "X") (c "ex:isParentOf") (v "Y");
+      atom (v "Y") (c "ex:hasPainted") (v "Z");
+    ]
+
+let setup_maintenance () =
+  let store = store_of museum in
+  let rel = Engine.Materialize.materialize_cq store parent_painting_view in
+  (store, [ (parent_painting_view, rel) ])
+
+let test_insert_propagates () =
+  let store, views = setup_maintenance () in
+  let added =
+    Engine.Maintenance.insert_triple store views
+      (triple (uri "ex:monet") (uri "ex:isParentOf") (uri "ex:vincentJr"))
+  in
+  (* vincentJr painted sunflowers2, so monet gains a tuple *)
+  check_int "one tuple added" 1 added;
+  let _, rel = List.hd views in
+  check_int "relation grew" 2 (Engine.Relation.cardinality rel)
+
+let test_insert_duplicate_noop () =
+  let store, views = setup_maintenance () in
+  let added = Engine.Maintenance.insert_triple store views (List.hd museum) in
+  check_int "nothing" 0 added
+
+let test_delete_propagates () =
+  let store, views = setup_maintenance () in
+  let removed =
+    Engine.Maintenance.delete_triple store views
+      (triple (uri "ex:vincentJr") (uri "ex:hasPainted") (uri "ex:sunflowers2"))
+  in
+  check_int "one tuple removed" 1 removed;
+  let _, rel = List.hd views in
+  check_int "relation empty" 0 (Engine.Relation.cardinality rel)
+
+let test_delete_keeps_alternative_derivations () =
+  let store = store_of museum in
+  ignore
+    (Rdf.Store.add store
+       (triple (uri "ex:vincentJr") (uri "ex:hasPainted") (uri "ex:sunflowers2")));
+  (* second derivation path for the same tuple via another child *)
+  ignore
+    (Rdf.Store.add store
+       (triple (uri "ex:vanGogh") (uri "ex:isParentOf") (uri "ex:paulJr")));
+  ignore
+    (Rdf.Store.add store
+       (triple (uri "ex:paulJr") (uri "ex:hasPainted") (uri "ex:sunflowers2")));
+  let rel = Engine.Materialize.materialize_cq store parent_painting_view in
+  let views = [ (parent_painting_view, rel) ] in
+  check_int "one tuple, two derivations" 1 (Engine.Relation.cardinality rel);
+  let removed =
+    Engine.Maintenance.delete_triple store views
+      (triple (uri "ex:paulJr") (uri "ex:hasPainted") (uri "ex:sunflowers2"))
+  in
+  check_int "still derivable: no removal" 0 removed;
+  check_int "tuple survives" 1 (Engine.Relation.cardinality rel)
+
+let prop_maintenance_matches_recompute =
+  QCheck.Test.make
+    ~name:"incremental maintenance = recompute from scratch" ~count:80
+    QCheck.(triple arb_store arb_cq (list_of_size (Gen.return 6) (make gen_data_triple)))
+    (fun (store, view, updates) ->
+      let rel = Engine.Materialize.materialize_cq store view in
+      let views = [ (view, rel) ] in
+      List.iteri
+        (fun i tr ->
+          if i mod 2 = 0 then ignore (Engine.Maintenance.insert_triple store views tr)
+          else ignore (Engine.Maintenance.delete_triple store views tr))
+        updates;
+      let recomputed = Engine.Materialize.materialize_cq store view in
+      let sort rel =
+        List.sort compare
+          (List.map Array.to_list
+             (Engine.Relation.to_term_rows store rel))
+      in
+      sort rel = sort recomputed)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "dedup" `Quick test_relation_dedup;
+          Alcotest.test_case "add/remove" `Quick test_relation_add_remove;
+          Alcotest.test_case "projection indices" `Quick
+            test_relation_projection_indices;
+        ] );
+      ( "materialize",
+        [
+          Alcotest.test_case "single atom" `Quick test_materialize_single_atom;
+          Alcotest.test_case "join view" `Quick test_materialize_join_view;
+          Alcotest.test_case "ucq view" `Quick test_materialize_ucq;
+          Alcotest.test_case "size in bytes" `Quick test_size_bytes_positive;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "selection" `Quick test_executor_select;
+          Alcotest.test_case "selection on unknown constant" `Quick
+            test_executor_select_unknown_constant;
+          Alcotest.test_case "natural join" `Quick test_executor_join_natural;
+          Alcotest.test_case "projection dedups" `Quick
+            test_executor_project_dedups;
+          Alcotest.test_case "rename and union" `Quick
+            test_executor_rename_and_union;
+          Alcotest.test_case "unknown view" `Quick test_executor_unknown_view;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "insert propagates" `Quick test_insert_propagates;
+          Alcotest.test_case "duplicate insert" `Quick test_insert_duplicate_noop;
+          Alcotest.test_case "delete propagates" `Quick test_delete_propagates;
+          Alcotest.test_case "alternative derivations survive" `Quick
+            test_delete_keeps_alternative_derivations;
+          to_alcotest prop_maintenance_matches_recompute;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+open Support
+
+let painting = uri "ex:painting"
+let masterpiece = uri "ex:masterpiece"
+let work = uri "ex:work"
+let has_painted = uri "ex:hasPainted"
+let has_created = uri "ex:hasCreated"
+
+let schema =
+  Rdf.Schema.of_statements
+    [
+      Rdf.Schema.Subclass (painting, masterpiece);
+      Rdf.Schema.Subclass (masterpiece, work);
+      Rdf.Schema.Subproperty (has_painted, has_created);
+      Rdf.Schema.Range (has_painted, painting);
+    ]
+
+let base_triple = triple (uri "u") has_painted (uri "starry")
+
+let setup () =
+  Rdf.Incremental.create schema (store_of [ base_triple ])
+
+let explicit_triples t =
+  List.filter
+    (fun tr -> Rdf.Incremental.is_explicit t tr)
+    (Rdf.Store.to_triples (Rdf.Incremental.store t))
+
+let consistent_with_scratch t =
+  let from_scratch =
+    Rdf.Entailment.saturated_copy
+      (Rdf.Store.of_triples (explicit_triples t))
+      (Rdf.Incremental.schema t)
+  in
+  let current =
+    List.sort compare
+      (List.map Rdf.Triple.to_string (Rdf.Store.to_triples (Rdf.Incremental.store t)))
+  in
+  let expected =
+    List.sort compare
+      (List.map Rdf.Triple.to_string (Rdf.Store.to_triples from_scratch))
+  in
+  current = expected
+
+let test_create_saturates () =
+  let t = setup () in
+  check_int "one explicit" 1 (Rdf.Incremental.explicit_count t);
+  (* hasCreated + type painting/masterpiece/work *)
+  check_int "four implicit" 4 (Rdf.Incremental.implicit_count t);
+  check_bool "consistent" true (consistent_with_scratch t)
+
+let test_insert_propagates () =
+  let t = setup () in
+  let added =
+    Rdf.Incremental.insert t (triple (uri "v") has_painted (uri "mona"))
+  in
+  (* the triple + hasCreated + 3 type triples for mona *)
+  check_int "five additions" 5 added;
+  check_bool "consistent" true (consistent_with_scratch t)
+
+let test_insert_existing_implicit () =
+  let t = setup () in
+  (* (starry type painting) is implicit; making it explicit adds nothing *)
+  let added = Rdf.Incremental.insert t (triple (uri "starry") rdf_type painting) in
+  check_int "no new triples" 0 added;
+  check_bool "now explicit" true
+    (Rdf.Incremental.is_explicit t (triple (uri "starry") rdf_type painting));
+  check_bool "consistent" true (consistent_with_scratch t)
+
+let test_delete_retracts_unsupported () =
+  let t = setup () in
+  let removed = Rdf.Incremental.delete t base_triple in
+  (* everything came from this triple *)
+  check_int "all five go" 5 removed;
+  check_int "store empty" 0 (Rdf.Store.size (Rdf.Incremental.store t));
+  check_bool "consistent" true (consistent_with_scratch t)
+
+let test_delete_keeps_supported () =
+  let t = setup () in
+  (* a second painter of the same work keeps starry's typings alive *)
+  ignore (Rdf.Incremental.insert t (triple (uri "w") has_painted (uri "starry")));
+  let removed = Rdf.Incremental.delete t base_triple in
+  (* only (u hasPainted starry), (u hasCreated starry) disappear *)
+  check_int "two removed" 2 removed;
+  check_bool "typing survives" true
+    (Rdf.Store.mem (Rdf.Incremental.store t) (triple (uri "starry") rdf_type painting));
+  check_bool "consistent" true (consistent_with_scratch t)
+
+let test_delete_explicit_also_derivable () =
+  let t = setup () in
+  (* assert the implicit hasCreated explicitly, then delete it: it must
+     survive as implicit *)
+  let created = triple (uri "u") has_created (uri "starry") in
+  ignore (Rdf.Incremental.insert t created);
+  let removed = Rdf.Incremental.delete t created in
+  check_int "nothing leaves the store" 0 removed;
+  check_bool "still present (implicit)" true
+    (Rdf.Store.mem (Rdf.Incremental.store t) created);
+  check_bool "no longer explicit" false (Rdf.Incremental.is_explicit t created);
+  check_bool "consistent" true (consistent_with_scratch t)
+
+let test_delete_nonexplicit_noop () =
+  let t = setup () in
+  let implied = triple (uri "starry") rdf_type work in
+  check_int "no-op" 0 (Rdf.Incremental.delete t implied);
+  check_bool "still there" true (Rdf.Store.mem (Rdf.Incremental.store t) implied)
+
+let test_cyclic_schema () =
+  let cyclic =
+    Rdf.Schema.of_statements
+      [
+        Rdf.Schema.Subclass (uri "A", uri "B");
+        Rdf.Schema.Subclass (uri "B", uri "A");
+      ]
+  in
+  let t =
+    Rdf.Incremental.create cyclic (store_of [ triple (uri "x") rdf_type (uri "A") ])
+  in
+  check_int "A and B" 2 (Rdf.Store.size (Rdf.Incremental.store t));
+  let removed = Rdf.Incremental.delete t (triple (uri "x") rdf_type (uri "A")) in
+  (* the self-supporting cycle must not keep itself alive *)
+  check_int "both retract" 2 removed;
+  check_int "empty" 0 (Rdf.Store.size (Rdf.Incremental.store t))
+
+let prop_matches_scratch_saturation =
+  QCheck.Test.make
+    ~name:"incremental saturation = from-scratch saturation of the explicit set"
+    ~count:100
+    QCheck.(
+      triple arb_store arb_schema
+        (list_of_size (Gen.return 10) (pair bool (make gen_data_triple))))
+    (fun (store, schema, updates) ->
+      let t = Rdf.Incremental.create schema store in
+      List.for_all
+        (fun (is_insert, tr) ->
+          if is_insert then ignore (Rdf.Incremental.insert t tr)
+          else ignore (Rdf.Incremental.delete t tr);
+          consistent_with_scratch t)
+        updates)
+
+let prop_counts_consistent =
+  QCheck.Test.make ~name:"explicit + implicit = store size" ~count:50
+    QCheck.(pair arb_store arb_schema)
+    (fun (store, schema) ->
+      let t = Rdf.Incremental.create schema store in
+      Rdf.Incremental.explicit_count t + Rdf.Incremental.implicit_count t
+      = Rdf.Store.size (Rdf.Incremental.store t))
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "create saturates" `Quick test_create_saturates;
+          Alcotest.test_case "insert propagates" `Quick test_insert_propagates;
+          Alcotest.test_case "insert existing implicit" `Quick
+            test_insert_existing_implicit;
+        ] );
+      ( "delete",
+        [
+          Alcotest.test_case "retracts unsupported" `Quick
+            test_delete_retracts_unsupported;
+          Alcotest.test_case "keeps supported" `Quick test_delete_keeps_supported;
+          Alcotest.test_case "explicit + derivable survives" `Quick
+            test_delete_explicit_also_derivable;
+          Alcotest.test_case "non-explicit no-op" `Quick
+            test_delete_nonexplicit_noop;
+          Alcotest.test_case "self-supporting cycles retract" `Quick
+            test_cyclic_schema;
+        ] );
+      ( "properties",
+        [
+          to_alcotest prop_matches_scratch_saturation;
+          to_alcotest prop_counts_consistent;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+open Support
+
+(* End-to-end: run the selector in every reasoning scenario, materialize
+   the recommended views, execute the rewritings and compare against
+   direct evaluation on the (saturated) database.  This is the paper's
+   central promise: all workload queries are answered from the views
+   alone, reflecting implicit triples (§1 contribution 1 + 2). *)
+
+let schema =
+  Rdf.Schema.of_statements
+    [
+      Rdf.Schema.Subclass (uri "ex:painting", uri "ex:picture");
+      Rdf.Schema.Subproperty (uri "ex:isExpIn", uri "ex:isLocatIn");
+      Rdf.Schema.Range (uri "ex:hasPainted", uri "ex:painting");
+    ]
+
+let data_store () =
+  store_of
+    [
+      triple (uri "ex:mona") rdf_type (uri "ex:painting");
+      triple (uri "ex:guernica") rdf_type (uri "ex:picture");
+      triple (uri "ex:mona") (uri "ex:isExpIn") (uri "ex:louvre");
+      triple (uri "ex:guernica") (uri "ex:isLocatIn") (uri "ex:reina");
+      triple (uri "ex:daVinci") (uri "ex:hasPainted") (uri "ex:mona");
+      triple (uri "ex:picasso") (uri "ex:hasPainted") (uri "ex:guernica");
+      triple (uri "ex:sunflower") rdf_type (uri "ex:painting");
+      triple (uri "ex:sunflower") (uri "ex:isExpIn") (uri "ex:orsay");
+    ]
+
+(* §3.3's example query: pictures and where they are located *)
+let q_pictures =
+  cq ~name:"qpic"
+    [ v "X1"; v "X2" ]
+    [
+      atom (v "X1") (Query.Qterm.Cst rdf_type) (c "ex:picture");
+      atom (v "X1") (c "ex:isLocatIn") (v "X2");
+    ]
+
+let q_painters =
+  cq ~name:"qptr"
+    [ v "P"; v "W" ]
+    [ atom (v "P") (c "ex:hasPainted") (v "W") ]
+
+let workload = [ q_pictures; q_painters ]
+
+let options =
+  { Core.Search.default_options with time_budget = Some 2.0 }
+
+let expected_answers () =
+  (* ground truth: evaluation on the saturated database *)
+  let saturated = Rdf.Entailment.saturated_copy (data_store ()) schema in
+  List.map (fun q -> (q.Query.Cq.name, Query.Evaluation.eval_cq saturated q)) workload
+
+let run_scenario reasoning =
+  let store = data_store () in
+  Core.Selector.select ~store ~reasoning ~options workload
+
+let check_scenario_complete reasoning =
+  let result = run_scenario reasoning in
+  let env =
+    Engine.Materialize.materialize_views
+      result.Core.Selector.store_for_materialization result.Core.Selector.recommended
+  in
+  List.iter
+    (fun (qname, expected) ->
+      let via =
+        Engine.Executor.execute_query result.Core.Selector.store_for_materialization
+          env
+          (List.assoc qname result.Core.Selector.rewritings)
+      in
+      if not (same_answers expected via) then
+        Alcotest.failf "%s: incomplete answers under %s" qname
+          (Core.Selector.reasoning_name reasoning))
+    (expected_answers ())
+
+let test_saturation_complete () = check_scenario_complete (Core.Selector.Saturation schema)
+
+let test_post_reformulation_complete () =
+  check_scenario_complete (Core.Selector.Post_reformulation schema)
+
+let test_pre_reformulation_complete () =
+  check_scenario_complete (Core.Selector.Pre_reformulation schema)
+
+let test_no_reasoning_misses_implicit () =
+  (* sanity: without reasoning, implicit answers are (correctly) absent *)
+  let result = run_scenario Core.Selector.No_reasoning in
+  let store = result.Core.Selector.store_for_materialization in
+  let env = Engine.Materialize.materialize_views store result.Core.Selector.recommended in
+  let via =
+    Engine.Executor.execute_query store env
+      (List.assoc "qpic" result.Core.Selector.rewritings)
+  in
+  let direct = Query.Evaluation.eval_cq store q_pictures in
+  check_bool "matches plain evaluation" true (same_answers via direct);
+  let _, expected = List.hd (expected_answers ()) in
+  check_bool "fewer answers than with reasoning" true
+    (List.length via < List.length expected)
+
+let test_saturation_and_post_agree () =
+  (* §6.5: "The views recommended in a saturation and a
+     post-reformulation context are the same." *)
+  let sat = run_scenario (Core.Selector.Saturation schema) in
+  let post = run_scenario (Core.Selector.Post_reformulation schema) in
+  let key r =
+    Core.State.key r.Core.Selector.report.Core.Search.best
+  in
+  check_string "same best view set" (key sat) (key post);
+  check_bool "same best cost" true
+    (abs_float
+       (sat.Core.Selector.report.Core.Search.best_cost
+       -. post.Core.Selector.report.Core.Search.best_cost)
+    < 1e-6)
+
+let test_post_reformulation_views_are_ucqs () =
+  let post = run_scenario (Core.Selector.Post_reformulation schema) in
+  (* at least one recommended view must have picked up implicit variants *)
+  check_bool "some view reformulated" true
+    (List.exists
+       (fun u -> Query.Ucq.cardinal u > 1)
+       post.Core.Selector.recommended)
+
+let test_pre_reformulation_initial_state_is_union () =
+  let store = data_store () in
+  let groups =
+    List.map
+      (fun q ->
+        (q.Query.Cq.name, Query.Ucq.disjuncts (Query.Reformulation.reformulate q schema)))
+      workload
+  in
+  let state = Core.State.initial_union groups in
+  check_bool "invariants" true (Core.State.invariants_hold state);
+  check_bool "more views than queries" true
+    (List.length state.Core.State.views > List.length workload);
+  ignore store
+
+(* ---------- offline client scenario --------------------------------------- *)
+
+let test_views_answer_without_database () =
+  (* the three-tier motivation of §1: after materialization, the original
+     store is not consulted — we delete it and still answer *)
+  let result = run_scenario (Core.Selector.Saturation schema) in
+  let store = result.Core.Selector.store_for_materialization in
+  let env = Engine.Materialize.materialize_views store result.Core.Selector.recommended in
+  let expected = expected_answers () in
+  (* simulate losing the database: empty every triple *)
+  List.iter (fun tr -> ignore (Rdf.Store.remove store tr)) (Rdf.Store.to_triples store);
+  check_int "database gone" 0 (Rdf.Store.size store);
+  List.iter
+    (fun (qname, expected) ->
+      let via =
+        Engine.Executor.execute_query store env
+          (List.assoc qname result.Core.Selector.rewritings)
+      in
+      check_bool (qname ^ " still answered") true (same_answers expected via))
+    expected
+
+(* ---------- barton-scale end-to-end ---------------------------------------- *)
+
+let test_barton_end_to_end () =
+  let store = Workload.Barton.store ~n_entities:150 ~seed:5 () in
+  let schema = Workload.Barton.schema () in
+  let queries =
+    Workload.Generator.generate_satisfiable store
+      {
+        Workload.Generator.default_spec with
+        n_queries = 3;
+        atoms_per_query = 3;
+        seed = 31;
+      }
+  in
+  let saturated = Rdf.Entailment.saturated_copy store schema in
+  let result =
+    Core.Selector.select ~store
+      ~reasoning:(Core.Selector.Post_reformulation schema)
+      ~options:{ options with time_budget = Some 3.0 }
+      queries
+  in
+  let env = Engine.Materialize.materialize_views store result.Core.Selector.recommended in
+  List.iter
+    (fun q ->
+      let expected = Query.Evaluation.eval_cq saturated q in
+      let via =
+        Engine.Executor.execute_query store env
+          (List.assoc q.Query.Cq.name result.Core.Selector.rewritings)
+      in
+      check_bool (q.Query.Cq.name ^ " complete") true (same_answers expected via))
+    queries
+
+(* ---------- randomized cross-scenario agreement ---------------------------- *)
+
+let prop_scenarios_agree =
+  QCheck.Test.make
+    ~name:"all reasoning scenarios produce complete answers" ~count:25
+    QCheck.(triple arb_store arb_schema (pair arb_cq arb_cq))
+    (fun (store, schema, (qa, qb)) ->
+      let workload = [ Query.Cq.rename qa "qa"; Query.Cq.rename qb "qb" ] in
+      let saturated = Rdf.Entailment.saturated_copy store schema in
+      let expected =
+        List.map
+          (fun q -> (q.Query.Cq.name, Query.Evaluation.eval_cq saturated q))
+          workload
+      in
+      let opts =
+        { Core.Search.default_options with
+          time_budget = Some 0.3;
+          max_states = Some 500 }
+      in
+      List.for_all
+        (fun reasoning ->
+          let result =
+            Core.Selector.select ~store:(Rdf.Store.copy store) ~reasoning
+              ~options:opts workload
+          in
+          let mstore = result.Core.Selector.store_for_materialization in
+          let env =
+            Engine.Materialize.materialize_views mstore
+              result.Core.Selector.recommended
+          in
+          List.for_all
+            (fun (qname, expected) ->
+              let via =
+                Engine.Executor.execute_query mstore env
+                  (List.assoc qname result.Core.Selector.rewritings)
+              in
+              same_answers expected via)
+            expected)
+        [
+          Core.Selector.Saturation schema;
+          Core.Selector.Post_reformulation schema;
+          Core.Selector.Pre_reformulation schema;
+        ])
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "saturation answers completely" `Quick
+            test_saturation_complete;
+          Alcotest.test_case "post-reformulation answers completely" `Quick
+            test_post_reformulation_complete;
+          Alcotest.test_case "pre-reformulation answers completely" `Quick
+            test_pre_reformulation_complete;
+          Alcotest.test_case "no-reasoning misses implicit" `Quick
+            test_no_reasoning_misses_implicit;
+          Alcotest.test_case "saturation ≡ post-reformulation views" `Quick
+            test_saturation_and_post_agree;
+          Alcotest.test_case "post views are UCQs" `Quick
+            test_post_reformulation_views_are_ucqs;
+          Alcotest.test_case "pre-reformulation initial union" `Quick
+            test_pre_reformulation_initial_state_is_union;
+        ] );
+      ( "offline",
+        [
+          Alcotest.test_case "views answer without the database" `Quick
+            test_views_answer_without_database;
+        ] );
+      ( "barton",
+        [ Alcotest.test_case "end to end" `Slow test_barton_end_to_end ] );
+      ("random", [ to_alcotest prop_scenarios_agree ]);
+    ]

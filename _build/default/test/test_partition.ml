@@ -1,0 +1,121 @@
+open Support
+
+let qa = cq ~name:"qa" [ v "X" ] [ atom (v "X") (c "ex:p1") (c "ex:k1") ]
+
+let qb =
+  cq ~name:"qb" [ v "Y" ]
+    [ atom (v "Y") (c "ex:p2") (v "Z"); atom (v "Z") (c "ex:p3") (c "ex:k2") ]
+
+let qc =
+  (* shares ex:p1 with qa *)
+  cq ~name:"qc" [ v "A" ] [ atom (v "A") (c "ex:p1") (v "B") ]
+
+let test_groups_disjoint () =
+  let groups = Core.Partition.groups [ qa; qb ] in
+  check_int "two groups" 2 (List.length groups)
+
+let test_groups_transitive () =
+  (* qa-qc share p1, so qb is alone *)
+  let groups = Core.Partition.groups [ qa; qb; qc ] in
+  check_int "two groups" 2 (List.length groups);
+  let sizes = List.sort compare (List.map List.length groups) in
+  check_bool "sizes 1 and 2" true (sizes = [ 1; 2 ])
+
+let test_groups_preserve_queries () =
+  let groups = Core.Partition.groups [ qa; qb; qc ] in
+  let names =
+    List.sort compare
+      (List.concat_map (List.map (fun q -> q.Query.Cq.name)) groups)
+  in
+  check_bool "all queries present" true (names = [ "qa"; "qb"; "qc" ])
+
+let sample_store =
+  store_of
+    [
+      triple (uri "s1") (uri "ex:p1") (uri "ex:k1");
+      triple (uri "s2") (uri "ex:p1") (uri "o1");
+      triple (uri "s3") (uri "ex:p2") (uri "s4");
+      triple (uri "s4") (uri "ex:p3") (uri "ex:k2");
+    ]
+
+let options = { Core.Search.default_options with time_budget = Some 0.5 }
+
+let test_partitioned_select_answers () =
+  let result =
+    Core.Partition.select ~store:sample_store
+      ~reasoning:Core.Selector.No_reasoning ~options [ qa; qb; qc ]
+  in
+  let env =
+    Engine.Materialize.materialize_views sample_store
+      result.Core.Selector.recommended
+  in
+  List.iter
+    (fun q ->
+      let direct = Query.Evaluation.eval_cq sample_store q in
+      let via =
+        Engine.Executor.execute_query sample_store env
+          (List.assoc q.Query.Cq.name result.Core.Selector.rewritings)
+      in
+      check_bool (q.Query.Cq.name ^ " answered") true (same_answers direct via))
+    [ qa; qb; qc ]
+
+let test_partitioned_matches_monolithic_on_disjoint () =
+  (* on constant-disjoint queries, partitioned search reaches the same
+     total best cost as the monolithic search (no cross-group fusion
+     exists to be lost) *)
+  let workload = [ qa; qb ] in
+  let full_options = { options with time_budget = None } in
+  let mono =
+    Core.Selector.select ~store:sample_store
+      ~reasoning:Core.Selector.No_reasoning ~options:full_options workload
+  in
+  let part =
+    Core.Partition.select ~store:sample_store
+      ~reasoning:Core.Selector.No_reasoning ~options:full_options workload
+  in
+  check_bool "same best cost" true
+    (Float.abs
+       (mono.Core.Selector.report.Core.Search.best_cost
+       -. part.Core.Selector.report.Core.Search.best_cost)
+    < 1e-6)
+
+let prop_partition_preserves_answers =
+  QCheck.Test.make ~name:"partitioned selection answers every query" ~count:25
+    QCheck.(triple arb_store arb_cq arb_cq)
+    (fun (store, q1, q2) ->
+      let workload = [ Query.Cq.rename q1 "q1"; Query.Cq.rename q2 "q2" ] in
+      let result =
+        Core.Partition.select ~store ~reasoning:Core.Selector.No_reasoning
+          ~options:{ options with max_states = Some 300 }
+          workload
+      in
+      let env =
+        Engine.Materialize.materialize_views store result.Core.Selector.recommended
+      in
+      List.for_all
+        (fun q ->
+          same_answers
+            (Query.Evaluation.eval_cq store q)
+            (Engine.Executor.execute_query store env
+               (List.assoc q.Query.Cq.name result.Core.Selector.rewritings)))
+        workload)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "groups",
+        [
+          Alcotest.test_case "disjoint split" `Quick test_groups_disjoint;
+          Alcotest.test_case "transitive sharing" `Quick test_groups_transitive;
+          Alcotest.test_case "queries preserved" `Quick
+            test_groups_preserve_queries;
+        ] );
+      ( "select",
+        [
+          Alcotest.test_case "answers preserved" `Quick
+            test_partitioned_select_answers;
+          Alcotest.test_case "matches monolithic on disjoint workloads" `Quick
+            test_partitioned_matches_monolithic_on_disjoint;
+          to_alcotest prop_partition_preserves_answers;
+        ] );
+    ]

@@ -1,0 +1,401 @@
+open Support
+
+(* The Figure 3 workload: q(Y,Z) :- t(X,Y,c1), t(X,Z,c2). *)
+let fig3_query =
+  cq ~name:"q"
+    [ v "Y"; v "Z" ]
+    [ atom (v "X") (v "Y") (c "ex:c1"); atom (v "X") (v "Z") (c "ex:c2") ]
+
+let fig3_store =
+  store_of
+    [
+      triple (uri "s1") (uri "p1") (uri "ex:c1");
+      triple (uri "s1") (uri "p2") (uri "ex:c2");
+      triple (uri "s2") (uri "p1") (uri "ex:c1");
+      triple (uri "s2") (uri "p1") (uri "ex:c2");
+      triple (uri "s3") (uri "p3") (uri "other");
+    ]
+
+let stats_for store = Stats.Statistics.create store
+
+let options_exhaustive strategy =
+  {
+    Core.Search.default_options with
+    strategy;
+    avf = false;
+    stop_tt = false;
+    stop_var = false;
+  }
+
+(* ---------- Figure 3: the full space has exactly 9 states ---------------- *)
+
+let test_fig3_space_size () =
+  let report =
+    Core.Search.run (stats_for fig3_store)
+      (options_exhaustive Core.Search.Exnaive)
+      [ fig3_query ]
+  in
+  (* S0 is not "created" by a transition; S1..S8 are *)
+  check_bool "completed" true report.Core.Search.completed;
+  check_int "eight states reached from S0" 8
+    (report.Core.Search.created - report.Core.Search.duplicates);
+  check_int "all nine explored" 9 report.Core.Search.explored
+
+let test_fig3_same_space_all_strategies () =
+  let run strategy =
+    Core.Search.run (stats_for fig3_store) (options_exhaustive strategy)
+      [ fig3_query ]
+  in
+  let exnaive = run Core.Search.Exnaive in
+  let exstr = run Core.Search.Exstr in
+  let dfs = run Core.Search.Dfs in
+  check_bool "exstr finds the same best cost" true
+    (abs_float (exstr.Core.Search.best_cost -. exnaive.Core.Search.best_cost)
+    < 1e-6);
+  check_bool "dfs finds the same best cost" true
+    (abs_float (dfs.Core.Search.best_cost -. exnaive.Core.Search.best_cost)
+    < 1e-6);
+  (* stratified strategies reach every state too (Theorem 5.2/5.3) *)
+  check_int "exstr explores all states" exnaive.Core.Search.explored
+    exstr.Core.Search.explored;
+  check_int "dfs explores all states" exnaive.Core.Search.explored
+    dfs.Core.Search.explored
+
+let test_fig3_stratified_no_more_transitions () =
+  (* Theorem 5.3 (ii): EXSTR applies at most as many transitions *)
+  let exnaive =
+    Core.Search.run (stats_for fig3_store)
+      (options_exhaustive Core.Search.Exnaive)
+      [ fig3_query ]
+  in
+  let exstr =
+    Core.Search.run (stats_for fig3_store)
+      (options_exhaustive Core.Search.Exstr)
+      [ fig3_query ]
+  in
+  check_bool "created(EXSTR) ≤ created(EXNAIVE)" true
+    (exstr.Core.Search.created <= exnaive.Core.Search.created)
+
+let test_two_query_space_agreement () =
+  (* a two-query workload with fusion opportunities: all exhaustive
+     strategies must reach the same state set and best cost *)
+  let qa =
+    cq ~name:"qa" [ v "X" ]
+      [ atom (v "X") (v "P") (c "ex:c1") ]
+  in
+  let qb =
+    cq ~name:"qb" [ v "Y" ]
+      [ atom (v "Y") (v "Q") (c "ex:c1") ]
+  in
+  let run strategy =
+    Core.Search.run (stats_for fig3_store) (options_exhaustive strategy)
+      [ qa; qb ]
+  in
+  let exnaive = run Core.Search.Exnaive in
+  let exstr = run Core.Search.Exstr in
+  let dfs = run Core.Search.Dfs in
+  check_bool "all complete" true
+    (exnaive.Core.Search.completed && exstr.Core.Search.completed
+    && dfs.Core.Search.completed);
+  check_int "exstr same states" exnaive.Core.Search.explored
+    exstr.Core.Search.explored;
+  check_int "dfs same states" exnaive.Core.Search.explored
+    dfs.Core.Search.explored;
+  check_bool "same best" true
+    (Float.abs (exstr.Core.Search.best_cost -. exnaive.Core.Search.best_cost)
+     < 1e-6
+    && Float.abs (dfs.Core.Search.best_cost -. exnaive.Core.Search.best_cost)
+       < 1e-6);
+  (* the identical-shape views must have been fused somewhere: the best
+     state has a single view *)
+  check_int "fused best state" 1
+    (List.length exnaive.Core.Search.best.Core.State.views)
+
+(* ---------- stop conditions ---------------------------------------------- *)
+
+let test_stop_conditions_shrink_space () =
+  let free =
+    Core.Search.run (stats_for fig3_store)
+      (options_exhaustive Core.Search.Dfs)
+      [ fig3_query ]
+  in
+  let stv =
+    Core.Search.run (stats_for fig3_store)
+      { (options_exhaustive Core.Search.Dfs) with stop_var = true }
+      [ fig3_query ]
+  in
+  check_bool "STV discards states" true (stv.Core.Search.discarded > 0);
+  check_bool "STV explores fewer states" true
+    (stv.Core.Search.explored < free.Core.Search.explored);
+  (* the all-variable states S4, S5/S6-like, S7, S8 disappear *)
+  check_bool "still reduces cost or equals" true
+    (stv.Core.Search.best_cost >= free.Core.Search.best_cost -. 1e-6)
+
+let test_stop_tt () =
+  let opts =
+    { (options_exhaustive Core.Search.Dfs) with stop_tt = true }
+  in
+  let report = Core.Search.run (stats_for fig3_store) opts [ fig3_query ] in
+  (* the triple-table state S8 must not be explored *)
+  check_bool "some discard happened" true (report.Core.Search.discarded > 0)
+
+let test_max_states_oom () =
+  let opts =
+    { (options_exhaustive Core.Search.Exnaive) with max_states = Some 3 }
+  in
+  let report = Core.Search.run (stats_for fig3_store) opts [ fig3_query ] in
+  check_bool "out of memory" true report.Core.Search.out_of_memory;
+  check_bool "not completed" true (not report.Core.Search.completed)
+
+let test_time_budget () =
+  let opts =
+    { (options_exhaustive Core.Search.Exnaive) with time_budget = Some 0. }
+  in
+  let report = Core.Search.run (stats_for fig3_store) opts [ fig3_query ] in
+  check_bool "stopped by time" true (not report.Core.Search.completed);
+  (* a best state (at least S0) is always available *)
+  check_bool "best available" true (report.Core.Search.best_cost > 0.)
+
+(* ---------- AVF ----------------------------------------------------------- *)
+
+let two_similar_queries =
+  [
+    cq ~name:"qa" [ v "X" ]
+      [ atom (v "X") (c "ex:p") (c "ex:k"); atom (v "X") (c "ex:q") (v "Y") ];
+    cq ~name:"qb" [ v "A" ]
+      [ atom (v "A") (c "ex:p") (c "ex:k"); atom (v "A") (c "ex:q") (v "B") ];
+  ]
+
+let similar_store =
+  store_of
+    [
+      triple (uri "s1") (uri "ex:p") (uri "ex:k");
+      triple (uri "s1") (uri "ex:q") (uri "o1");
+      triple (uri "s2") (uri "ex:p") (uri "ex:k");
+      triple (uri "s2") (uri "ex:q") (uri "o2");
+    ]
+
+let test_avf_reduces_created () =
+  let base = options_exhaustive Core.Search.Dfs in
+  let without =
+    Core.Search.run (stats_for similar_store) base two_similar_queries
+  in
+  let with_avf =
+    Core.Search.run (stats_for similar_store) { base with avf = true }
+      two_similar_queries
+  in
+  check_bool "AVF explores fewer states" true
+    (with_avf.Core.Search.explored < without.Core.Search.explored);
+  check_bool "AVF preserves the best cost" true
+    (abs_float (with_avf.Core.Search.best_cost -. without.Core.Search.best_cost)
+    < 1e-6)
+
+let test_avf_initial_fusion () =
+  (* identical queries fuse already in the initial state *)
+  let qa = cq ~name:"qa" [ v "X" ] [ atom (v "X") (c "ex:p") (c "ex:k") ] in
+  let qb = cq ~name:"qb" [ v "A" ] [ atom (v "A") (c "ex:p") (c "ex:k") ] in
+  let report =
+    Core.Search.run (stats_for similar_store)
+      { (options_exhaustive Core.Search.Dfs) with avf = true }
+      [ qa; qb ]
+  in
+  check_bool "initial cost already fused" true
+    (report.Core.Search.initial_cost > 0.)
+
+(* ---------- GSTR ---------------------------------------------------------- *)
+
+let test_gstr_runs_and_improves () =
+  let report =
+    Core.Search.run (stats_for similar_store)
+      {
+        Core.Search.default_options with
+        strategy = Core.Search.Gstr;
+        stop_var = true;
+      }
+      two_similar_queries
+  in
+  check_bool "rcr in [0,1]" true
+    (Core.Search.rcr report >= 0. && Core.Search.rcr report <= 1.)
+
+let test_gstr_never_worse_than_initial () =
+  let report =
+    Core.Search.run (stats_for fig3_store)
+      { Core.Search.default_options with strategy = Core.Search.Gstr }
+      [ fig3_query ]
+  in
+  check_bool "best ≤ initial" true
+    (report.Core.Search.best_cost <= report.Core.Search.initial_cost +. 1e-6)
+
+(* ---------- trajectory and reporting -------------------------------------- *)
+
+let test_trajectory_monotone () =
+  let report =
+    Core.Search.run (stats_for similar_store)
+      (options_exhaustive Core.Search.Dfs)
+      two_similar_queries
+  in
+  let costs = List.map snd report.Core.Search.trajectory in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b && decreasing rest
+    | _ -> true
+  in
+  check_bool "trajectory decreases" true (decreasing costs);
+  check_bool "starts at initial" true
+    (abs_float (List.hd costs -. report.Core.Search.initial_cost) < 1e-6)
+
+let test_strategy_names () =
+  check_bool "roundtrip" true
+    (List.for_all
+       (fun s ->
+         Core.Search.strategy_of_string (Core.Search.strategy_name s) = Some s)
+       [ Core.Search.Exnaive; Exstr; Dfs; Gstr ])
+
+(* ---------- best state is executable -------------------------------------- *)
+
+let prop_best_state_answers_queries =
+  QCheck.Test.make
+    ~name:"the best state's rewritings answer the workload (DFS-AVF-STV)"
+    ~count:40
+    QCheck.(pair arb_store (pair arb_cq arb_cq))
+    (fun (store, (qa, qb)) ->
+      let workload =
+        [ Query.Cq.rename qa "qa"; Query.Cq.rename qb "qb" ]
+      in
+      let report =
+        Core.Search.run (stats_for store)
+          {
+            Core.Search.default_options with
+            time_budget = Some 0.5;
+            max_states = Some 2000;
+          }
+          workload
+      in
+      let state = report.Core.Search.best in
+      let env = Engine.Materialize.materialize_state store state in
+      List.for_all
+        (fun q ->
+          let direct = Query.Evaluation.eval_cq store q in
+          let via =
+            Engine.Executor.execute_query store env
+              (List.assoc q.Query.Cq.name state.Core.State.rewritings)
+          in
+          same_answers direct via)
+        workload)
+
+(* ---------- competitors --------------------------------------------------- *)
+
+let competitor_estimator store =
+  Core.Cost.create (stats_for store) Core.Cost.default_weights
+
+let test_competitors_on_small_workload () =
+  let est = competitor_estimator similar_store in
+  List.iter
+    (fun which ->
+      let report =
+        Core.Competitors.run est
+          { (options_exhaustive Core.Search.Exnaive) with
+            max_states = Some 100000 }
+          which two_similar_queries
+      in
+      check_bool
+        (Core.Competitors.name which ^ " completes")
+        true report.Core.Search.completed;
+      check_bool
+        (Core.Competitors.name which ^ " does not worsen")
+        true
+        (report.Core.Search.best_cost <= report.Core.Search.initial_cost +. 1e-6))
+    [ Core.Competitors.Pruning; Core.Competitors.Greedy; Core.Competitors.Heuristic ]
+
+let test_competitor_best_state_valid () =
+  let est = competitor_estimator similar_store in
+  let report =
+    Core.Competitors.run est
+      { (options_exhaustive Core.Search.Exnaive) with max_states = Some 100000 }
+      Core.Competitors.Greedy two_similar_queries
+  in
+  let state = report.Core.Search.best in
+  check_bool "invariants" true (Core.State.invariants_hold state);
+  let env = Engine.Materialize.materialize_state similar_store state in
+  List.iter
+    (fun q ->
+      let direct = Query.Evaluation.eval_cq similar_store q in
+      let via =
+        Engine.Executor.execute_query similar_store env
+          (List.assoc q.Query.Cq.name state.Core.State.rewritings)
+      in
+      check_bool ("answers " ^ q.Query.Cq.name) true (same_answers direct via))
+    two_similar_queries
+
+let test_competitor_oom_on_tight_memory () =
+  (* the §6.2 reproduction: with a tight memory cap, the [21] strategies
+     fail before producing a full-coverage state *)
+  let bigger_queries =
+    Workload.Generator.generate
+      {
+        Workload.Generator.default_spec with
+        shape = Workload.Generator.Star;
+        n_queries = 3;
+        atoms_per_query = 6;
+        seed = 7;
+      }
+  in
+  let store = Workload.Barton.store ~n_entities:50 ~seed:1 () in
+  let est = competitor_estimator store in
+  let report =
+    Core.Competitors.run est
+      { (options_exhaustive Core.Search.Exnaive) with max_states = Some 200 }
+      Core.Competitors.Pruning bigger_queries
+  in
+  check_bool "out of memory" true report.Core.Search.out_of_memory;
+  check_bool "rcr is zero" true (Core.Search.rcr report = 0.)
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "figure3",
+        [
+          Alcotest.test_case "nine states" `Quick test_fig3_space_size;
+          Alcotest.test_case "strategies agree" `Quick
+            test_fig3_same_space_all_strategies;
+          Alcotest.test_case "stratified ≤ naive transitions" `Quick
+            test_fig3_stratified_no_more_transitions;
+          Alcotest.test_case "two-query space agreement" `Quick
+            test_two_query_space_agreement;
+        ] );
+      ( "stop-conditions",
+        [
+          Alcotest.test_case "STV shrinks the space" `Quick
+            test_stop_conditions_shrink_space;
+          Alcotest.test_case "stoptt discards" `Quick test_stop_tt;
+          Alcotest.test_case "max_states → OOM" `Quick test_max_states_oom;
+          Alcotest.test_case "time budget" `Quick test_time_budget;
+        ] );
+      ( "avf",
+        [
+          Alcotest.test_case "AVF reduces explored states" `Quick
+            test_avf_reduces_created;
+          Alcotest.test_case "initial fusion" `Quick test_avf_initial_fusion;
+        ] );
+      ( "gstr",
+        [
+          Alcotest.test_case "runs and reports rcr" `Quick
+            test_gstr_runs_and_improves;
+          Alcotest.test_case "never worse than initial" `Quick
+            test_gstr_never_worse_than_initial;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "trajectory monotone" `Quick test_trajectory_monotone;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+          to_alcotest prop_best_state_answers_queries;
+        ] );
+      ( "competitors",
+        [
+          Alcotest.test_case "all run on small workloads" `Quick
+            test_competitors_on_small_workload;
+          Alcotest.test_case "best state valid" `Quick
+            test_competitor_best_state_valid;
+          Alcotest.test_case "OOM under tight memory" `Quick
+            test_competitor_oom_on_tight_memory;
+        ] );
+    ]

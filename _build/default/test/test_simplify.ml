@@ -1,0 +1,211 @@
+open Support
+
+let env_of bindings =
+  let env = Hashtbl.create 8 in
+  List.iter (fun (name, cols) -> Hashtbl.replace env name cols) bindings;
+  env
+
+let sample_env = env_of [ ("v1", [ "a"; "b" ]); ("v2", [ "b"; "c" ]) ]
+
+let scan name = Core.Rewriting.Scan name
+
+let test_merge_selects () =
+  let expr =
+    Core.Rewriting.Select
+      ( [ Core.Rewriting.Eq_cst ("a", uri "k") ],
+        Core.Rewriting.Select ([ Core.Rewriting.Eq_col ("a", "b") ], scan "v1") )
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Select (conds, Core.Rewriting.Scan "v1") ->
+    check_int "merged conditions" 2 (List.length conds)
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_identity_project_removed () =
+  let expr = Core.Rewriting.Project ([ "a"; "b" ], scan "v1") in
+  check_bool "identity project gone" true
+    (Core.Simplify.simplify sample_env expr = scan "v1")
+
+let test_nested_projects_collapse () =
+  let expr =
+    Core.Rewriting.Project
+      ([ "a" ], Core.Rewriting.Project ([ "a"; "b" ], scan "v1"))
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Project ([ "a" ], Core.Rewriting.Scan "v1") -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_select_pushes_through_project () =
+  let expr =
+    Core.Rewriting.Select
+      ( [ Core.Rewriting.Eq_cst ("a", uri "k") ],
+        Core.Rewriting.Project ([ "a" ], scan "v1") )
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Project ([ "a" ], Core.Rewriting.Select (_, Core.Rewriting.Scan "v1"))
+    -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_select_splits_across_join () =
+  let expr =
+    Core.Rewriting.Select
+      ( [
+          Core.Rewriting.Eq_cst ("a", uri "k");
+          Core.Rewriting.Eq_cst ("c", uri "m");
+        ],
+        Core.Rewriting.Join ([], scan "v1", scan "v2") )
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Join
+      ( [],
+        Core.Rewriting.Select ([ Core.Rewriting.Eq_cst ("a", _) ], Core.Rewriting.Scan "v1"),
+        Core.Rewriting.Select ([ Core.Rewriting.Eq_cst ("c", _) ], Core.Rewriting.Scan "v2") )
+    -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_join_condition_stays_above () =
+  let expr =
+    Core.Rewriting.Select
+      ( [ Core.Rewriting.Eq_col ("a", "c") ],
+        Core.Rewriting.Join ([], scan "v1", scan "v2") )
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Select ([ Core.Rewriting.Eq_col ("a", "c") ], Core.Rewriting.Join _)
+    -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_renames_compose () =
+  let expr =
+    Core.Rewriting.Rename
+      ( [ ("x", "y") ],
+        Core.Rewriting.Rename ([ ("a", "x"); ("b", "b2") ], scan "v1") )
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Rename (mapping, Core.Rewriting.Scan "v1") ->
+    check_bool "composed" true
+      (List.sort compare mapping = [ ("a", "y"); ("b", "b2") ])
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_identity_rename_removed () =
+  let expr = Core.Rewriting.Rename ([ ("a", "a"); ("b", "b") ], scan "v1") in
+  check_bool "identity rename gone" true
+    (Core.Simplify.simplify sample_env expr = scan "v1")
+
+let test_select_through_rename () =
+  let expr =
+    Core.Rewriting.Select
+      ( [ Core.Rewriting.Eq_cst ("x", uri "k") ],
+        Core.Rewriting.Rename ([ ("a", "x") ], scan "v1") )
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Rename
+      (_, Core.Rewriting.Select ([ Core.Rewriting.Eq_cst ("a", _) ], Core.Rewriting.Scan "v1"))
+    -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_union_flattens_and_dedups () =
+  let expr =
+    Core.Rewriting.Union
+      [ scan "v1"; Core.Rewriting.Union [ scan "v1"; scan "v2" ] ]
+  in
+  match Core.Simplify.simplify sample_env expr with
+  | Core.Rewriting.Union [ Core.Rewriting.Scan "v1"; Core.Rewriting.Scan "v2" ] -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Core.Rewriting.to_string other)
+
+let test_columns_preserved () =
+  let exprs =
+    [
+      Core.Rewriting.Project ([ "b"; "a" ], scan "v1");
+      Core.Rewriting.Select
+        ( [ Core.Rewriting.Eq_cst ("b", uri "k") ],
+          Core.Rewriting.Join ([], scan "v1", scan "v2") );
+      Core.Rewriting.Rename ([ ("a", "z") ], scan "v1");
+    ]
+  in
+  List.iter
+    (fun expr ->
+      let before = Core.Rewriting.columns sample_env expr in
+      let after =
+        Core.Rewriting.columns sample_env (Core.Simplify.simplify sample_env expr)
+      in
+      check_bool "columns preserved" true (before = after))
+    exprs
+
+(* The big one: along random transition walks, the simplified rewriting
+   executes to exactly the same answers as the raw one. *)
+let prop_simplify_execution_equivalent =
+  QCheck.Test.make
+    ~name:"simplified rewritings execute identically" ~count:60
+    QCheck.(
+      triple arb_store (pair arb_cq arb_cq) (list_of_size (Gen.return 6) small_nat))
+    (fun (store, (qa, qb), choices) ->
+      let workload = [ Query.Cq.rename qa "qa"; Query.Cq.rename qb "qb" ] in
+      let state = ref (Core.State.initial workload) in
+      List.iteri
+        (fun i choice ->
+          let kind = List.nth Core.Transition.all_kinds (i mod 4) in
+          match Core.Transition.successors !state kind with
+          | [] -> ()
+          | succs -> state := List.nth succs (choice mod List.length succs))
+        choices;
+      let env_cols = Core.State.env !state in
+      let env = Engine.Materialize.materialize_state store !state in
+      List.for_all
+        (fun (_, rewriting) ->
+          let raw = Engine.Executor.execute_query store env rewriting in
+          let simplified = Core.Simplify.simplify env_cols rewriting in
+          let opt = Engine.Executor.execute_query store env simplified in
+          Core.Rewriting.well_formed env_cols simplified
+          && same_answers raw opt)
+        !state.Core.State.rewritings)
+
+let prop_simplify_never_grows =
+  QCheck.Test.make ~name:"simplification never adds operator nodes" ~count:60
+    QCheck.(
+      triple arb_store (pair arb_cq arb_cq) (list_of_size (Gen.return 5) small_nat))
+    (fun (_, (qa, qb), choices) ->
+      let workload = [ Query.Cq.rename qa "qa"; Query.Cq.rename qb "qb" ] in
+      let state = ref (Core.State.initial workload) in
+      List.iteri
+        (fun i choice ->
+          let kind = List.nth Core.Transition.all_kinds (i mod 4) in
+          match Core.Transition.successors !state kind with
+          | [] -> ()
+          | succs -> state := List.nth succs (choice mod List.length succs))
+        choices;
+      let env_cols = Core.State.env !state in
+      List.for_all
+        (fun (_, rewriting) ->
+          Core.Simplify.node_count (Core.Simplify.simplify env_cols rewriting)
+          <= Core.Simplify.node_count rewriting)
+        !state.Core.State.rewritings)
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "merge selects" `Quick test_merge_selects;
+          Alcotest.test_case "identity project" `Quick
+            test_identity_project_removed;
+          Alcotest.test_case "nested projects" `Quick
+            test_nested_projects_collapse;
+          Alcotest.test_case "select through project" `Quick
+            test_select_pushes_through_project;
+          Alcotest.test_case "select splits across join" `Quick
+            test_select_splits_across_join;
+          Alcotest.test_case "cross-side condition stays" `Quick
+            test_join_condition_stays_above;
+          Alcotest.test_case "renames compose" `Quick test_renames_compose;
+          Alcotest.test_case "identity rename" `Quick test_identity_rename_removed;
+          Alcotest.test_case "select through rename" `Quick
+            test_select_through_rename;
+          Alcotest.test_case "union flatten/dedup" `Quick
+            test_union_flattens_and_dedups;
+          Alcotest.test_case "columns preserved" `Quick test_columns_preserved;
+        ] );
+      ( "equivalence",
+        [
+          to_alcotest prop_simplify_execution_equivalent;
+          to_alcotest prop_simplify_never_grows;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+open Support
+
+let sample_store =
+  store_of
+    [
+      triple (uri "a") (uri "ex:p") (uri "x");
+      triple (uri "a") (uri "ex:p") (uri "y");
+      triple (uri "b") (uri "ex:p") (uri "x");
+      triple (uri "b") (uri "ex:q") (uri "z");
+      triple (uri "c") rdf_type (uri "ex:painting");
+      triple (uri "d") rdf_type (uri "ex:picture");
+    ]
+
+let schema_sub =
+  Rdf.Schema.of_statements
+    [ Rdf.Schema.Subclass (uri "ex:painting", uri "ex:picture") ]
+
+(* ---------- plain statistics -------------------------------------------- *)
+
+let test_atom_counts_exact () =
+  let stats = Stats.Statistics.create sample_store in
+  let count a = int_of_float (Stats.Statistics.atom_count stats a) in
+  check_int "p atoms" 3 (count (atom (v "S") (c "ex:p") (v "O")));
+  check_int "2-constant" 2 (count (atom (c "a") (c "ex:p") (v "O")));
+  check_int "all wildcard" 6 (count (atom (v "S") (v "P") (v "O")));
+  check_int "absent constant" 0 (count (atom (v "S") (c "ex:zzz") (v "O")))
+
+let test_atom_count_ignores_var_names () =
+  let stats = Stats.Statistics.create sample_store in
+  let a1 = atom (v "S") (c "ex:p") (v "O") in
+  let a2 = atom (v "Foo") (c "ex:p") (v "Bar") in
+  check_bool "same count" true
+    (Stats.Statistics.atom_count stats a1 = Stats.Statistics.atom_count stats a2);
+  check_int "single cache entry" 1 (Stats.Statistics.cache_size stats)
+
+let test_column_distincts () =
+  let stats = Stats.Statistics.create sample_store in
+  check_bool "s distinct" true (Stats.Statistics.column_distinct stats `S = 4.);
+  check_bool "p distinct" true (Stats.Statistics.column_distinct stats `P = 3.)
+
+let test_property_distincts () =
+  let stats = Stats.Statistics.create sample_store in
+  (match Stats.Statistics.property_distinct stats (uri "ex:p") `S with
+  | Some d -> check_bool "distinct s of p" true (d = 2.)
+  | None -> Alcotest.fail "expected Some");
+  (match Stats.Statistics.property_distinct stats (uri "ex:p") `O with
+  | Some d -> check_bool "distinct o of p" true (d = 2.)
+  | None -> Alcotest.fail "expected Some");
+  check_bool "unknown property" true
+    (Stats.Statistics.property_distinct stats (uri "ex:zzz") `S = None)
+
+let test_prewarm () =
+  let stats = Stats.Statistics.create sample_store in
+  let q =
+    cq [ v "X" ]
+      [ atom (v "X") (c "ex:p") (v "Y"); atom (v "X") (c "ex:q") (c "z") ]
+  in
+  Stats.Statistics.prewarm stats [ q ];
+  (* atom1: 2 relaxations; atom2: 4 relaxations; minus shared all-var *)
+  check_bool "cache populated" true (Stats.Statistics.cache_size stats >= 5)
+
+(* ---------- reformulated statistics -------------------------------------- *)
+
+let test_reformulated_counts () =
+  let stats =
+    Stats.Statistics.create ~mode:(Stats.Statistics.Reformulated schema_sub)
+      sample_store
+  in
+  (* picture instances: explicit d + implicit c *)
+  check_bool "implicit typing counted" true
+    (Stats.Statistics.atom_count stats (atom (v "S") (Query.Qterm.Cst rdf_type) (c "ex:picture"))
+    = 2.);
+  check_bool "painting unchanged" true
+    (Stats.Statistics.atom_count stats (atom (v "S") (Query.Qterm.Cst rdf_type) (c "ex:painting"))
+    = 1.)
+
+let prop_reformulated_equals_saturated =
+  QCheck.Test.make
+    ~name:"post-reformulation statistics = saturated-database statistics"
+    ~count:100
+    QCheck.(pair arb_store arb_schema)
+    (fun (store, schema) ->
+      let reform =
+        Stats.Statistics.create ~mode:(Stats.Statistics.Reformulated schema) store
+      in
+      let saturated =
+        Stats.Statistics.create
+          (Rdf.Entailment.saturated_copy store schema)
+      in
+      let shapes =
+        [
+          atom (v "S") (Query.Qterm.Cst rdf_type) (c "C0");
+          atom (v "S") (c "P0") (v "O");
+          atom (v "S") (c "P1") (c "e3");
+          atom (v "S") (v "P") (v "O");
+          atom (v "S") (Query.Qterm.Cst rdf_type) (v "O");
+        ]
+      in
+      List.for_all
+        (fun a ->
+          Stats.Statistics.atom_count reform a
+          = Stats.Statistics.atom_count saturated a)
+        shapes
+      && Stats.Statistics.total_triples reform
+         = Stats.Statistics.total_triples saturated)
+
+(* ---------- cardinality estimation ---------------------------------------- *)
+
+let test_single_atom_exact () =
+  let stats = Stats.Statistics.create sample_store in
+  let q = cq [ v "X"; v "Y" ] [ atom (v "X") (c "ex:p") (v "Y") ] in
+  check_bool "1-atom views are exact" true
+    (Stats.Cardinality.estimate_cq stats q = 3.)
+
+let test_zero_when_empty () =
+  let stats = Stats.Statistics.create sample_store in
+  let q =
+    cq [ v "X" ]
+      [ atom (v "X") (c "ex:nothing") (v "Y"); atom (v "Y") (c "ex:p") (v "Z") ]
+  in
+  check_bool "empty estimate" true (Stats.Cardinality.estimate_cq stats q = 0.)
+
+let test_join_estimate_reasonable () =
+  let stats = Stats.Statistics.create sample_store in
+  let q =
+    cq [ v "X" ]
+      [ atom (v "X") (c "ex:p") (v "Y"); atom (v "X") (c "ex:q") (v "Z") ]
+  in
+  let est = Stats.Cardinality.estimate_cq stats q in
+  (* true answer: a and b each joins; cross product would be 3 ≥ est > 0 *)
+  check_bool "positive" true (est > 0.);
+  check_bool "below cross product" true (est <= 3. +. 1e-9)
+
+let prop_relaxation_monotone_counts =
+  QCheck.Test.make ~name:"atom counts grow under constant relaxation"
+    ~count:100
+    QCheck.(pair arb_store arb_cq)
+    (fun (store, q) ->
+      let stats = Stats.Statistics.create store in
+      List.for_all
+        (fun a ->
+          let n = Stats.Statistics.atom_count stats a in
+          List.for_all
+            (fun pos ->
+              match Query.Atom.term_at a pos with
+              | Query.Qterm.Cst _ ->
+                let relaxed = Query.Atom.set_at a pos (v "_fresh") in
+                Stats.Statistics.atom_count stats relaxed >= n
+              | Query.Qterm.Var _ -> true)
+            Query.Atom.positions)
+        q.Query.Cq.body)
+
+let prop_estimate_nonnegative =
+  QCheck.Test.make ~name:"estimates are non-negative and finite" ~count:100
+    QCheck.(pair arb_store arb_cq)
+    (fun (store, q) ->
+      let stats = Stats.Statistics.create store in
+      let est = Stats.Cardinality.estimate_cq stats q in
+      est >= 0. && Float.is_finite est)
+
+let prop_var_distinct_bounded =
+  QCheck.Test.make ~name:"var distincts bounded by view cardinality" ~count:100
+    QCheck.(pair arb_store arb_cq)
+    (fun (store, q) ->
+      let stats = Stats.Statistics.create store in
+      let card = Stats.Cardinality.estimate_cq stats q in
+      List.for_all
+        (fun x ->
+          let d = Stats.Cardinality.var_distinct stats q x in
+          d >= 1. && d <= Float.max card 1. +. 1e-9)
+        (Query.Cq.body_vars q))
+
+let test_estimate_ucq_is_sum_bound () =
+  let stats = Stats.Statistics.create sample_store in
+  let a = cq [ v "X" ] [ atom (v "X") (c "ex:p") (v "Y") ] in
+  let b = cq [ v "X" ] [ atom (v "X") (c "ex:q") (v "Y") ] in
+  let u = Query.Ucq.make ~name:"u" [ a; b ] in
+  check_bool "sum of branches" true
+    (Stats.Cardinality.estimate_ucq stats u
+    = Stats.Cardinality.estimate_cq stats a +. Stats.Cardinality.estimate_cq stats b)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "statistics",
+        [
+          Alcotest.test_case "exact atom counts" `Quick test_atom_counts_exact;
+          Alcotest.test_case "variable names irrelevant" `Quick
+            test_atom_count_ignores_var_names;
+          Alcotest.test_case "column distincts" `Quick test_column_distincts;
+          Alcotest.test_case "per-property distincts" `Quick
+            test_property_distincts;
+          Alcotest.test_case "prewarm gathers relaxations" `Quick test_prewarm;
+        ] );
+      ( "reformulated",
+        [
+          Alcotest.test_case "implicit triples counted" `Quick
+            test_reformulated_counts;
+          to_alcotest prop_reformulated_equals_saturated;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "single atom exact" `Quick test_single_atom_exact;
+          Alcotest.test_case "zero when empty" `Quick test_zero_when_empty;
+          Alcotest.test_case "join estimate bounded" `Quick
+            test_join_estimate_reasonable;
+          Alcotest.test_case "UCQ estimate" `Quick test_estimate_ucq_is_sum_bound;
+          to_alcotest prop_relaxation_monotone_counts;
+          to_alcotest prop_estimate_nonnegative;
+          to_alcotest prop_var_distinct_bounded;
+        ] );
+    ]

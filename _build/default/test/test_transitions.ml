@@ -1,0 +1,385 @@
+open Support
+
+let q1_paper =
+  cq ~name:"q1"
+    [ v "X"; v "Z" ]
+    [
+      atom (v "X") (c "ex:hasPainted") (c "ex:starryNight");
+      atom (v "X") (c "ex:isParentOf") (v "Y");
+      atom (v "Y") (c "ex:hasPainted") (v "Z");
+    ]
+
+let museum_store =
+  store_of
+    [
+      triple (uri "ex:vanGogh") (uri "ex:hasPainted") (uri "ex:starryNight");
+      triple (uri "ex:vanGogh") (uri "ex:isParentOf") (uri "ex:vincentJr");
+      triple (uri "ex:vincentJr") (uri "ex:hasPainted") (uri "ex:sunflowers2");
+      triple (uri "ex:monet") (uri "ex:hasPainted") (uri "ex:waterLilies");
+      triple (uri "ex:monet") (uri "ex:isParentOf") (uri "ex:michel");
+      triple (uri "ex:michel") (uri "ex:hasPainted") (uri "ex:starryNight");
+    ]
+
+(* ---------- state graph -------------------------------------------------- *)
+
+let test_join_edges () =
+  let edges = Core.State_graph.join_edges q1_paper in
+  (* X joins atoms 0-1 on s; Y joins atoms 1-2 (o,s) *)
+  check_int "two join edges" 2 (List.length edges);
+  let vars = List.map (fun (e : Core.State_graph.join_edge) -> e.var) edges in
+  check_bool "X edge" true (List.mem "X" vars);
+  check_bool "Y edge" true (List.mem "Y" vars)
+
+let test_selection_edges () =
+  let edges = Core.State_graph.selection_edges q1_paper in
+  (* hasPainted ×2, isParentOf, starryNight *)
+  check_int "four selection edges" 4 (List.length edges)
+
+let test_connected_subsets () =
+  check_bool "0,1 connected" true
+    (Core.State_graph.is_connected_subset q1_paper [ 0; 1 ]);
+  check_bool "0,2 disconnected" false
+    (Core.State_graph.is_connected_subset q1_paper [ 0; 2 ]);
+  check_bool "all connected" true
+    (Core.State_graph.is_connected_subset q1_paper [ 0; 1; 2 ])
+
+let test_components_without_edge () =
+  let edges = Core.State_graph.join_edges q1_paper in
+  List.iter
+    (fun e ->
+      check_int
+        ("cutting " ^ Core.State_graph.edge_to_string e)
+        2
+        (List.length (Core.State_graph.components_without_edge q1_paper e)))
+    edges
+
+let test_multi_edge_survives_cut () =
+  (* two atoms sharing two variables: cutting one edge keeps them joined *)
+  let q =
+    cq [ v "X" ]
+      [ atom (v "X") (c "ex:p") (v "Y"); atom (v "Y") (c "ex:q") (v "X") ]
+  in
+  let edges = Core.State_graph.join_edges q in
+  check_int "two edges" 2 (List.length edges);
+  List.iter
+    (fun e ->
+      check_int "still one component" 1
+        (List.length (Core.State_graph.components_without_edge q e)))
+    edges
+
+(* ---------- states ------------------------------------------------------- *)
+
+let test_initial_state () =
+  let s = Core.State.initial [ q1_paper ] in
+  check_int "one view" 1 (List.length s.Core.State.views);
+  check_int "one rewriting" 1 (List.length s.Core.State.rewritings);
+  check_bool "invariants" true (Core.State.invariants_hold s);
+  match s.Core.State.rewritings with
+  | [ (name, Core.Rewriting.Scan _) ] -> check_string "query name" "q1" name
+  | _ -> Alcotest.fail "expected a single scan rewriting"
+
+let test_state_key_stable () =
+  let s1 = Core.State.initial [ q1_paper ] in
+  let s2 = Core.State.initial [ q1_paper ] in
+  check_string "same key despite fresh names" (Core.State.key s1)
+    (Core.State.key s2)
+
+let test_duplicate_query_names_rejected () =
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "State.initial: duplicate query names") (fun () ->
+      ignore (Core.State.initial [ q1_paper; q1_paper ]))
+
+(* ---------- executing rewritings after transitions ----------------------- *)
+
+let answers_direct store q = Query.Evaluation.eval_cq store q
+
+let answers_via_views store state qname =
+  let env = Engine.Materialize.materialize_state store state in
+  let rewriting = List.assoc qname state.Core.State.rewritings in
+  Engine.Executor.execute_query store env rewriting
+
+let check_state_equivalent store workload state =
+  check_bool "invariants hold" true (Core.State.invariants_hold state);
+  List.iter
+    (fun q ->
+      let direct = answers_direct store q in
+      let via = answers_via_views store state q.Query.Cq.name in
+      if not (same_answers direct via) then
+        Alcotest.failf "rewriting of %s diverges:\nstate: %s" q.Query.Cq.name
+          (Core.State.to_string state))
+    workload
+
+let test_sc_preserves_answers () =
+  let s0 = Core.State.initial [ q1_paper ] in
+  let cuts = Core.Transition.successors s0 SC in
+  check_int "one SC per selection edge" 4 (List.length cuts);
+  List.iter (check_state_equivalent museum_store [ q1_paper ]) cuts
+
+let test_sc_grows_head () =
+  let s0 = Core.State.initial [ q1_paper ] in
+  List.iter
+    (fun s ->
+      match s.Core.State.views with
+      | [ view ] ->
+        check_int "arity + 1" 3 (List.length (Core.View.head view));
+        check_int "constants - 1" 3 (Query.Cq.constant_count view.Core.View.cq)
+      | _ -> Alcotest.fail "expected one view")
+    (Core.Transition.successors s0 SC)
+
+let test_jc_cases () =
+  let s0 = Core.State.initial [ q1_paper ] in
+  let cuts = Core.Transition.successors s0 JC in
+  (* each of the two edges is a bridge: split case only, one state each *)
+  check_int "two JC states" 2 (List.length cuts);
+  List.iter
+    (fun s -> check_int "two views after split" 2 (List.length s.Core.State.views))
+    cuts;
+  List.iter (check_state_equivalent museum_store [ q1_paper ]) cuts
+
+let test_jc_connected_case () =
+  (* triangle: every edge cut leaves the graph connected *)
+  let tri =
+    cq ~name:"tri" [ v "X" ]
+      [
+        atom (v "X") (c "ex:p") (v "Y");
+        atom (v "Y") (c "ex:p") (v "Z");
+        atom (v "Z") (c "ex:p") (v "X");
+      ]
+  in
+  let store =
+    store_of
+      [
+        triple (uri "a") (uri "ex:p") (uri "b");
+        triple (uri "b") (uri "ex:p") (uri "c");
+        triple (uri "c") (uri "ex:p") (uri "a");
+        triple (uri "b") (uri "ex:p") (uri "a");
+      ]
+  in
+  let s0 = Core.State.initial [ tri ] in
+  let cuts = Core.Transition.successors s0 JC in
+  (* 3 edges × 2 orientations *)
+  check_int "six JC states" 6 (List.length cuts);
+  List.iter
+    (fun s -> check_int "one view" 1 (List.length s.Core.State.views))
+    cuts;
+  List.iter (check_state_equivalent store [ tri ]) cuts
+
+let test_vb_counts_and_answers () =
+  let s0 = Core.State.initial [ q1_paper ] in
+  let breaks = Core.Transition.successors s0 VB in
+  check_bool "some breaks exist" true (List.length breaks > 0);
+  List.iter
+    (fun s -> check_int "two views" 2 (List.length s.Core.State.views))
+    breaks;
+  List.iter (check_state_equivalent museum_store [ q1_paper ]) breaks
+
+let test_vb_requires_three_atoms () =
+  let two =
+    cq ~name:"two" [ v "X" ]
+      [ atom (v "X") (c "ex:p") (v "Y"); atom (v "Y") (c "ex:q") (c "ex:k") ]
+  in
+  let s0 = Core.State.initial [ two ] in
+  check_int "no VB on 2 atoms" 0 (List.length (Core.Transition.successors s0 VB))
+
+let test_vf_on_isomorphic_views () =
+  (* two identical queries under renaming: initial views fuse *)
+  let qa = cq ~name:"qa" [ v "X" ] [ atom (v "X") (c "ex:p") (c "ex:k") ] in
+  let qb = cq ~name:"qb" [ v "A" ] [ atom (v "A") (c "ex:p") (c "ex:k") ] in
+  let store =
+    store_of
+      [ triple (uri "s1") (uri "ex:p") (uri "ex:k");
+        triple (uri "s2") (uri "ex:p") (uri "ex:m") ]
+  in
+  let s0 = Core.State.initial [ qa; qb ] in
+  let fusions = Core.Transition.successors s0 VF in
+  check_int "one fusion" 1 (List.length fusions);
+  let fused = List.hd fusions in
+  check_int "one view left" 1 (List.length fused.Core.State.views);
+  check_state_equivalent store [ qa; qb ] fused;
+  (* fusion_closure reaches the same state *)
+  let closed = Core.Transition.fusion_closure s0 in
+  check_string "closure = fusion" (Core.State.key fused) (Core.State.key closed)
+
+let test_vf_head_union () =
+  (* same body, different heads: fused view exports both *)
+  let qa = cq ~name:"qa" [ v "X" ] [ atom (v "X") (c "ex:p") (v "Y") ] in
+  let qb = cq ~name:"qb" [ v "B" ] [ atom (v "A") (c "ex:p") (v "B") ] in
+  let store =
+    store_of [ triple (uri "s1") (uri "ex:p") (uri "o1") ]
+  in
+  let s0 = Core.State.initial [ qa; qb ] in
+  let fusions = Core.Transition.successors s0 VF in
+  check_int "one fusion" 1 (List.length fusions);
+  let fused = List.hd fusions in
+  (match fused.Core.State.views with
+  | [ view ] -> check_int "two head vars" 2 (List.length (Core.View.head view))
+  | _ -> Alcotest.fail "expected one view");
+  check_state_equivalent store [ qa; qb ] fused
+
+(* ---------- figure 1 sequence ------------------------------------------- *)
+
+let test_figure1_sequence () =
+  (* S0 --VB--> S1 --SC--> S2 --JC--> ... --VF--> S4-like states, checking
+     answer preservation at every step *)
+  let workload = [ q1_paper ] in
+  let state = ref (Core.State.initial workload) in
+  let pick kind =
+    match Core.Transition.successors !state kind with
+    | s :: _ ->
+      state := s;
+      check_state_equivalent museum_store workload s
+    | [] -> Alcotest.failf "no %s successor" (Core.Transition.kind_name kind)
+  in
+  pick VB;
+  pick SC;
+  pick JC;
+  check_bool "invariants at the end" true (Core.State.invariants_hold !state)
+
+(* ---------- random-walk equivalence (the big one) ------------------------ *)
+
+let prop_random_walk_preserves_answers =
+  QCheck.Test.make
+    ~name:"random transition walks preserve query answers via materialization"
+    ~count:60
+    QCheck.(
+      triple arb_store (pair arb_cq arb_cq) (list_of_size (Gen.return 5) small_nat))
+    (fun (store, (qa, qb), choices) ->
+      let qa = Query.Cq.rename qa "qa" in
+      let qb = Query.Cq.rename qb "qb" in
+      let workload = [ qa; qb ] in
+      let state = ref (Core.State.initial workload) in
+      let ok = ref true in
+      List.iteri
+        (fun i choice ->
+          let kind =
+            List.nth Core.Transition.all_kinds (i mod 4)
+          in
+          match Core.Transition.successors !state kind with
+          | [] -> ()
+          | succs -> state := List.nth succs (choice mod List.length succs))
+        choices;
+      let env = Engine.Materialize.materialize_state store !state in
+      List.iter
+        (fun q ->
+          let direct = answers_direct store q in
+          let via =
+            Engine.Executor.execute_query store env
+              (List.assoc q.Query.Cq.name !state.Core.State.rewritings)
+          in
+          if not (same_answers direct via) then ok := false)
+        workload;
+      !ok && Core.State.invariants_hold !state)
+
+(* ---------- cost monotonicity -------------------------------------------- *)
+
+let estimator_for store =
+  let stats = Stats.Statistics.create store in
+  Core.Cost.create stats Core.Cost.default_weights
+
+let test_sc_increases_cost () =
+  let est = estimator_for museum_store in
+  let s0 = Core.State.initial [ q1_paper ] in
+  let c0 = Core.Cost.state_cost est s0 in
+  List.iter
+    (fun s ->
+      check_bool "SC does not decrease cost" true
+        (Core.Cost.state_cost est s >= c0))
+    (Core.Transition.successors s0 SC)
+
+let test_vf_decreases_cost () =
+  let qa = cq ~name:"qa" [ v "X" ] [ atom (v "X") (c "ex:hasPainted") (v "Y") ] in
+  let qb = cq ~name:"qb" [ v "A" ] [ atom (v "A") (c "ex:hasPainted") (v "B") ] in
+  let est = estimator_for museum_store in
+  let s0 = Core.State.initial [ qa; qb ] in
+  let c0 = Core.Cost.state_cost est s0 in
+  List.iter
+    (fun s ->
+      check_bool "VF does not increase cost" true
+        (Core.Cost.state_cost est s <= c0))
+    (Core.Transition.successors s0 VF)
+
+(* For single-atom views the claim of §3.3 ("SC always increases the
+   state cost") is provable: the relaxed pattern count is exactly
+   monotone, the head widens and a selection is added.  For multi-atom
+   views the System-R independence estimator is only generically
+   monotone: relaxing a property constant switches the per-position
+   distinct estimates from per-property to global statistics, which can
+   make join selectivities shrink faster than the atom count grows.  The
+   exact claim is exercised on single-atom views here and on a concrete
+   multi-atom example in [test_sc_increases_cost]. *)
+let prop_sc_never_decreases =
+  QCheck.Test.make ~name:"SC never decreases the cost of 1-atom views"
+    ~count:80
+    QCheck.(pair arb_store arb_cq)
+    (fun (store, q) ->
+      let single =
+        Query.Cq.make ~name:"q"
+          ~head:(List.map (fun x -> Query.Qterm.Var x)
+                   (Query.Atom.var_set (List.hd q.Query.Cq.body)))
+          ~body:[ List.hd q.Query.Cq.body ]
+      in
+      let est = estimator_for store in
+      let s0 = Core.State.initial [ single ] in
+      let c0 = Core.Cost.state_cost est s0 in
+      List.for_all
+        (fun s -> Core.Cost.state_cost est s >= c0 -. 1e-6)
+        (Core.Transition.successors s0 SC))
+
+let prop_vf_never_increases =
+  QCheck.Test.make ~name:"VF never increases the state cost" ~count:50
+    QCheck.(pair arb_store arb_cq)
+    (fun (store, q) ->
+      let est = estimator_for store in
+      let qa = Query.Cq.rename q "qa" in
+      let qb = Query.Cq.rename (Query.Cq.freshen q) "qb" in
+      let s0 = Core.State.initial [ qa; qb ] in
+      let c0 = Core.Cost.state_cost est s0 in
+      List.for_all
+        (fun s -> Core.Cost.state_cost est s <= c0 +. 1e-6)
+        (Core.Transition.successors s0 VF))
+
+let () =
+  Alcotest.run "transitions"
+    [
+      ( "state-graph",
+        [
+          Alcotest.test_case "join edges" `Quick test_join_edges;
+          Alcotest.test_case "selection edges" `Quick test_selection_edges;
+          Alcotest.test_case "connected subsets" `Quick test_connected_subsets;
+          Alcotest.test_case "bridge cuts split" `Quick
+            test_components_without_edge;
+          Alcotest.test_case "multi-edges survive" `Quick
+            test_multi_edge_survives_cut;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "key stability" `Quick test_state_key_stable;
+          Alcotest.test_case "duplicate names rejected" `Quick
+            test_duplicate_query_names_rejected;
+        ] );
+      ( "transitions",
+        [
+          Alcotest.test_case "SC preserves answers" `Quick
+            test_sc_preserves_answers;
+          Alcotest.test_case "SC grows the head" `Quick test_sc_grows_head;
+          Alcotest.test_case "JC split case" `Quick test_jc_cases;
+          Alcotest.test_case "JC connected case" `Quick test_jc_connected_case;
+          Alcotest.test_case "VB preserves answers" `Quick
+            test_vb_counts_and_answers;
+          Alcotest.test_case "VB needs ≥3 atoms" `Quick
+            test_vb_requires_three_atoms;
+          Alcotest.test_case "VF fuses isomorphic views" `Quick
+            test_vf_on_isomorphic_views;
+          Alcotest.test_case "VF head union" `Quick test_vf_head_union;
+          Alcotest.test_case "figure 1 sequence" `Quick test_figure1_sequence;
+          to_alcotest prop_random_walk_preserves_answers;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "SC increases cost" `Quick test_sc_increases_cost;
+          Alcotest.test_case "VF decreases cost" `Quick test_vf_decreases_cost;
+          to_alcotest prop_sc_never_decreases;
+          to_alcotest prop_vf_never_increases;
+        ] );
+    ]
