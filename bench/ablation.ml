@@ -138,7 +138,7 @@ let run_breakdown () =
 
 let run () =
   Harness.section "Ablations";
-  run_weights ();
-  run_stratification ();
-  run_equivalence ();
-  run_breakdown ()
+  Harness.experiment "ablation/weights" run_weights;
+  Harness.experiment "ablation/stratification" run_stratification;
+  Harness.experiment "ablation/equivalence" run_equivalence;
+  Harness.experiment "ablation/breakdown" run_breakdown

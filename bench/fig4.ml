@@ -46,6 +46,7 @@ let cell (rcr, oom) =
   else Harness.fmt_rcr rcr
 
 let run_for_atoms atoms =
+  Harness.experiment (Printf.sprintf "fig4/atoms-%d" atoms) @@ fun () ->
   Harness.subsection
     (Printf.sprintf "5 queries, %d atoms/query (rcr; OOM = failed in memory cap)" atoms);
   let store = Lazy.force Harness.barton_store in

@@ -58,6 +58,7 @@ let run_cell stats strategy shape commonality n =
   (avg (List.map fst per_seed), avg (List.map snd per_seed))
 
 let run_strategy label strategy =
+  Harness.experiment ("fig6/" ^ label) @@ fun () ->
   Harness.subsection
     (Printf.sprintf "%s (rcr averaged over 3 workloads, %d atoms/query)" label
        atoms_per_query);

@@ -26,6 +26,7 @@ let print_trajectory label (report : Core.Search.report) =
     report.trajectory
 
 let run_workload label queries =
+  Harness.experiment ("fig7/" ^ label) @@ fun () ->
   Harness.subsection label;
   let store = Lazy.force Harness.barton_store in
   let schema = Lazy.force Harness.barton_schema in

@@ -16,6 +16,31 @@ let search_budget = match scale with Quick -> 1.0 | Full -> 30.0
 let long_budget = match scale with Quick -> 3.0 | Full -> 120.0
 let barton_entities = match scale with Quick -> 400 | Full -> 5000
 
+(* ---------- metrics ------------------------------------------------------ *)
+
+(* With --metrics FILE, main.ml installs an Obs registry once before any
+   experiment runs; every search/transition/cost/store event of every
+   figure lands in it, grouped under per-experiment spans.  Without the
+   flag the global sink stays the no-op one and the runs are unmetered. *)
+
+let metrics_sink : (Obs.t * string) option ref = ref None
+
+let enable_metrics path =
+  let registry = Obs.create () in
+  Obs.set_global registry;
+  metrics_sink := Some (registry, path)
+
+(* Wrap one experiment (or sub-experiment) in a named trace span; a
+   no-op when metrics are disabled. *)
+let experiment name f = Obs.span (Obs.global ()) name f
+
+let write_metrics () =
+  match !metrics_sink with
+  | None -> ()
+  | Some (registry, path) ->
+    Obs.write_file registry path;
+    Printf.printf "\nmetrics written to %s\n" path
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 

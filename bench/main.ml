@@ -4,8 +4,14 @@
      dune exec bench/main.exe            # everything, quick scale
      dune exec bench/main.exe fig4       # one experiment
      BENCH_SCALE=full dune exec bench/main.exe   # paper-scale sizes
+     dune exec bench/main.exe -- --metrics out.json fig4   # + telemetry
 
-   Experiments: table2, table3, fig4, fig5, fig6, fig7, fig8, ablation. *)
+   Experiments: table2, table3, fig4, fig5, fig6, fig7, fig8, ablation.
+
+   --metrics FILE installs an Obs registry before any experiment runs
+   and serializes it to FILE at the end: the same per-transition,
+   per-stratum, cost and store counters the CLI emits, with one trace
+   span per experiment (schema in EXPERIMENTS.md). *)
 
 let experiments =
   [
@@ -20,28 +26,45 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [experiment...]";
+  print_endline "usage: main.exe [--metrics FILE] [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args -> args
-    | [] -> []
+(* Split "--metrics FILE" / "--metrics=FILE" out of the experiment
+   names. *)
+let parse_args args =
+  let rec go metrics names = function
+    | [] -> (metrics, List.rev names)
+    | "--metrics" :: file :: rest -> go (Some file) names rest
+    | [ "--metrics" ] ->
+      prerr_endline "--metrics requires a file argument";
+      usage ();
+      exit 1
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
+      go (Some (String.sub arg 10 (String.length arg - 10))) names rest
+    | arg :: rest -> go metrics (arg :: names) rest
   in
+  go None [] args
+
+let () =
+  let metrics, requested =
+    parse_args (match Array.to_list Sys.argv with _ :: args -> args | [] -> [])
+  in
+  Option.iter Harness.enable_metrics metrics;
   Printf.printf
     "RDFViewS reproduction benchmarks (scale: %s; set BENCH_SCALE=full for paper-scale runs)\n"
     (match Harness.scale with Harness.Quick -> "quick" | Harness.Full -> "full");
-  match requested with
-  | [] -> List.iter (fun (_, run) -> run ()) experiments
+  let run_named (name, run) = Harness.experiment name run in
+  (match requested with
+  | [] -> List.iter run_named experiments
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
-        | Some run -> run ()
+        | Some run -> run_named (name, run)
         | None ->
           Printf.printf "unknown experiment: %s\n" name;
           usage ();
           exit 1)
-      names
+      names);
+  Harness.write_metrics ()

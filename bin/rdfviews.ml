@@ -74,6 +74,35 @@ let output_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to $(docv).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write run telemetry (named counters, timers and trace spans — \
+           per-transition counts, per-stratum search timings, cost-estimator \
+           cache hits, store probe counts) as JSON to $(docv); use - for \
+           stdout.  See EXPERIMENTS.md for the schema.")
+
+(* Telemetry is off (a no-op sink) unless --metrics selects a registry,
+   once, before the run starts.  The dump happens only on success, and
+   outside the protect so a write failure surfaces as a plain Sys_error
+   (caught by handle_errors) rather than Fun.Finally_raised. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+    let registry = Obs.create () in
+    Obs.set_global registry;
+    let result =
+      Fun.protect ~finally:(fun () -> Obs.set_global Obs.disabled) f
+    in
+    (match path with
+    | "-" -> print_endline (Obs.to_string registry)
+    | file -> Obs.write_file registry file);
+    result
+
 (* ---------- select --------------------------------------------------------- *)
 
 let strategy_conv =
@@ -129,8 +158,10 @@ let select_cmd =
           ~doc:"Write a SQL deployment script (view DDL + rewriting queries) \
                 to $(docv); use - for stdout.")
   in
-  let run data workload schema reasoning strategy budget no_avf no_stv materialize sql =
+  let run data workload schema reasoning strategy budget no_avf no_stv materialize sql
+      metrics =
     handle_errors @@ fun () ->
+    with_metrics metrics @@ fun () ->
     let store = load_store data in
     let queries = load_workload workload in
     let schema = Option.map load_schema schema in
@@ -152,7 +183,10 @@ let select_cmd =
         time_budget = budget;
       }
     in
-    let result = Core.Selector.select ~store ~reasoning ~options queries in
+    let result =
+      Obs.span (Obs.global ()) "select" (fun () ->
+          Core.Selector.select ~store ~reasoning ~options queries)
+    in
     let report = result.Core.Selector.report in
     Printf.printf
       "search (%s, %s): explored %d states in %.2fs; cost %.4g -> %.4g (rcr %.3f)%s\n\n"
@@ -202,7 +236,7 @@ let select_cmd =
     Term.(
       const run $ data_arg $ workload_arg $ schema_opt_arg $ reasoning_arg
       $ strategy_arg $ budget_arg $ no_avf_arg $ no_stv_arg $ materialize_arg
-      $ sql_arg)
+      $ sql_arg $ metrics_arg)
 
 (* ---------- reformulate ---------------------------------------------------- *)
 
@@ -254,8 +288,9 @@ let saturate_cmd =
 (* ---------- eval ------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run data workload schema =
+  let run data workload schema metrics =
     handle_errors @@ fun () ->
+    with_metrics metrics @@ fun () ->
     let store = load_store data in
     let queries = load_workload workload in
     let schema = Option.map load_schema schema in
@@ -281,7 +316,8 @@ let eval_cmd =
       ~doc:"Evaluate queries; with --schema, answers reflect RDFS entailment \
             (via reformulation)."
   in
-  Cmd.v info Term.(const run $ data_arg $ workload_arg $ schema_opt_arg)
+  Cmd.v info
+    Term.(const run $ data_arg $ workload_arg $ schema_opt_arg $ metrics_arg)
 
 (* ---------- generate --------------------------------------------------------- *)
 

@@ -9,6 +9,16 @@ type weights = {
 
 let default_weights = { cs = 1.; cr = 1.; cm = 0.5; c1 = 1.; c2 = 1.; f = 2. }
 
+(* Estimator telemetry: memo-table hit rates for view profiles and
+   state costs, the number of algebra nodes estimated, and the time
+   spent computing non-memoized state costs. *)
+let obs_profile_hits = Obs.cached_counter "cost.profile.hits"
+let obs_profile_misses = Obs.cached_counter "cost.profile.misses"
+let obs_state_hits = Obs.cached_counter "cost.state.hits"
+let obs_state_misses = Obs.cached_counter "cost.state.misses"
+let obs_estimate_nodes = Obs.cached_counter "cost.estimate.nodes"
+let obs_state_eval = Obs.cached_timer "cost.state.eval"
+
 type view_profile = {
   cardinality : float;
   distincts : (string * float) list;  (* per head column *)
@@ -49,8 +59,11 @@ let var_width stats (cq : Query.Cq.t) x =
 
 let profile t (v : View.t) =
   match Hashtbl.find_opt t.profiles (View.name v) with
-  | Some p -> p
+  | Some p ->
+    Obs.incr (obs_profile_hits ());
+    p
   | None ->
+    Obs.incr (obs_profile_misses ());
     let cq = v.View.cq in
     let cardinality = Stats.Cardinality.estimate_cq t.stats cq in
     let cols = View.columns v in
@@ -95,6 +108,7 @@ let set_dist dist col value =
   (col, value) :: List.remove_assoc col dist
 
 let rec estimate t (s : State.t) expr =
+  Obs.incr (obs_estimate_nodes ());
   match expr with
   | Rewriting.Scan name -> (
     match State.find_view s name with
@@ -211,8 +225,11 @@ let breakdown t s =
 let state_cost t s =
   let key = State.key s in
   match Hashtbl.find_opt t.costs key with
-  | Some c -> c
+  | Some c ->
+    Obs.incr (obs_state_hits ());
+    c
   | None ->
-    let c = (breakdown t s).total in
+    Obs.incr (obs_state_misses ());
+    let c = Obs.time (obs_state_eval ()) (fun () -> (breakdown t s).total) in
     Hashtbl.add t.costs key c;
     c

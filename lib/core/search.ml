@@ -70,6 +70,33 @@ let violates_stop options state =
       || (options.stop_var && is_all_var_view v))
     state.State.views
 
+(* Obs mirrors of the engine's accounting, plus what the report cannot
+   carry: per-stratum breakdowns and per-state expansion timings.  The
+   stratum of an event is the rank of the transition kind that produced
+   (resp. is expanding) the state. *)
+let obs_runs = Obs.cached_counter "search.runs"
+let obs_created = Obs.cached_counter "search.created"
+let obs_duplicates = Obs.cached_counter "search.duplicates"
+let obs_discarded = Obs.cached_counter "search.discarded"
+let obs_explored = Obs.cached_counter "search.explored"
+let obs_reopened = Obs.cached_counter "search.reopened"
+let obs_run_time = Obs.cached_timer "search.run"
+let obs_expand_time = Obs.cached_timer "search.expand"
+
+let obs_per_stratum make =
+  let arr = Array.make (List.length Transition.all_kinds) (make "VB") in
+  List.iter
+    (fun k -> arr.(Transition.kind_rank k) <- make (Transition.kind_name k))
+    Transition.all_kinds;
+  arr
+
+let obs_stratum_created =
+  obs_per_stratum (fun k ->
+      Obs.cached_counter ("search.stratum." ^ k ^ ".created"))
+
+let obs_stratum_expand =
+  obs_per_stratum (fun k -> Obs.cached_timer ("search.stratum." ^ k ^ ".expand"))
+
 type engine = {
   estimator : Cost.t;
   options : options;
@@ -117,11 +144,14 @@ let note_best engine state =
    expanded further. *)
 let consider engine ~rank state =
   engine.created <- engine.created + 1;
+  Obs.incr (obs_created ());
+  Obs.incr (obs_stratum_created.(rank) ());
   let state =
     if engine.options.avf then Transition.fusion_closure state else state
   in
   if violates_stop engine.options state then begin
     engine.discarded <- engine.discarded + 1;
+    Obs.incr (obs_discarded ());
     None
   end
   else begin
@@ -129,10 +159,13 @@ let consider engine ~rank state =
     match Hashtbl.find_opt engine.seen key with
     | Some old_rank when old_rank <= rank ->
       engine.duplicates <- engine.duplicates + 1;
+      Obs.incr (obs_duplicates ());
       None
     | Some _ ->
       (* reached again, but at a lower stratum: re-open *)
       engine.duplicates <- engine.duplicates + 1;
+      Obs.incr (obs_duplicates ());
+      Obs.incr (obs_reopened ());
       Hashtbl.replace engine.seen key rank;
       Some (state, rank)
     | None ->
@@ -149,12 +182,15 @@ let allowed_kinds options rank =
 
 let expand engine state rank =
   engine.explored <- engine.explored + 1;
+  Obs.incr (obs_explored ());
   let rank_of kind =
     (* EXNAIVE is unstratified: every revisit is a plain duplicate *)
     match engine.options.strategy with
     | Exnaive -> 0
     | Exstr | Dfs | Gstr -> Transition.kind_rank kind
   in
+  Obs.time (obs_expand_time ()) @@ fun () ->
+  Obs.time (obs_stratum_expand.(rank) ()) @@ fun () ->
   List.concat_map
     (fun kind ->
       List.filter_map
@@ -211,6 +247,7 @@ let gstr_search engine initial =
         if timed_out engine || memory_exceeded engine then completed := false
         else begin
           engine.explored <- engine.explored + 1;
+          Obs.incr (obs_explored ());
           let fresh =
             List.filter_map
               (fun succ ->
@@ -241,6 +278,8 @@ let gstr_search engine initial =
   !completed
 
 let run_from estimator options initial =
+  Obs.incr (obs_runs ());
+  Obs.time (obs_run_time ()) @@ fun () ->
   (* S0's cost is that of the raw query set (§5.1); the AVF collapse of
      the initial state, when enabled, counts as the first search gain *)
   let initial_cost = Cost.state_cost estimator initial in

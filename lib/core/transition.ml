@@ -6,6 +6,29 @@ let kind_name = function VB -> "VB" | SC -> "SC" | JC -> "JC" | VF -> "VF"
 
 let all_kinds = [ VB; SC; JC; VF ]
 
+(* Per-kind telemetry: [applied] counts successor states actually
+   produced, [rejected] counts candidates pruned before producing a
+   state (disconnecting join-cut orientations, disconnected view-break
+   splits, fusion pairs with equal canonical bodies but no body
+   isomorphism).  Handles index by [kind_rank]. *)
+let obs_per_kind make =
+  let arr = Array.make (List.length all_kinds) (make "VB") in
+  List.iter (fun k -> arr.(kind_rank k) <- make (kind_name k)) all_kinds;
+  arr
+
+let obs_applied =
+  obs_per_kind (fun k -> Obs.cached_counter ("transition." ^ k ^ ".applied"))
+
+let obs_rejected =
+  obs_per_kind (fun k -> Obs.cached_counter ("transition." ^ k ^ ".rejected"))
+
+let obs_time =
+  obs_per_kind (fun k -> Obs.cached_timer ("transition." ^ k ^ ".time"))
+
+let obs_avf_fused = Obs.cached_counter "transition.AVF.fused"
+
+let reject kind = Obs.incr (obs_rejected.(kind_rank kind) ())
+
 let dedup_head terms =
   let rec go seen = function
     | [] -> []
@@ -122,7 +145,9 @@ let join_cuts state =
             let orientation (i, pos) =
               match State_graph.components_without_occurrence cq i pos with
               | [ _ ] -> [ join_cut_connected state v edge (i, pos) ]
-              | _ -> []
+              | _ ->
+                reject JC;
+                []
             in
             orientation (edge.atom_a, edge.pos_a)
             @ orientation (edge.atom_b, edge.pos_b)
@@ -154,6 +179,7 @@ let split_candidates (v : View.t) =
           && State_graph.is_connected_subset cq a
           && State_graph.is_connected_subset cq b
         then disjoint := (a, b) :: !disjoint
+        else reject VB
       end
     done;
     let overlapping = ref [] in
@@ -171,6 +197,7 @@ let split_candidates (v : View.t) =
             State_graph.is_connected_subset cq a
             && State_graph.is_connected_subset cq b
           then overlapping := (a, b) :: !overlapping
+          else reject VB
         end
       done
     done;
@@ -235,7 +262,9 @@ let total_rename cols_v3 fwd head_vars_v2 =
 
 let fuse state v1 v2 =
   match Query.Cq.body_isomorphism v1.View.cq v2.View.cq with
-  | None -> None
+  | None ->
+    reject VF;
+    None
   | Some fwd ->
     (* fwd maps v2's variables to v1's *)
     let mapped_head_v2 =
@@ -291,24 +320,36 @@ let fusion_pairs state =
 let view_fusions state =
   List.filter_map (fun (v1, v2) -> fuse state v1 v2) (fusion_pairs state)
 
-let successors state = function
-  | VB -> view_breaks state
-  | SC -> selection_cuts state
-  | JC -> join_cuts state
-  | VF -> view_fusions state
+let successors state kind =
+  let produced =
+    Obs.time
+      (obs_time.(kind_rank kind) ())
+      (fun () ->
+        match kind with
+        | VB -> view_breaks state
+        | SC -> selection_cuts state
+        | JC -> join_cuts state
+        | VF -> view_fusions state)
+  in
+  Obs.add (obs_applied.(kind_rank kind) ()) (List.length produced);
+  produced
 
 let rec fusion_closure state =
   match fusion_pairs state with
   | [] -> state
   | (v1, v2) :: rest -> (
     match fuse state v1 v2 with
-    | Some state' -> fusion_closure state'
+    | Some state' ->
+      Obs.incr (obs_avf_fused ());
+      fusion_closure state'
     | None -> (
       (* isomorphism can fail despite equal canonical bodies only in
          pathological hash-free cases; fall through to other pairs *)
       match
         List.find_map (fun (a, b) -> fuse state a b) rest
       with
-      | Some state' -> fusion_closure state'
+      | Some state' ->
+        Obs.incr (obs_avf_fused ());
+        fusion_closure state'
       | None -> state))
 

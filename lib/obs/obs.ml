@@ -1,0 +1,473 @@
+(* Counters and timers are plain mutable records handed out to call
+   sites, so an event on the hot path is a field update — no hashing.
+   The [live] flag makes the shared no-op handles safe to use from a
+   disabled sink without a branchy API. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+type counter = { mutable n : int; c_live : bool }
+
+type timer = { mutable total_ns : int; mutable calls : int; t_live : bool }
+
+type span_event = {
+  span_name : string;
+  depth : int;
+  start_ns : int;
+  elapsed_ns : int;
+}
+
+type registry = {
+  cs : (string, counter) Hashtbl.t;
+  ts : (string, timer) Hashtbl.t;
+  mutable trace : span_event list;  (* most recently completed first *)
+  mutable span_depth : int;
+  born_ns : int;
+}
+
+type t = Disabled | Enabled of registry
+
+let disabled = Disabled
+
+let create () =
+  Enabled
+    {
+      cs = Hashtbl.create 64;
+      ts = Hashtbl.create 64;
+      trace = [];
+      span_depth = 0;
+      born_ns = now_ns ();
+    }
+
+let is_enabled = function Disabled -> false | Enabled _ -> true
+
+let reset = function
+  | Disabled -> ()
+  | Enabled r ->
+    Hashtbl.iter (fun _ c -> c.n <- 0) r.cs;
+    Hashtbl.iter
+      (fun _ tm ->
+        tm.total_ns <- 0;
+        tm.calls <- 0)
+      r.ts;
+    r.trace <- [];
+    r.span_depth <- 0
+
+(* ---------- counters ----------------------------------------------------- *)
+
+let noop_counter = { n = 0; c_live = false }
+
+let counter t name =
+  match t with
+  | Disabled -> noop_counter
+  | Enabled r -> (
+    match Hashtbl.find_opt r.cs name with
+    | Some c -> c
+    | None ->
+      let c = { n = 0; c_live = true } in
+      Hashtbl.add r.cs name c;
+      c)
+
+let incr c = if c.c_live then c.n <- c.n + 1
+
+let add c k = if c.c_live then c.n <- c.n + k
+
+let value c = c.n
+
+(* ---------- timers ------------------------------------------------------- *)
+
+let noop_timer = { total_ns = 0; calls = 0; t_live = false }
+
+let timer t name =
+  match t with
+  | Disabled -> noop_timer
+  | Enabled r -> (
+    match Hashtbl.find_opt r.ts name with
+    | Some tm -> tm
+    | None ->
+      let tm = { total_ns = 0; calls = 0; t_live = true } in
+      Hashtbl.add r.ts name tm;
+      tm)
+
+let time tm f =
+  if not tm.t_live then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        tm.total_ns <- tm.total_ns + (now_ns () - t0);
+        tm.calls <- tm.calls + 1)
+      f
+  end
+
+let timer_ns tm = tm.total_ns
+
+let timer_count tm = tm.calls
+
+(* ---------- spans -------------------------------------------------------- *)
+
+let span t name f =
+  match t with
+  | Disabled -> f ()
+  | Enabled r ->
+    let start = now_ns () in
+    let depth = r.span_depth in
+    r.span_depth <- depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        r.span_depth <- depth;
+        r.trace <-
+          {
+            span_name = name;
+            depth;
+            start_ns = start - r.born_ns;
+            elapsed_ns = now_ns () - start;
+          }
+          :: r.trace)
+      f
+
+let spans = function
+  | Disabled -> []
+  | Enabled r ->
+    List.stable_sort
+      (fun a b -> compare a.start_ns b.start_ns)
+      (List.rev r.trace)
+
+(* ---------- reading ------------------------------------------------------ *)
+
+let sorted_bindings table extract =
+  Hashtbl.fold (fun name x acc -> (name, extract x) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters = function
+  | Disabled -> []
+  | Enabled r -> sorted_bindings r.cs (fun c -> c.n)
+
+let timers = function
+  | Disabled -> []
+  | Enabled r -> sorted_bindings r.ts (fun tm -> (tm.calls, tm.total_ns))
+
+let find_counter t name =
+  match t with
+  | Disabled -> None
+  | Enabled r -> Option.map (fun c -> c.n) (Hashtbl.find_opt r.cs name)
+
+(* ---------- the global sink ---------------------------------------------- *)
+
+let global_sink = ref Disabled
+
+let global_gen = ref 0
+
+let set_global t =
+  global_sink := t;
+  Stdlib.incr global_gen
+
+let global () = !global_sink
+
+let generation () = !global_gen
+
+let cached_counter name =
+  let cache = ref noop_counter in
+  let seen_gen = ref (-1) in
+  fun () ->
+    if !seen_gen <> !global_gen then begin
+      seen_gen := !global_gen;
+      cache := counter !global_sink name
+    end;
+    !cache
+
+let cached_timer name =
+  let cache = ref noop_timer in
+  let seen_gen = ref (-1) in
+  fun () ->
+    if !seen_gen <> !global_gen then begin
+      seen_gen := !global_gen;
+      cache := timer !global_sink name
+    end;
+    !cache
+
+(* ---------- JSON --------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_string ?(indent = false) t =
+    let b = Buffer.create 256 in
+    let pad level = if indent then Buffer.add_string b (String.make (2 * level) ' ') in
+    let newline () = if indent then Buffer.add_char b '\n' in
+    let rec go level = function
+      | Null -> Buffer.add_string b "null"
+      | Bool x -> Buffer.add_string b (if x then "true" else "false")
+      | Int i -> Buffer.add_string b (string_of_int i)
+      | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.1f" f)
+        else Buffer.add_string b (Printf.sprintf "%.17g" f)
+      | String s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+      | List [] -> Buffer.add_string b "[]"
+      | List items ->
+        Buffer.add_char b '[';
+        newline ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              newline ()
+            end;
+            pad (level + 1);
+            go (level + 1) item)
+          items;
+        newline ();
+        pad level;
+        Buffer.add_char b ']'
+      | Obj [] -> Buffer.add_string b "{}"
+      | Obj fields ->
+        Buffer.add_char b '{';
+        newline ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              newline ()
+            end;
+            pad (level + 1);
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b (if indent then "\": " else "\":");
+            go (level + 1) v)
+          fields;
+        newline ();
+        pad level;
+        Buffer.add_char b '}'
+    in
+    go 0 t;
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser over a cursor; just enough JSON to read
+     back what [to_string] emits (and ordinary hand-written files). *)
+  let of_string text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some text.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect ch =
+      match peek () with
+      | Some c when c = ch -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" ch)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub text !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let utf8_of_code b code =
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance ()
+          | Some '/' -> Buffer.add_char b '/'; advance ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub text !pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape"
+            in
+            pos := !pos + 4;
+            utf8_of_code b code
+          | _ -> fail "bad escape");
+          go ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      let s = String.sub text start (!pos - start) in
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail ("bad number " ^ s))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> String (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+      | Some ('0' .. '9' | '-') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+let to_json t =
+  let counters_json =
+    Json.Obj (List.map (fun (name, n) -> (name, Json.Int n)) (counters t))
+  in
+  let timers_json =
+    Json.Obj
+      (List.map
+         (fun (name, (calls, total_ns)) ->
+           ( name,
+             Json.Obj
+               [ ("count", Json.Int calls); ("total_ns", Json.Int total_ns) ] ))
+         (timers t))
+  in
+  let spans_json =
+    Json.List
+      (List.map
+         (fun s ->
+           Json.Obj
+             [
+               ("name", Json.String s.span_name);
+               ("depth", Json.Int s.depth);
+               ("start_ns", Json.Int s.start_ns);
+               ("elapsed_ns", Json.Int s.elapsed_ns);
+             ])
+         (spans t))
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("counters", counters_json);
+      ("timers", timers_json);
+      ("spans", spans_json);
+    ]
+
+let to_string t = Json.to_string ~indent:true (to_json t)
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc

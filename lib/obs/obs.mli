@@ -1,0 +1,165 @@
+(** Run-level observability: named counters, monotonic timers and nested
+    trace spans, gathered in a registry that serializes to JSON.
+
+    The library is the substrate for the paper-style search telemetry
+    (states created / duplicates / time-to-best-cost, §6) and for
+    profiling the hot layers ([Transition], [Search], [Cost],
+    [Rdf.Store], [Query.Evaluation]).  Design constraints:
+
+    {ul
+    {- {b near-zero cost when disabled} — a sink is either [disabled] (a
+       no-op: incrementing a counter is one predictable branch, timing a
+       function is a single [if]) or an enabled registry.  The sink in
+       effect is selected once at startup via {!set_global};}
+    {- {b cheap when enabled} — hot paths hold direct handles to mutable
+       counter/timer records instead of hashing names per event; use
+       {!cached_counter}/{!cached_timer} for module-level handles that
+       re-resolve only when the global sink changes;}
+    {- {b deterministic accounting} — counters and span nesting are
+       exact; only timer values depend on the clock.}} *)
+
+(** {1 Sinks} *)
+
+type t
+(** A metrics sink: either disabled or an enabled registry. *)
+
+val disabled : t
+(** The no-op sink: every operation on handles derived from it does
+    (almost) nothing and allocates nothing. *)
+
+val create : unit -> t
+(** A fresh enabled registry.  Span timestamps are relative to the
+    moment of creation. *)
+
+val is_enabled : t -> bool
+
+val reset : t -> unit
+(** Zero all counters and timers and drop recorded spans.  No-op on
+    [disabled]. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** The counter registered under the given name, created at zero on
+    first use.  On a disabled sink, returns the shared no-op counter. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Current count; [0] for the no-op counter. *)
+
+(** {1 Timers}
+
+    A timer accumulates total elapsed monotonic nanoseconds and the
+    number of timed calls. *)
+
+type timer
+
+val timer : t -> string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** [time tm f] runs [f], adding its elapsed time to [tm] (also when
+    [f] raises).  On the no-op timer this is just [f ()]. *)
+
+val timer_ns : timer -> int
+(** Accumulated nanoseconds; [0] for the no-op timer. *)
+
+val timer_count : timer -> int
+(** Number of completed [time] calls. *)
+
+(** {1 Spans}
+
+    Spans are begin/end trace events with nesting, for coarse phases
+    (one per benchmark experiment, one per search run): each completed
+    span records its name, depth, start offset and duration. *)
+
+type span_event = {
+  span_name : string;
+  depth : int;           (** 0 = top level *)
+  start_ns : int;        (** offset from registry creation *)
+  elapsed_ns : int;
+}
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a span (recorded also when [f]
+    raises).  On a disabled sink this is just [f ()]. *)
+
+val spans : t -> span_event list
+(** Completed spans in chronological order of their start. *)
+
+(** {1 Reading a registry} *)
+
+val counters : t -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val timers : t -> (string * (int * int)) list
+(** All registered timers as [(name, (count, total_ns))], sorted by
+    name. *)
+
+val find_counter : t -> string -> int option
+(** The value of a counter, [None] if never registered. *)
+
+(** {1 The global sink}
+
+    Instrumented modules report to an ambient sink, [disabled] unless
+    the entry point (CLI, bench harness, test) installs a registry. *)
+
+val set_global : t -> unit
+val global : unit -> t
+
+val generation : unit -> int
+(** Bumped on every {!set_global}; lets cached handles detect sink
+    changes. *)
+
+val cached_counter : string -> unit -> counter
+(** [cached_counter name] returns a thunk resolving the counter [name]
+    against the {e current} global sink, memoized until the sink
+    changes.  Bind it at module level; call the thunk at the use
+    site. *)
+
+val cached_timer : string -> unit -> timer
+(** Same memoization for timers. *)
+
+(** {1 JSON} *)
+
+(** A minimal JSON tree — enough to serialize a registry and to parse
+    it back (round-trip tested); no external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:bool -> t -> string
+
+  exception Parse_error of string
+
+  val of_string : string -> t
+  (** Inverse of {!to_string}.  @raise Parse_error on malformed input. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end
+
+val to_json : t -> Json.t
+(** Serialize a registry:
+    {[ { "schema_version": 1,
+         "counters": { name: int, ... },
+         "timers":   { name: { "count": int, "total_ns": int }, ... },
+         "spans":    [ { "name": string, "depth": int,
+                         "start_ns": int, "elapsed_ns": int }, ... ] } ]}
+    A disabled sink serializes to the same shape with empty members. *)
+
+val to_string : t -> string
+(** [Json.to_string ~indent:true (to_json t)]. *)
+
+val write_file : t -> string -> unit
+(** Serialize the registry to a file (trailing newline included). *)

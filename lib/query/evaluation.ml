@@ -1,5 +1,13 @@
 module SMap = Map.Make (String)
 
+(* Join telemetry: probes pick the next atom (one count_matching each),
+   scans enumerate a chosen atom's bucket, bindings are complete
+   assignments reaching the head projection. *)
+let obs_evals = Obs.cached_counter "eval.queries"
+let obs_atom_probes = Obs.cached_counter "eval.atom_probes"
+let obs_atom_scans = Obs.cached_counter "eval.atom_scans"
+let obs_bindings = Obs.cached_counter "eval.bindings"
+
 type slot =
   | Bound of int
   | Unbound of string
@@ -29,7 +37,10 @@ let has_impossible (s, p, o) =
    pick the cheapest next atom (most selective first). *)
 let atom_cost store slots =
   if has_impossible slots then 0
-  else Rdf.Store.count_matching store (pattern_of slots)
+  else begin
+    Obs.incr (obs_atom_probes ());
+    Rdf.Store.count_matching store (pattern_of slots)
+  end
 
 let extend_bindings bindings slots (ts, tp, to_) =
   let extend acc slot code =
@@ -48,9 +59,12 @@ let extend_bindings bindings slots (ts, tp, to_) =
   extend (extend (extend (Some bindings) s ts) p tp) o to_
 
 let eval_bindings store (q : Cq.t) emit =
+  Obs.incr (obs_evals ());
   let rec go bindings remaining =
     match remaining with
-    | [] -> emit bindings
+    | [] ->
+      Obs.incr (obs_bindings ());
+      emit bindings
     | _ ->
       (* dynamic ordering: cheapest atom first *)
       let with_cost =
@@ -72,12 +86,14 @@ let eval_bindings store (q : Cq.t) emit =
       (match best with
       | None -> ()
       | Some (atom, slots, _) ->
-        if not (has_impossible slots) then
+        if not (has_impossible slots) then begin
+          Obs.incr (obs_atom_scans ());
           let rest = List.filter (fun a -> not (a == atom)) remaining in
           Rdf.Store.iter_matching store (pattern_of slots) (fun triple ->
               match extend_bindings bindings slots triple with
               | Some bindings' -> go bindings' rest
-              | None -> ()))
+              | None -> ())
+        end)
   in
   go SMap.empty q.body
 

@@ -2,6 +2,13 @@ type encoded = int * int * int
 
 type pattern = { ps : int option; pp : int option; po : int option }
 
+(* Index telemetry (hooked to the ambient Obs sink; free when disabled).
+   A "probe" is an O(1) count lookup, a "scan" enumerates a bucket. *)
+let obs_inserts = Obs.cached_counter "store.inserts"
+let obs_count_probes = Obs.cached_counter "store.count_probes"
+let obs_scans = Obs.cached_counter "store.scans"
+let obs_scanned = Obs.cached_counter "store.scanned_triples"
+
 (* Index buckets keep an explicit length so that [count_matching] is O(1),
    matching the paper's assumption that counts for 1- and 2-constant
    patterns are available exactly (§3.3). *)
@@ -59,6 +66,7 @@ let bucket_remove idx key triple =
 let add_encoded t ((s, p, o) as triple) =
   if Hashtbl.mem t.all triple then false
   else begin
+    Obs.incr (obs_inserts ());
     Hashtbl.add t.all triple ();
     bucket_add t.idx_s s triple;
     bucket_add t.idx_p p triple;
@@ -120,19 +128,26 @@ let bucket_of t pat =
 let fold_all t f init = Hashtbl.fold (fun triple () acc -> f triple acc) t.all init
 
 let fold_matching t pat f init =
+  Obs.incr (obs_scans ());
   match pat with
-  | { ps = None; pp = None; po = None } -> fold_all t f init
+  | { ps = None; pp = None; po = None } ->
+    Obs.add (obs_scanned ()) (size t);
+    fold_all t f init
   | { ps = Some s; pp = Some p; po = Some o } ->
+    Obs.incr (obs_scanned ());
     if mem_encoded t (s, p, o) then f (s, p, o) init else init
   | _ -> (
     match bucket_of t pat with
-    | Some (Some b) -> List.fold_left (fun acc tr -> f tr acc) init b.items
+    | Some (Some b) ->
+      Obs.add (obs_scanned ()) b.n;
+      List.fold_left (fun acc tr -> f tr acc) init b.items
     | Some None -> init
     | None -> assert false)
 
 let iter_matching t pat f = fold_matching t pat (fun tr () -> f tr) ()
 
 let count_matching t pat =
+  Obs.incr (obs_count_probes ());
   match pat with
   | { ps = None; pp = None; po = None } -> size t
   | { ps = Some s; pp = Some p; po = Some o } ->

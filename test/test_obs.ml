@@ -1,0 +1,287 @@
+(* The Obs observability library: deterministic counter/timer/span
+   semantics, JSON round-trip, and the consistency of the telemetry a
+   real search run emits against its own report. *)
+
+open Support
+
+(* ---------- counters ----------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let reg = Obs.create () in
+  let c = Obs.counter reg "a.b" in
+  check_int "fresh counter is zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  check_int "incr/add accumulate" 42 (Obs.value c);
+  let c' = Obs.counter reg "a.b" in
+  Obs.incr c';
+  check_int "same name, same counter" 43 (Obs.value c);
+  check_int "registry sees the counter" 43
+    (Option.get (Obs.find_counter reg "a.b"));
+  Obs.reset reg;
+  check_int "reset zeroes" 0 (Obs.value c)
+
+let test_disabled_counter () =
+  let c = Obs.counter Obs.disabled "x" in
+  Obs.incr c;
+  Obs.add c 10;
+  check_int "no-op counter stays zero" 0 (Obs.value c);
+  check_bool "disabled sink has no counters" true (Obs.counters Obs.disabled = []);
+  check_bool "disabled is not enabled" false (Obs.is_enabled Obs.disabled)
+
+(* ---------- timers ------------------------------------------------------- *)
+
+let test_timer_semantics () =
+  let reg = Obs.create () in
+  let tm = Obs.timer reg "t" in
+  check_int "fresh timer has no calls" 0 (Obs.timer_count tm);
+  let result = Obs.time tm (fun () -> 1 + 1) in
+  check_int "time returns the result" 2 result;
+  let _ = Obs.time tm (fun () -> ()) in
+  check_int "two calls recorded" 2 (Obs.timer_count tm);
+  check_bool "elapsed is non-negative" true (Obs.timer_ns tm >= 0);
+  (* the timer records also when the thunk raises *)
+  (try Obs.time tm (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "raising call recorded" 3 (Obs.timer_count tm);
+  let dtm = Obs.timer Obs.disabled "t" in
+  check_int "no-op timer passes through" 7 (Obs.time dtm (fun () -> 7));
+  check_int "no-op timer records nothing" 0 (Obs.timer_count dtm)
+
+(* ---------- spans -------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let reg = Obs.create () in
+  let result =
+    Obs.span reg "outer" (fun () ->
+        Obs.span reg "inner1" (fun () -> ());
+        Obs.span reg "inner2" (fun () -> ());
+        17)
+  in
+  check_int "span returns the result" 17 result;
+  let spans = Obs.spans reg in
+  check_int "three spans recorded" 3 (List.length spans);
+  let by_name name = List.find (fun s -> s.Obs.span_name = name) spans in
+  check_int "outer at depth 0" 0 (by_name "outer").Obs.depth;
+  check_int "inner at depth 1" 1 (by_name "inner1").Obs.depth;
+  check_int "inner2 at depth 1" 1 (by_name "inner2").Obs.depth;
+  (match spans with
+  | first :: _ -> check_string "chronological: outer starts first" "outer" first.Obs.span_name
+  | [] -> Alcotest.fail "no spans");
+  check_bool "inner1 starts before inner2" true
+    ((by_name "inner1").Obs.start_ns <= (by_name "inner2").Obs.start_ns);
+  check_bool "outer encloses inner1" true
+    ((by_name "outer").Obs.elapsed_ns >= (by_name "inner1").Obs.elapsed_ns)
+
+(* ---------- JSON --------------------------------------------------------- *)
+
+let sample_json =
+  Obs.Json.(
+    Obj
+      [
+        ("null", Null);
+        ("flag", Bool true);
+        ("off", Bool false);
+        ("int", Int 42);
+        ("neg", Int (-17));
+        ("float", Float 3.25);
+        ("whole", Float 2.0);
+        ("text", String "line\n\"quoted\"\\slash\tand control \001");
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+        ("nested", List [ Int 1; List [ String "x" ]; Obj [ ("k", Null) ] ]);
+      ])
+
+let test_json_roundtrip () =
+  let compact = Obs.Json.to_string sample_json in
+  let pretty = Obs.Json.to_string ~indent:true sample_json in
+  check_bool "compact round-trips" true
+    (Obs.Json.of_string compact = sample_json);
+  check_bool "indented round-trips" true
+    (Obs.Json.of_string pretty = sample_json)
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"open"; "1 2" ] in
+  List.iter
+    (fun text ->
+      match Obs.Json.of_string text with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" text))
+    bad
+
+let test_registry_serialization () =
+  let reg = Obs.create () in
+  Obs.add (Obs.counter reg "c1") 5;
+  let _ = Obs.time (Obs.timer reg "t1") (fun () -> ()) in
+  Obs.span reg "phase" (fun () -> ());
+  let json = Obs.Json.of_string (Obs.to_string reg) in
+  check_bool "schema version present" true
+    (Obs.Json.member "schema_version" json = Some (Obs.Json.Int 1));
+  (match Obs.Json.(member "counters" json) with
+  | Some counters ->
+    check_bool "counter value serialized" true
+      (Obs.Json.member "c1" counters = Some (Obs.Json.Int 5))
+  | None -> Alcotest.fail "no counters member");
+  (match Obs.Json.(member "timers" json) with
+  | Some timers -> (
+    match Obs.Json.member "t1" timers with
+    | Some t1 ->
+      check_bool "timer count serialized" true
+        (Obs.Json.member "count" t1 = Some (Obs.Json.Int 1))
+    | None -> Alcotest.fail "no t1 timer")
+  | None -> Alcotest.fail "no timers member");
+  match Obs.Json.(member "spans" json) with
+  | Some (Obs.Json.List [ span ]) ->
+    check_bool "span name serialized" true
+      (Obs.Json.member "name" span = Some (Obs.Json.String "phase"))
+  | _ -> Alcotest.fail "expected exactly one span"
+
+(* ---------- cached handles and the global sink --------------------------- *)
+
+let test_cached_handles_follow_global () =
+  let handle = Obs.cached_counter "cached.c" in
+  Obs.set_global Obs.disabled;
+  Obs.incr (handle ());
+  check_int "disabled: stays zero" 0 (Obs.value (handle ()));
+  let reg = Obs.create () in
+  Obs.set_global reg;
+  Obs.incr (handle ());
+  Obs.incr (handle ());
+  check_int "enabled after set_global" 2
+    (Option.get (Obs.find_counter reg "cached.c"));
+  Obs.set_global Obs.disabled;
+  Obs.incr (handle ());
+  check_int "re-disabled: registry unchanged" 2
+    (Option.get (Obs.find_counter reg "cached.c"))
+
+(* ---------- integration: a real search run ------------------------------- *)
+
+(* The Figure 3 workload drives Search.run end-to-end against an enabled
+   global sink; the emitted counters must agree with the report and with
+   each other. *)
+let test_search_emits_consistent_counters () =
+  let reg = Obs.create () in
+  Obs.set_global reg;
+  Fun.protect ~finally:(fun () -> Obs.set_global Obs.disabled) @@ fun () ->
+  let query =
+    cq ~name:"q"
+      [ v "Y"; v "Z" ]
+      [ atom (v "X") (v "Y") (c "ex:c1"); atom (v "X") (v "Z") (c "ex:c2") ]
+  in
+  let store =
+    store_of
+      [
+        triple (uri "s1") (uri "p1") (uri "ex:c1");
+        triple (uri "s1") (uri "p2") (uri "ex:c2");
+        triple (uri "s2") (uri "p1") (uri "ex:c1");
+        triple (uri "s2") (uri "p1") (uri "ex:c2");
+      ]
+  in
+  let options =
+    {
+      Core.Search.default_options with
+      strategy = Core.Search.Exnaive;
+      avf = false;
+      stop_tt = false;
+      stop_var = false;
+    }
+  in
+  let report =
+    Core.Search.run (Stats.Statistics.create store) options [ query ]
+  in
+  let counter name =
+    match Obs.find_counter reg name with Some n -> n | None -> 0
+  in
+  check_int "search.runs" 1 (counter "search.runs");
+  check_int "obs created mirrors the report" report.Core.Search.created
+    (counter "search.created");
+  check_int "obs duplicates mirrors the report" report.Core.Search.duplicates
+    (counter "search.duplicates");
+  check_int "obs discarded mirrors the report" report.Core.Search.discarded
+    (counter "search.discarded");
+  check_int "obs explored mirrors the report" report.Core.Search.explored
+    (counter "search.explored");
+  (* every created state is a successor some transition produced *)
+  let applied =
+    List.fold_left
+      (fun acc k ->
+        acc + counter ("transition." ^ Core.Transition.kind_name k ^ ".applied"))
+      0 Core.Transition.all_kinds
+  in
+  check_bool "transitions applied >= states created" true
+    (applied >= report.Core.Search.created);
+  check_bool "some states were created" true (report.Core.Search.created > 0);
+  (* per-stratum created counts partition the global count *)
+  let stratum_created =
+    List.fold_left
+      (fun acc k ->
+        acc
+        + counter ("search.stratum." ^ Core.Transition.kind_name k ^ ".created"))
+      0 Core.Transition.all_kinds
+  in
+  check_int "stratum created partitions created" report.Core.Search.created
+    stratum_created;
+  (* duplicate-free creations are exactly the distinct non-S0 states *)
+  check_int "created minus duplicates = distinct states"
+    (report.Core.Search.explored - 1)
+    (report.Core.Search.created - report.Core.Search.duplicates);
+  (* the cost memo was exercised, and every miss was timed *)
+  check_bool "cost memo hit at least once" true (counter "cost.state.hits" > 0);
+  check_bool "cost memo missed at least once" true
+    (counter "cost.state.misses" > 0);
+  (match Obs.timers reg with
+  | timers -> (
+    match List.assoc_opt "cost.state.eval" timers with
+    | Some (calls, _) -> check_int "misses are timed" (counter "cost.state.misses") calls
+    | None -> Alcotest.fail "cost.state.eval timer missing"));
+  (* statistics probe the store through the indexed counters *)
+  check_bool "store probes recorded" true (counter "store.count_probes" > 0);
+  (* expansion timing covers every explored state *)
+  (match List.assoc_opt "search.expand" (Obs.timers reg) with
+  | Some (calls, _) ->
+    check_int "one expand timing per explored state"
+      report.Core.Search.explored calls
+  | None -> Alcotest.fail "search.expand timer missing")
+
+let test_disabled_sink_changes_nothing () =
+  Obs.set_global Obs.disabled;
+  let query =
+    cq ~name:"q" [ v "X" ] [ atom (v "X") (c "p") (c "o") ]
+  in
+  let store = store_of [ triple (uri "s") (uri "p") (uri "o") ] in
+  let report =
+    Core.Search.run (Stats.Statistics.create store)
+      Core.Search.default_options [ query ]
+  in
+  check_bool "search still runs" true (report.Core.Search.explored >= 1)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "disabled" `Quick test_disabled_counter;
+        ] );
+      ("timers", [ Alcotest.test_case "semantics" `Quick test_timer_semantics ]);
+      ("spans", [ Alcotest.test_case "nesting" `Quick test_span_nesting ]);
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "registry serialization" `Quick
+            test_registry_serialization;
+        ] );
+      ( "global sink",
+        [
+          Alcotest.test_case "cached handles" `Quick
+            test_cached_handles_follow_global;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "search counters consistent" `Quick
+            test_search_emits_consistent_counters;
+          Alcotest.test_case "disabled sink is inert" `Quick
+            test_disabled_sink_changes_nothing;
+        ] );
+    ]
