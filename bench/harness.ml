@@ -102,6 +102,7 @@ let options ?(strategy = Core.Search.Dfs) ?(avf = true) ?(stop_var = true)
     time_budget = Some budget;
     max_states;
     weights = Core.Cost.default_weights;
+    on_accept = None;
   }
 
 let stats_for store = Stats.Statistics.create store
@@ -140,7 +141,7 @@ let measure_tests ?(quota = 0.5) tests =
       in
       (name, estimate) :: acc)
     results []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let time_once f =
   let t0 = Unix.gettimeofday () in

@@ -2,6 +2,7 @@
 
    Subcommands:
      select       recommend materialized views for a workload
+     check        certify saved states against a workload's semantics
      reformulate  reformulate queries w.r.t. an RDFS (Algorithm 1)
      saturate     saturate a dataset w.r.t. an RDFS
      eval         evaluate queries over a dataset
@@ -30,10 +31,30 @@ let load_store path = Rdf.Store.of_triples (Query.Parser.parse_triples (read_fil
 let load_workload path = Query.Parser.parse_workload (read_file path)
 let load_schema path = Query.Parser.parse_schema (read_file path)
 
+(* Like [handle_errors] but for commands whose success path already
+   returns an exit code (check: 0 certified / 1 violations found). *)
+let handle_errors_code f =
+  try f () with
+  | Query.Parser.Parse_error message ->
+    Printf.eprintf "parse error: %s\n" message;
+    2
+  | Core.State_io.Syntax_error message ->
+    Printf.eprintf "state file error: %s\n" message;
+    2
+  | Invalid_argument message | Failure message ->
+    Printf.eprintf "error: %s\n" message;
+    2
+  | Sys_error message ->
+    Printf.eprintf "%s\n" message;
+    2
+
 let handle_errors f =
   try f (); 0 with
   | Query.Parser.Parse_error message ->
     Printf.eprintf "parse error: %s\n" message;
+    1
+  | Core.State_io.Syntax_error message ->
+    Printf.eprintf "state file error: %s\n" message;
     1
   | Invalid_argument message | Failure message ->
     Printf.eprintf "error: %s\n" message;
@@ -158,8 +179,25 @@ let select_cmd =
           ~doc:"Write a SQL deployment script (view DDL + rewriting queries) \
                 to $(docv); use - for stdout.")
   in
+  let state_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-out" ] ~docv:"FILE"
+          ~doc:"Write the best state (views + rewritings) to $(docv), in the \
+                format read back by $(b,rdfviews check --state).")
+  in
+  let trace_states_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-states" ] ~docv:"FILE"
+          ~doc:"Write every state the search accepts (after stop conditions \
+                and deduplication) to $(docv), for offline certification \
+                with $(b,rdfviews check).")
+  in
   let run data workload schema reasoning strategy budget no_avf no_stv materialize sql
-      metrics =
+      state_out trace_states metrics =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     let store = load_store data in
@@ -174,6 +212,7 @@ let select_cmd =
       | (`Saturation | `Pre | `Post), None ->
         failwith "this reasoning mode requires --schema"
     in
+    let traced = ref [] in
     let options =
       {
         Core.Search.default_options with
@@ -181,6 +220,10 @@ let select_cmd =
         avf = not no_avf;
         stop_var = not no_stv;
         time_budget = budget;
+        on_accept =
+          (match trace_states with
+          | None -> None
+          | Some _ -> Some (fun s -> traced := s :: !traced));
       }
     in
     let result =
@@ -216,6 +259,18 @@ let select_cmd =
       close_out oc;
       Printf.printf "\nSQL deployment script written to %s\n" file
     | None -> ());
+    (match state_out with
+    | Some file ->
+      Core.State_io.write_file file [ report.Core.Search.best ];
+      Printf.printf "\nbest state written to %s\n" file
+    | None -> ());
+    (match trace_states with
+    | Some file ->
+      let states = List.rev !traced in
+      Core.State_io.write_file file states;
+      Printf.printf "\n%d accepted state(s) written to %s\n"
+        (List.length states) file
+    | None -> ());
     if materialize then begin
       let mstore = result.Core.Selector.store_for_materialization in
       let env = Engine.Materialize.materialize_views mstore result.Core.Selector.recommended in
@@ -236,7 +291,100 @@ let select_cmd =
     Term.(
       const run $ data_arg $ workload_arg $ schema_opt_arg $ reasoning_arg
       $ strategy_arg $ budget_arg $ no_avf_arg $ no_stv_arg $ materialize_arg
-      $ sql_arg $ metrics_arg)
+      $ sql_arg $ state_out_arg $ trace_states_arg $ metrics_arg)
+
+(* ---------- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let state_arg =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "state" ] ~docv:"FILE"
+          ~doc:"State file to certify (written by $(b,select --state-out) or \
+                $(b,--trace-states)).")
+  in
+  let data_opt_arg =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "d"; "data" ] ~docv:"FILE"
+          ~doc:"Triples file; when given, cost-model invariants are checked \
+                against statistics of this dataset.")
+  in
+  let reasoning_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("pre", `Pre) ]) `None
+      & info [ "r"; "reasoning" ] ~docv:"MODE"
+          ~doc:"Reference semantics: none (each query itself) or pre (each \
+                query's reformulation w.r.t. --schema, for states produced \
+                under pre-reformulation).")
+  in
+  let run workload schema reasoning state data =
+    handle_errors_code @@ fun () ->
+    let queries = load_workload workload in
+    let reference =
+      match (reasoning, Option.map load_schema schema) with
+      | `None, _ -> Core.Invariant.reference_of_workload queries
+      | `Pre, Some s ->
+        Core.Invariant.reference_of_groups
+          (List.map
+             (fun q ->
+               ( q.Query.Cq.name,
+                 Query.Ucq.disjuncts (Query.Reformulation.reformulate q s) ))
+             queries)
+      | `Pre, None -> failwith "--reasoning pre requires --schema"
+    in
+    let estimator =
+      Option.map
+        (fun path ->
+          Core.Cost.create
+            (Stats.Statistics.create ~mode:Stats.Statistics.Plain
+               (load_store path))
+            Core.Cost.default_weights)
+        data
+    in
+    let states = Core.State_io.read_file state in
+    if states = [] then failwith "state file contains no states";
+    let total = ref 0 in
+    List.iteri
+      (fun i s ->
+        let violations = Core.Invariant.check ?estimator reference s in
+        total := !total + List.length violations;
+        if violations = [] then
+          Printf.printf "state %d: ok (%d view(s), %d rewriting(s) certified)\n"
+            (i + 1)
+            (List.length s.Core.State.views)
+            (List.length s.Core.State.rewritings)
+        else
+          List.iter
+            (fun viol ->
+              Printf.printf "state %d: %s\n" (i + 1)
+                (Core.Invariant.violation_to_string viol))
+            violations)
+      states;
+    if !total = 0 then begin
+      Printf.printf "%d state(s) certified\n" (List.length states);
+      0
+    end
+    else begin
+      Printf.printf "%d violation(s) found\n" !total;
+      1
+    end
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:
+        "Certify saved states: every workload query rewritten, each \
+         rewriting equivalent to the query (containment mappings both \
+         ways), structure and cost estimates sane.  Exits 0 when all \
+         states certify, 1 on violations, 2 on usage or parse errors."
+  in
+  Cmd.v info
+    Term.(
+      const run $ workload_arg $ schema_opt_arg $ reasoning_arg $ state_arg
+      $ data_opt_arg)
 
 (* ---------- reformulate ---------------------------------------------------- *)
 
@@ -421,5 +569,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ select_cmd; reformulate_cmd; saturate_cmd; eval_cmd; generate_cmd;
-            barton_cmd ]))
+          [ select_cmd; check_cmd; reformulate_cmd; saturate_cmd; eval_cmd;
+            generate_cmd; barton_cmd ]))

@@ -233,3 +233,11 @@ let state_cost t s =
     let c = Obs.time (obs_state_eval ()) (fun () -> (breakdown t s).total) in
     Hashtbl.add t.costs key c;
     c
+
+let memo_consistent t s =
+  match Hashtbl.find_opt t.costs (State.key s) with
+  | None -> true
+  | Some memoized ->
+    let fresh = (breakdown t s).total in
+    let scale = Float.max 1. (Float.max (Float.abs memoized) (Float.abs fresh)) in
+    Float.abs (memoized -. fresh) <= 1e-9 *. scale

@@ -56,3 +56,8 @@ type breakdown = { vso_part : float; rec_part : float; vmc_part : float; total :
 
 val breakdown : t -> State.t -> breakdown
 (** Unweighted components and the weighted total, for reporting. *)
+
+val memo_consistent : t -> State.t -> bool
+(** True when the memoized cost for the state (if any) agrees with a
+    fresh recomputation of {!breakdown}, up to floating-point noise.
+    States never memoized are vacuously consistent. *)

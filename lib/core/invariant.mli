@@ -1,0 +1,88 @@
+(** Semantic invariant checking for search states.
+
+    A state is valid for a workload exactly when (Definition 2.3) its
+    view set rewrites every workload query: unfolding each rewriting —
+    substituting every view scan by the view's conjunctive definition —
+    must yield a union of conjunctive queries equivalent to the query's
+    reference semantics.  Equivalence is certified constructively by
+    Chandra–Merlin containment mappings in both directions
+    ({!Query.Cq.contained_in}), disjunct-wise for unions
+    (Sagiv–Yannakakis).  On top of that semantic core, the checker
+    validates structural well-formedness ({!State.structural_violations}),
+    cost-model sanity (finite, non-negative, memo-consistent estimates)
+    and state-graph edges (parent/child pairs replayable by a
+    transition).
+
+    Strict mode ([RDFVIEWS_STRICT=1] in the environment) makes the
+    search assert these invariants on every accepted state — see
+    {!Search.run_from} — and makes {!Transition.successors} check
+    structural invariants on every state it produces. *)
+
+type violation = {
+  state_key : string;  (** {!State.key} of the offending state *)
+  invariant : string;
+      (** which invariant family: ["structure"], ["coverage"],
+          ["rewriting"], ["equivalence"], ["cost"] or ["edge"] *)
+  detail : string;  (** human-readable description *)
+}
+
+exception Violation of violation
+(** Raised by {!assert_valid} (and, through it, by the search in strict
+    mode) on the first violation found. *)
+
+val violation_to_string : violation -> string
+
+val strict_enabled : unit -> bool
+(** Whether [RDFVIEWS_STRICT] is set to a truthy value (anything but
+    [""], ["0"] and ["false"]). *)
+
+val unfold : State.t -> Rewriting.t -> (Query.Cq.t list, string) result
+(** Unfold a rewriting into the union of conjunctive queries over the
+    triple table it computes, by substituting each view scan with the
+    view's definition and propagating selections, projections, renames
+    and join conditions symbolically.  Mirrors the reference executor
+    ({!Engine.Executor}) operation for operation, including its join
+    column semantics.  [Error] carries a description of the defect
+    (unknown view, unknown column, empty union, ...). *)
+
+type reference = (string * Query.Cq.t list) list
+(** Per-query reference semantics: query name → disjuncts.  Singleton
+    lists in the plain scenario; the reformulated union under
+    pre-reformulation (§4.3). *)
+
+val reference_of_workload : Query.Cq.t list -> reference
+
+val reference_of_groups : (string * Query.Cq.t list) list -> reference
+
+val reference_of_state : State.t -> (reference, string) result
+(** Recover the reference from a valid state by unfolding its own
+    rewritings — by construction the initial state's rewritings unfold
+    to (a variable-renaming of) the workload itself, so the search can
+    derive its strict-mode reference without extra plumbing. *)
+
+val ucq_equivalent : Query.Cq.t list -> Query.Cq.t list -> bool
+(** Disjunct-wise equivalence of two unions of conjunctive queries. *)
+
+val check_structure : State.t -> violation list
+(** {!State.structural_violations}, as typed violations. *)
+
+val check_equivalence : reference -> State.t -> violation list
+(** Every reference query has a rewriting; no rewriting targets an
+    unknown query; each rewriting unfolds, has the query's arity, and is
+    both sound (unfolding ⊑ query) and complete (query ⊑ unfolding). *)
+
+val check_costs : Cost.t -> State.t -> violation list
+(** Per-view and per-state estimates are finite and non-negative, the
+    total is the weighted sum of its parts, and the memo table agrees
+    with recomputation. *)
+
+val check_edge : parent:State.t -> child:State.t -> violation list
+(** The child's view set is producible from the parent by one transition
+    (possibly followed by the aggressive-view-fusion collapse). *)
+
+val check : ?estimator:Cost.t -> reference -> State.t -> violation list
+(** All of the above except edges: structure, equivalence and — when an
+    estimator is supplied — costs. *)
+
+val assert_valid : ?estimator:Cost.t -> reference -> State.t -> unit
+(** @raise Violation on the first problem {!check} finds. *)

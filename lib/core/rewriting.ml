@@ -30,6 +30,32 @@ let rec columns env = function
   | Union [] -> failwith "Rewriting.columns: empty union"
   | Union (e :: _) -> columns env e
 
+let equal_cond a b =
+  match (a, b) with
+  | Eq_cst (c1, v1), Eq_cst (c2, v2) ->
+    String.equal c1 c2 && Rdf.Term.equal v1 v2
+  | Eq_col (a1, b1), Eq_col (a2, b2) ->
+    String.equal a1 a2 && String.equal b1 b2
+  | Eq_cst _, Eq_col _ | Eq_col _, Eq_cst _ -> false
+
+let equal_pair (a1, b1) (a2, b2) = String.equal a1 a2 && String.equal b1 b2
+
+let rec equal x y =
+  match (x, y) with
+  | Scan a, Scan b -> String.equal a b
+  | Select (ca, ea), Select (cb, eb) ->
+    List.equal equal_cond ca cb && equal ea eb
+  | Project (ca, ea), Project (cb, eb) ->
+    List.equal String.equal ca cb && equal ea eb
+  | Join (ca, la, ra), Join (cb, lb, rb) ->
+    List.equal equal_pair ca cb && equal la lb && equal ra rb
+  | Rename (ma, ea), Rename (mb, eb) ->
+    List.equal equal_pair ma mb && equal ea eb
+  | Union ba, Union bb -> List.equal equal ba bb
+  | ( (Scan _ | Select _ | Project _ | Join _ | Rename _ | Union _),
+      (Scan _ | Select _ | Project _ | Join _ | Rename _ | Union _) ) ->
+    false
+
 let rec substitute name replacement expr =
   match expr with
   | Scan n -> if String.equal n name then replacement else expr

@@ -34,6 +34,11 @@ val columns : env -> t -> string list
 (** Output columns of the expression.  Raises [Failure] on unknown view
     symbols or column references. *)
 
+val equal_cond : cond -> cond -> bool
+
+val equal : t -> t -> bool
+(** Structural equality, delegating constants to {!Rdf.Term.equal}. *)
+
 val substitute : string -> t -> t -> t
 (** [substitute name replacement expr] replaces every [Scan name] in
     [expr] by [replacement].  The replacement must have the same columns

@@ -8,6 +8,7 @@ type options = {
   time_budget : float option;
   max_states : int option;
   weights : Cost.weights;
+  on_accept : (State.t -> unit) option;
 }
 
 let default_options =
@@ -19,6 +20,7 @@ let default_options =
     time_budget = None;
     max_states = None;
     weights = Cost.default_weights;
+    on_accept = None;
   }
 
 type report = {
@@ -100,6 +102,9 @@ let obs_stratum_expand =
 type engine = {
   estimator : Cost.t;
   options : options;
+  strict_reference : Invariant.reference option;
+      (* Some under RDFVIEWS_STRICT: every accepted state is asserted
+         equivalent to this reference *)
   seen : (string, int) Hashtbl.t;  (* state key -> lowest stratum rank *)
   mutable created : int;
   mutable duplicates : int;
@@ -170,7 +175,14 @@ let consider engine ~rank state =
       Some (state, rank)
     | None ->
       Hashtbl.replace engine.seen key rank;
+      (match engine.strict_reference with
+      | Some reference ->
+        Invariant.assert_valid ~estimator:engine.estimator reference state
+      | None -> ());
       note_best engine state;
+      (match engine.options.on_accept with
+      | Some hook -> hook state
+      | None -> ());
       Some (state, rank)
   end
 
@@ -283,13 +295,36 @@ let run_from estimator options initial =
   (* S0's cost is that of the raw query set (§5.1); the AVF collapse of
      the initial state, when enabled, counts as the first search gain *)
   let initial_cost = Cost.state_cost estimator initial in
+  (* Under RDFVIEWS_STRICT the reference semantics is recovered from the
+     initial state itself: unfolding S0's rewritings yields (a renaming
+     of) the workload, so no extra plumbing is needed.  Every accepted
+     state is then asserted equivalent to it. *)
+  let strict_reference =
+    if Invariant.strict_enabled () then
+      match Invariant.reference_of_state initial with
+      | Ok reference -> Some reference
+      | Error detail ->
+        raise
+          (Invariant.Violation
+             {
+               Invariant.state_key = State.key initial;
+               invariant = "rewriting";
+               detail = "initial state does not unfold: " ^ detail;
+             })
+    else None
+  in
   let initial =
     if options.avf then Transition.fusion_closure initial else initial
   in
+  (match strict_reference with
+  | Some reference -> Invariant.assert_valid ~estimator reference initial
+  | None -> ());
+  (match options.on_accept with Some hook -> hook initial | None -> ());
   let engine =
     {
       estimator;
       options;
+      strict_reference;
       seen = Hashtbl.create 4096;
       created = 0;
       duplicates = 0;

@@ -27,10 +27,15 @@ type options = {
   time_budget : float option;  (** stoptime, in seconds *)
   max_states : int option;     (** memory stand-in; exceeded → out_of_memory *)
   weights : Cost.weights;
+  on_accept : (State.t -> unit) option;
+      (** called once per distinct accepted state (the initial state
+          included), after stop conditions and deduplication; used to
+          trace every state the search retains *)
 }
 
 val default_options : options
-(** DFS-AVF-STV with no time budget and the paper's default weights. *)
+(** DFS-AVF-STV with no time budget, the paper's default weights and no
+    accept hook. *)
 
 type report = {
   best : State.t;
@@ -57,7 +62,11 @@ val rcr : report -> float
 
 val run_from : Cost.t -> options -> State.t -> report
 (** Search from a given initial state (used for pre-reformulation and by
-    the competitor harness). *)
+    the competitor harness).  When [RDFVIEWS_STRICT] is set
+    ({!Invariant.strict_enabled}), the reference semantics is recovered
+    from the initial state and {!Invariant.assert_valid} runs on every
+    accepted state; the first violation aborts the search with
+    {!Invariant.Violation}. *)
 
 val run : Stats.Statistics.t -> options -> Query.Cq.t list -> report
 (** Search from the standard initial state S0 of the workload. *)

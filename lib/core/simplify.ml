@@ -67,7 +67,9 @@ let step env expr =
         (wrap above
            (Rewriting.Join (jc, wrap to_left l, wrap to_right r)))
     end
-  | Rewriting.Project (cols, e) when Rewriting.columns env e = cols -> Some e
+  | Rewriting.Project (cols, e)
+    when List.equal String.equal (Rewriting.columns env e) cols ->
+    Some e
   | Rewriting.Project (cols, Rewriting.Project (_, e)) ->
     Some (Rewriting.Project (cols, e))
   | Rewriting.Rename (mapping, e) when is_identity_rename mapping -> Some e
@@ -87,7 +89,9 @@ let step env expr =
   | Rewriting.Union branches ->
     let deduped =
       List.fold_left
-        (fun acc branch -> if List.mem branch acc then acc else branch :: acc)
+        (fun acc branch ->
+          if List.exists (Rewriting.equal branch) acc then acc
+          else branch :: acc)
         [] branches
       |> List.rev
     in

@@ -64,21 +64,44 @@ let replace_view t ~victim ~replacements ~expression =
 let remove_views t victims =
   { t with views = List.filter (fun v -> not (List.memq v victims)) t.views }
 
-let invariants_hold t =
+let structural_violations t =
   let env = env t in
-  let rewritings_ok =
-    List.for_all (fun (_, r) -> Rewriting.well_formed env r) t.rewritings
-  in
+  let problems = ref [] in
+  let note p = problems := p :: !problems in
+  let names = List.map View.name t.views in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then note "duplicate view name";
+  List.iter
+    (fun (q, r) ->
+      if not (Rewriting.well_formed env r) then
+        note
+          (Printf.sprintf "rewriting of %s is ill-formed: %s" q
+             (Rewriting.to_string r));
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem env v) then
+            note
+              (Printf.sprintf "rewriting of %s scans unknown view %s" q v))
+        (Rewriting.views_used r))
+    t.rewritings;
   let used =
     List.concat_map (fun (_, r) -> Rewriting.views_used r) t.rewritings
   in
-  let all_used =
-    List.for_all (fun v -> List.mem (View.name v) used) t.views
-  in
-  let connected =
-    List.for_all (fun v -> Query.Cq.is_connected v.View.cq) t.views
-  in
-  rewritings_ok && all_used && connected
+  List.iter
+    (fun v ->
+      if not (List.mem (View.name v) used) then
+        note (Printf.sprintf "view %s used by no rewriting" (View.name v)))
+    t.views;
+  List.iter
+    (fun v ->
+      if not (Query.Cq.is_connected v.View.cq) then
+        note
+          (Printf.sprintf "view %s has a Cartesian product: %s" (View.name v)
+             (View.to_string v)))
+    t.views;
+  List.rev !problems
+
+let invariants_hold t = structural_violations t = []
 
 let to_string t =
   let views = String.concat "\n  " (List.map View.to_string t.views) in

@@ -42,9 +42,16 @@ val remove_views : t -> View.t list -> t
 (** Remove views without touching rewritings (used by fusion, which
     substitutes two symbols). *)
 
+val structural_violations : t -> string list
+(** Human-readable descriptions of every structural invariant the state
+    breaks: ill-formed or dangling rewritings, views used by no
+    rewriting, duplicate view names, views with Cartesian products.
+    Empty on a well-formed state. *)
+
 val invariants_hold : t -> bool
-(** All rewritings well-formed over the state's views; every view used by
-    at least one rewriting; no view has a Cartesian product. *)
+(** [structural_violations t = []]: all rewritings well-formed over the
+    state's views; every view used by at least one rewriting; no view
+    has a Cartesian product. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -6,6 +6,21 @@ type join_edge = {
   var : string;
 }
 
+let compare_join_edge a b =
+  let c = Int.compare a.atom_a b.atom_a in
+  if c <> 0 then c
+  else
+    let c = Query.Atom.compare_position a.pos_a b.pos_a in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.atom_b b.atom_b in
+      if c <> 0 then c
+      else
+        let c = Query.Atom.compare_position a.pos_b b.pos_b in
+        if c <> 0 then c else String.compare a.var b.var
+
+let equal_join_edge a b = compare_join_edge a b = 0
+
 type selection_edge = {
   atom : int;
   pos : Query.Atom.position;
@@ -47,7 +62,7 @@ let join_edges q =
       in
       pairs places)
     table;
-  List.sort compare !edges
+  List.sort compare_join_edge !edges
 
 let selection_edges q =
   List.concat
@@ -108,7 +123,7 @@ let components_without_edge q edge =
   let surviving =
     List.filter
       (fun e ->
-        if (not !removed) && e = edge then begin
+        if (not !removed) && equal_join_edge e edge then begin
           removed := true;
           false
         end
@@ -123,7 +138,8 @@ let components_without_occurrence q i pos =
     List.filter
       (fun e ->
         not
-          ((e.atom_a = i && e.pos_a = pos) || (e.atom_b = i && e.pos_b = pos)))
+          ((e.atom_a = i && Query.Atom.equal_position e.pos_a pos)
+          || (e.atom_b = i && Query.Atom.equal_position e.pos_b pos)))
       (join_edges q)
   in
   components all (List.map (fun e -> (e.atom_a, e.atom_b)) surviving)

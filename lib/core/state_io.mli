@@ -1,0 +1,40 @@
+(** Text serialization of states, for [rdfviews select --state-out] /
+    [--trace-states] and [rdfviews check --state].
+
+    A file holds one or more states, each introduced by a line [state],
+    followed by one [view <query>.] line per view (workload query
+    syntax; the query's name is the view symbol) and one
+    [rewrite NAME := EXPR] line per workload query.  Expressions:
+
+    {v
+    scan v1
+    select[x=<ex:c>, x=y](E)
+    project[x, y](E)
+    join[x=y](E, E)          join[](E, E) is the natural join
+    rename[x->y](E)
+    union(E, E, ...)
+    v}
+
+    Constants in conditions are always bracketed ([<uri>], ["lit"],
+    [_:blank]); a bare identifier after [=] is a column name. *)
+
+exception Syntax_error of string
+
+val expr_to_text : Rewriting.t -> string
+
+val parse_expr : string -> Rewriting.t
+(** @raise Syntax_error on malformed input. *)
+
+val state_to_text : State.t -> string
+
+val states_to_text : State.t list -> string
+
+val parse_states : string -> State.t list
+(** Parse a whole file's contents.
+    @raise Syntax_error on malformed input
+    @raise Invalid_argument when a view definition is rejected by
+    {!View.of_cq} (disconnected body, duplicate head variables). *)
+
+val write_file : string -> State.t list -> unit
+
+val read_file : string -> State.t list

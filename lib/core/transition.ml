@@ -320,6 +320,18 @@ let fusion_pairs state =
 let view_fusions state =
   List.filter_map (fun (v1, v2) -> fuse state v1 v2) (fusion_pairs state)
 
+(* Cheap structural self-check under RDFVIEWS_STRICT.  The full semantic
+   checks (rewriting equivalence, cost sanity) live in Invariant and run
+   from the search, which sits above this module; checking here as well
+   pinpoints the faulty transition kind instead of the accepting
+   search step.  The environment is read directly to keep this module
+   below Invariant in the dependency order. *)
+let strict =
+  lazy
+    (match Sys.getenv_opt "RDFVIEWS_STRICT" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
 let successors state kind =
   let produced =
     Obs.time
@@ -331,6 +343,16 @@ let successors state kind =
         | JC -> join_cuts state
         | VF -> view_fusions state)
   in
+  if Lazy.force strict then
+    List.iter
+      (fun succ ->
+        match State.structural_violations succ with
+        | [] -> ()
+        | problem :: _ ->
+          failwith
+            (Printf.sprintf "Transition.%s produced an invalid state: %s"
+               (kind_name kind) problem))
+      produced;
   Obs.add (obs_applied.(kind_rank kind) ()) (List.length produced);
   produced
 

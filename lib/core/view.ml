@@ -2,23 +2,35 @@ type t = { id : int; cq : Query.Cq.t; canon : string Lazy.t; canon_body : string
 
 let counter = ref 0
 
-let make cq =
+let validate who cq =
   if not (Query.Cq.is_connected cq) then
     invalid_arg
-      ("View.make: view with Cartesian product: " ^ Query.Cq.to_string cq);
+      ("View." ^ who ^ ": view with Cartesian product: " ^ Query.Cq.to_string cq);
   let head_names = List.filter_map Query.Qterm.var_name cq.Query.Cq.head in
   if List.length (List.sort_uniq String.compare head_names)
      <> List.length head_names
-  then invalid_arg ("View.make: duplicate head variable: " ^ Query.Cq.to_string cq);
-  incr counter;
-  let id = !counter in
-  let cq = Query.Cq.rename cq (Printf.sprintf "v%d" id) in
+  then
+    invalid_arg
+      ("View." ^ who ^ ": duplicate head variable: " ^ Query.Cq.to_string cq)
+
+let wrap id cq =
   {
     id;
     cq;
     canon = lazy (Query.Cq.canonical_head_set_string cq);
     canon_body = lazy (Query.Cq.canonical_body_string cq);
   }
+
+let make cq =
+  validate "make" cq;
+  incr counter;
+  let id = !counter in
+  wrap id (Query.Cq.rename cq (Printf.sprintf "v%d" id))
+
+let of_cq cq =
+  validate "of_cq" cq;
+  incr counter;
+  wrap !counter cq
 
 let name v = v.cq.Query.Cq.name
 

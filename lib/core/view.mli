@@ -17,6 +17,11 @@ val make : Query.Cq.t -> t
     Cartesian products are disallowed, §3.1) or if two head variables
     share a name (view columns must be unambiguous). *)
 
+val of_cq : Query.Cq.t -> t
+(** Wrap a query as a view {e keeping its name} (used when reloading
+    states from disk, where view names are already fixed by the
+    rewritings that reference them).  Same validation as {!make}. *)
+
 val name : t -> string
 
 val head : t -> Query.Qterm.t list

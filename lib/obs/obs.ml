@@ -129,7 +129,7 @@ let spans = function
   | Disabled -> []
   | Enabled r ->
     List.stable_sort
-      (fun a b -> compare a.start_ns b.start_ns)
+      (fun a b -> Int.compare a.start_ns b.start_ns)
       (List.rev r.trace)
 
 (* ---------- reading ------------------------------------------------------ *)
@@ -334,7 +334,7 @@ module Json = struct
             let hex = String.sub text !pos 4 in
             let code =
               try int_of_string ("0x" ^ hex)
-              with _ -> fail "bad \\u escape"
+              with Failure _ -> fail "bad \\u escape"
             in
             pos := !pos + 4;
             utf8_of_code b code

@@ -26,6 +26,8 @@ let position_rank = function S -> 0 | P -> 1 | O -> 2
 
 let compare_position a b = Int.compare (position_rank a) (position_rank b)
 
+let equal_position a b = compare_position a b = 0
+
 let vars t =
   List.filter_map (fun pos -> Qterm.var_name (term_at t pos)) positions
 

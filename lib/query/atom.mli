@@ -20,6 +20,8 @@ val position_name : position -> string
 
 val compare_position : position -> position -> int
 
+val equal_position : position -> position -> bool
+
 val vars : t -> string list
 (** Variable names in s, p, o order, with duplicates. *)
 

@@ -1,5 +1,17 @@
 module SMap = Map.Make (String)
 
+(* Answer tuples are rows of domain terms; deduplication goes through a
+   dedicated table built on Rdf.Term's own equal/hash rather than the
+   polymorphic ones. *)
+module Row_table = Hashtbl.Make (struct
+  type t = Rdf.Term.t list
+
+  let equal = List.equal Rdf.Term.equal
+
+  let hash l =
+    List.fold_left (fun h t -> ((h * 31) + Rdf.Term.hash t) land max_int) 17 l
+end)
+
 (* Join telemetry: probes pick the next atom (one count_matching each),
    scans enumerate a chosen atom's bucket, bindings are complete
    assignments reaching the head projection. *)
@@ -108,7 +120,7 @@ let eval_into store (q : Cq.t) results =
   eval_bindings store q (fun bindings ->
       let tuple = project bindings in
       let key = Array.to_list tuple in
-      if not (Hashtbl.mem results key) then Hashtbl.add results key tuple)
+      if not (Row_table.mem results key) then Row_table.add results key tuple)
 
 let eval_codes_into store (q : Cq.t) results =
   let project bindings =
@@ -134,18 +146,20 @@ let eval_ucq_codes store u =
   Hashtbl.fold (fun _ tuple acc -> tuple :: acc) results []
 
 let eval_cq store q =
-  let results = Hashtbl.create 64 in
+  let results = Row_table.create 64 in
   eval_into store q results;
-  Hashtbl.fold (fun _ tuple acc -> tuple :: acc) results []
+  Row_table.fold (fun _ tuple acc -> tuple :: acc) results []
 
 let eval_ucq store u =
-  let results = Hashtbl.create 64 in
+  let results = Row_table.create 64 in
   List.iter (fun q -> eval_into store q results) (Ucq.disjuncts u);
-  Hashtbl.fold (fun _ tuple acc -> tuple :: acc) results []
+  Row_table.fold (fun _ tuple acc -> tuple :: acc) results []
 
 let count_cq store q = List.length (eval_cq store q)
 let count_ucq store u = List.length (eval_ucq store u)
 
 let same_answers a b =
-  let norm l = List.sort compare (List.map Array.to_list l) in
-  norm a = norm b
+  let norm l =
+    List.sort (List.compare Rdf.Term.compare) (List.map Array.to_list l)
+  in
+  List.equal (List.equal Rdf.Term.equal) (norm a) (norm b)

@@ -1,11 +1,11 @@
 type t = {
-  by_term : (Term.t, int) Hashtbl.t;
+  by_term : int Term.Table.t;
   mutable by_code : Term.t array;
   mutable next : int;
 }
 
 let create () =
-  { by_term = Hashtbl.create 1024; by_code = Array.make 1024 (Term.Uri ""); next = 0 }
+  { by_term = Term.Table.create 1024; by_code = Array.make 1024 (Term.Uri ""); next = 0 }
 
 let grow d =
   if d.next >= Array.length d.by_code then begin
@@ -15,21 +15,21 @@ let grow d =
   end
 
 let encode d term =
-  match Hashtbl.find_opt d.by_term term with
+  match Term.Table.find_opt d.by_term term with
   | Some code -> code
   | None ->
     let code = d.next in
     grow d;
     d.by_code.(code) <- term;
-    Hashtbl.add d.by_term term code;
+    Term.Table.add d.by_term term code;
     d.next <- code + 1;
     code
 
-let find d term = Hashtbl.find_opt d.by_term term
+let find d term = Term.Table.find_opt d.by_term term
 
 let decode d code =
   if code < 0 || code >= d.next then raise Not_found else d.by_code.(code)
 
 let size d = d.next
 
-let fold f d init = Hashtbl.fold f d.by_term init
+let fold f d init = Term.Table.fold f d.by_term init

@@ -13,7 +13,14 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let hash t = Hashtbl.hash (rank t, label t)
+(* FNV-1a over the label, seeded by the constructor rank: no dependence
+   on the polymorphic Hashtbl.hash. *)
+let hash t =
+  let h = ref (0x811c9dc5 lxor rank t) in
+  String.iter
+    (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land max_int)
+    (label t);
+  !h
 
 let uri u = Uri u
 let blank b = Blank b
@@ -39,3 +46,10 @@ let of_string s =
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 let size t = String.length (label t)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

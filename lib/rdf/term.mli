@@ -46,3 +46,8 @@ val pp : Format.formatter -> t -> unit
 val size : t -> int
 (** Storage footprint of the term in bytes (its label length); used by the
     view-space-occupancy component of the cost model. *)
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by terms, built on {!equal} and {!hash}.  Use this
+    instead of the generic [Hashtbl] (whose default polymorphic hash is
+    banned on domain types — see tool/lint). *)

@@ -19,7 +19,8 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let hash t = Hashtbl.hash (Term.hash t.s, Term.hash t.p, Term.hash t.o)
+let hash t =
+  ((((Term.hash t.s * 31) + Term.hash t.p) * 31) + Term.hash t.o) land max_int
 
 let to_string t =
   Printf.sprintf "(%s, %s, %s)" (Term.to_string t.s) (Term.to_string t.p)

@@ -1,0 +1,131 @@
+(* The lint rule table.  Every diagnostic the driver emits carries the id
+   of one of these rules; a site is silenced by a comment containing
+   "lint: allow <id>" on the offending line or the line above it.
+
+   The checks are purely syntactic (an [Ast_iterator] over the
+   parsetree), so the "applied to a domain type" rules work from the
+   tables below: an expression is treated as domain-typed when it is
+   built by a known domain constructor or a known domain-producing
+   function.  That heuristic has false negatives (a domain value bound
+   to a plain identifier is invisible), never false positives; the
+   dedicated [equal]/[compare]/[hash] functions and the [Hashtbl.Make]
+   tables introduced alongside this linter are the belt to this
+   suspenders. *)
+
+type scope =
+  | Everywhere  (** checked in every directory given to the driver *)
+  | Lib_only    (** checked only under a [lib] directory *)
+
+type rule = { id : string; summary : string; scope : scope }
+
+let rules =
+  [
+    {
+      id = "poly-compare";
+      summary =
+        "bare or Stdlib-qualified polymorphic `compare`; use the domain \
+         module's dedicated compare (Rdf.Term.compare, String.compare, ...)";
+      scope = Everywhere;
+    };
+    {
+      id = "poly-equal";
+      summary =
+        "polymorphic =/<> applied to a domain value (Rdf.Term.t, \
+         Query.Qterm.t, Query.Atom.t, Core.Rewriting.t, ...); use the \
+         module's dedicated equal";
+      scope = Everywhere;
+    };
+    {
+      id = "poly-hash";
+      summary =
+        "Hashtbl.hash / Hashtbl.seeded_hash; use the domain module's \
+         dedicated hash";
+      scope = Everywhere;
+    };
+    {
+      id = "hashtbl-domain-key";
+      summary =
+        "generic Hashtbl operation keyed by a domain value; use the \
+         module's Hashtbl.Make table (e.g. Rdf.Term.Table)";
+      scope = Everywhere;
+    };
+    {
+      id = "obj-magic";
+      summary = "Obj.magic defeats the type system and is banned";
+      scope = Everywhere;
+    };
+    {
+      id = "catch-all";
+      summary =
+        "catch-all exception handler (try ... with _ -> / with e ->) in a \
+         library; match the specific exceptions intended";
+      scope = Lib_only;
+    };
+    {
+      id = "missing-mli";
+      summary = "library module without an .mli interface";
+      scope = Lib_only;
+    };
+    {
+      id = "stdout-in-lib";
+      summary =
+        "direct printing to stdout from a library (print_*, Printf.printf, \
+         Format.printf); return strings or go through Obs";
+      scope = Lib_only;
+    };
+  ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) rules
+
+(* ---------- domain tables ------------------------------------------------ *)
+
+(* Variant constructors of the dictionary-encoded domain types:
+   Rdf.Term.t, Query.Qterm.t, Core.Rewriting.t / .cond, Rdf.Schema
+   statements.  An =/<> operand built from one of these is a domain
+   comparison. *)
+let domain_constructors =
+  [
+    "Uri"; "Blank"; "Literal";            (* Rdf.Term.t *)
+    "Var"; "Cst";                          (* Query.Qterm.t *)
+    "Scan"; "Select"; "Project"; "Join"; "Rename"; "Union";  (* Rewriting.t *)
+    "Eq_cst"; "Eq_col";                    (* Rewriting.cond *)
+    "Subclass"; "Subproperty"; "Domain"; "Range";  (* Rdf.Schema *)
+  ]
+
+(* (module, function) pairs whose application yields a domain value; the
+   module component is matched against the last module of the access
+   path, so both [Term.uri] and [Rdf.Term.uri] hit. *)
+let domain_producers =
+  [
+    ("Term", "uri"); ("Term", "blank"); ("Term", "literal");
+    ("Term", "of_string");
+    ("Qterm", "var"); ("Qterm", "cst"); ("Qterm", "uri");
+    ("Atom", "make"); ("Triple", "make");
+    ("View", "make");
+    ("Cq", "make"); ("Cq", "freshen"); ("Cq", "minimize"); ("Cq", "rename");
+  ]
+
+(* Qualified domain constants (values, not functions). *)
+let domain_values = [ ("Vocabulary", "rdf_type") ]
+
+(* Generic-Hashtbl operations whose second positional argument is the
+   key. *)
+let hashtbl_key_ops =
+  [ "add"; "replace"; "find"; "find_opt"; "find_all"; "mem"; "remove" ]
+
+(* stdout printers banned in libraries: unqualified Stdlib channel
+   printers and the printf family bound to stdout. *)
+let stdout_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_bytes"; "print_int"; "print_float";
+  ]
+
+let stdout_qualified =
+  [
+    ("Printf", "printf");
+    ("Format", "printf");
+    ("Format", "print_string");
+    ("Format", "print_newline");
+    ("Format", "print_flush");
+  ]
