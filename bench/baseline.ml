@@ -1,0 +1,43 @@
+(* A fixed-size, deterministic DFS search whose BENCH json is the
+   regression baseline: every quantity in it except wall-clock-derived
+   throughput (states created/explored, best and initial cost) must
+   reproduce exactly across runs and machines, so `--baseline
+   --fail-over` diffs stay attributable to real performance changes
+   rather than workload drift.
+
+   The search runs to completion (generous budget) on a Barton-backed
+   star workload large enough for the expand-latency histogram to have
+   a few hundred samples at quick scale. *)
+
+let run () =
+  Harness.section "Baseline: deterministic search for regression tracking";
+  let store = Lazy.force Harness.barton_store in
+  let queries =
+    Workload.Generator.generate_satisfiable store
+      (Harness.spec Workload.Generator.Star 3 2 Workload.Generator.Low 7)
+  in
+  let stats = Harness.stats_for store in
+  let opts = Harness.options ~budget:(10. *. Harness.long_budget) () in
+  (* Warm-up pass: faults in the statistics caches and steadies the
+     allocator so the measured run's throughput is reproducible, then
+     the registry is wiped so BENCH numbers cover the second run only. *)
+  ignore (Core.Search.run stats opts queries);
+  Obs.reset (Obs.global ());
+  let report = Core.Search.run stats opts queries in
+  Harness.print_table
+    ~header:[ "created"; "duplicates"; "discarded"; "explored"; "best cost"; "rcr"; "done" ]
+    [
+      [
+        string_of_int report.Core.Search.created;
+        string_of_int report.Core.Search.duplicates;
+        string_of_int report.Core.Search.discarded;
+        string_of_int report.Core.Search.explored;
+        Harness.fmt_float report.Core.Search.best_cost;
+        Harness.fmt_rcr (Core.Search.rcr report);
+        (if report.Core.Search.completed then "yes" else "cut");
+      ];
+    ];
+  if not report.Core.Search.completed then
+    print_endline
+      "  warning: baseline search did not complete; BENCH numbers will not \
+       be comparable across machines"

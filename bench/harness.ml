@@ -12,6 +12,8 @@ let scale =
   | Some ("full" | "FULL") -> Full
   | _ -> Quick
 
+let scale_name = match scale with Quick -> "quick" | Full -> "full"
+
 let search_budget = match scale with Quick -> 1.0 | Full -> 30.0
 let long_budget = match scale with Quick -> 3.0 | Full -> 120.0
 let barton_entities = match scale with Quick -> 400 | Full -> 5000
@@ -77,6 +79,187 @@ let fmt_float f =
 let fmt_rcr r = Printf.sprintf "%.3f" r
 
 let fmt_ms ns = Printf.sprintf "%.3f" (ns /. 1e6)
+
+(* ---------- machine-readable baselines (BENCH_<experiment>.json) --------- *)
+
+(* Without --metrics, every top-level experiment runs against its own
+   fresh registry and its headline numbers — states/sec, expand-latency
+   percentiles, best cost, peak heap — are written to
+   BENCH_<experiment>.json for CI to archive and diff.  With --metrics
+   the single shared registry wins and no BENCH files are written (the
+   two modes want incompatible registry lifetimes). *)
+
+let bench_dir : string option ref = ref (Some ".")
+
+let set_bench_dir dir = bench_dir := Some dir
+
+let disable_bench_json () = bench_dir := None
+
+let baseline : (string * Obs.Json.t) option ref = ref None
+
+let fail_over : float option ref = ref None
+
+(* Warn-only default: regressions are reported but do not fail the run
+   unless --fail-over sets an explicit threshold. *)
+let warn_threshold = 20.
+
+let regressions = ref 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_baseline path =
+  baseline := Some (path, Obs.Json.of_string (read_file path))
+
+let set_fail_over pct = fail_over := Some pct
+
+let bench_file_name name =
+  "BENCH_" ^ String.map (fun c -> if c = '/' then '-' else c) name ^ ".json"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let bench_json name registry =
+  let counter n = Option.value ~default:0 (Obs.find_counter registry n) in
+  let timer_total n =
+    match Obs.find_timer registry n with Some (_, ns) -> ns | None -> 0
+  in
+  let pctl q =
+    match Obs.find_histogram registry "search.expand.ns" with
+    | Some h -> Obs.percentile h q
+    | None -> Float.nan
+  in
+  let gauge n =
+    match Obs.find_gauge registry n with
+    | Some v -> Obs.Json.Float v
+    | None -> Obs.Json.Null
+  in
+  let created = counter "search.created" in
+  let run_ns = timer_total "search.run" in
+  let states_per_sec =
+    if run_ns = 0 then 0.
+    else float_of_int created /. (float_of_int run_ns /. 1e9)
+  in
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 1);
+      ("experiment", Obs.Json.String name);
+      ("scale", Obs.Json.String scale_name);
+      ("states_created", Obs.Json.Int created);
+      ("states_explored", Obs.Json.Int (counter "search.explored"));
+      ("search_run_ns", Obs.Json.Int run_ns);
+      ("states_per_sec", Obs.Json.Float states_per_sec);
+      ( "expand_ns",
+        Obs.Json.Obj
+          [
+            ("p50", Obs.Json.Float (pctl 50.));
+            ("p90", Obs.Json.Float (pctl 90.));
+            ("p99", Obs.Json.Float (pctl 99.));
+          ] );
+      ("best_cost", gauge "search.best_cost");
+      ("initial_cost", gauge "search.initial_cost");
+      ("peak_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
+    ]
+
+(* Numeric lookup along a dotted path ("expand_ns.p50"). *)
+let bench_number path json =
+  let rec go j = function
+    | [] -> (
+      match j with
+      | Obs.Json.Float f -> Some f
+      | Obs.Json.Int i -> Some (float_of_int i)
+      | _ -> None)
+    | key :: rest -> (
+      match Obs.Json.member key j with Some j' -> go j' rest | None -> None)
+  in
+  go json (String.split_on_char '.' path)
+
+(* Compare one experiment's fresh BENCH json against the loaded
+   baseline (matched by experiment name).  Search outcomes must be
+   identical — the search is deterministic — while throughput may
+   drift up to the threshold before counting as a regression. *)
+let compare_to_baseline name current =
+  match !baseline with
+  | None -> ()
+  | Some (path, base) ->
+    let base_name =
+      match Obs.Json.member "experiment" base with
+      | Some (Obs.Json.String s) -> s
+      | _ -> ""
+    in
+    if String.equal base_name name then begin
+      let threshold = Option.value ~default:warn_threshold !fail_over in
+      subsection
+        (Printf.sprintf "baseline compare: %s (threshold %.0f%%%s)" path
+           threshold
+           (match !fail_over with None -> ", warn-only" | Some _ -> ""));
+      List.iter
+        (fun key ->
+          match (bench_number key base, bench_number key current) with
+          | Some b, Some c ->
+            if Float.abs (c -. b) > 1e-9 *. Float.max 1. (Float.abs b) then begin
+              incr regressions;
+              Printf.printf "  REGRESSION %s: %s -> %s (expected identical)\n"
+                key (fmt_float b) (fmt_float c)
+            end
+            else Printf.printf "  ok %s: %s\n" key (fmt_float c)
+          | _ -> Printf.printf "  skip %s (absent)\n" key)
+        [ "states_created"; "states_explored"; "best_cost" ];
+      (match
+         (bench_number "states_per_sec" base, bench_number "states_per_sec" current)
+       with
+      | Some b, Some c when b > 0. ->
+        let drop = (b -. c) /. b *. 100. in
+        if drop > threshold then begin
+          incr regressions;
+          Printf.printf "  REGRESSION states_per_sec: %s -> %s (-%.1f%%)\n"
+            (fmt_float b) (fmt_float c) drop
+        end
+        else
+          Printf.printf "  ok states_per_sec: %s -> %s (%+.1f%%)\n" (fmt_float b)
+            (fmt_float c) (-.drop)
+      | _ -> Printf.printf "  skip states_per_sec (absent)\n")
+    end
+
+(* Exit status for main: 0 unless --fail-over turned regressions
+   fatal.  Also prints the verdict line CI greps for. *)
+let finish_bench () =
+  match !baseline with
+  | None -> 0
+  | Some (path, _) ->
+    Printf.printf "\n%d regression(s) against baseline %s\n" !regressions path;
+    if !regressions > 0 && !fail_over <> None then 1 else 0
+
+(* Run one *top-level* experiment (main.ml only; sub-experiments keep
+   using [experiment]).  Without --metrics, the experiment gets a fresh
+   registry so its BENCH json reflects this experiment alone; the
+   registry is uninstalled afterwards even if the experiment raises. *)
+let toplevel name f =
+  match (!metrics_sink, !bench_dir) with
+  | Some _, _ | None, None -> experiment name f
+  | None, Some dir ->
+    let registry = Obs.create () in
+    Obs.set_global registry;
+    Fun.protect
+      ~finally:(fun () -> Obs.set_global Obs.disabled)
+      (fun () ->
+        let result = experiment name f in
+        let json = bench_json name registry in
+        mkdir_p dir;
+        let file = Filename.concat dir (bench_file_name name) in
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string ~indent:true json);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "\n  benchmark json written to %s\n" file;
+        compare_to_baseline name json;
+        result)
 
 (* ---------- common setups ------------------------------------------------ *)
 

@@ -1,20 +1,32 @@
 (* Benchmark harness entry point: regenerates every table and figure of
-   the paper's evaluation section (§6), plus ablations.
+   the paper's evaluation section (§6), plus ablations and the
+   regression baseline.
 
      dune exec bench/main.exe            # everything, quick scale
      dune exec bench/main.exe fig4       # one experiment
      BENCH_SCALE=full dune exec bench/main.exe   # paper-scale sizes
      dune exec bench/main.exe -- --metrics out.json fig4   # + telemetry
+     dune exec bench/main.exe -- baseline \
+       --baseline BENCH_baseline.json --fail-over 20   # regression gate
 
-   Experiments: table2, table3, fig4, fig5, fig6, fig7, fig8, ablation.
+   Experiments: baseline, table2, table3, fig4, fig5, fig6, fig7, fig8,
+   ablation.
 
-   --metrics FILE installs an Obs registry before any experiment runs
-   and serializes it to FILE at the end: the same per-transition,
-   per-stratum, cost and store counters the CLI emits, with one trace
-   span per experiment (schema in EXPERIMENTS.md). *)
+   Each top-level experiment writes BENCH_<experiment>.json (states/sec,
+   expand-latency percentiles, best cost, peak heap words) unless
+   --no-bench-json; --bench-dir DIR redirects the files.  --baseline
+   FILE compares the matching experiment's fresh numbers against FILE,
+   warn-only by default; --fail-over PCT makes a throughput drop larger
+   than PCT%% (or any search-outcome mismatch) fail the run.
+
+   --metrics FILE instead installs one shared Obs registry before any
+   experiment runs and serializes it to FILE at the end (schema in
+   EXPERIMENTS.md); BENCH emission is disabled in that mode, since the
+   per-experiment numbers would all alias one registry. *)
 
 let experiments =
   [
+    ("baseline", Baseline.run);
     ("table2", fun () -> Tables.run_table2 ());
     ("table3", fun () -> Tables.run_table3 ());
     ("fig4", Fig4.run);
@@ -26,35 +38,73 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--metrics FILE] [experiment...]";
+  print_endline
+    "usage: main.exe [--metrics FILE] [--bench-dir DIR] [--no-bench-json]";
+  print_endline
+    "                [--baseline FILE] [--fail-over PCT] [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments
 
-(* Split "--metrics FILE" / "--metrics=FILE" out of the experiment
-   names. *)
+let missing_value flag =
+  Printf.eprintf "%s requires a value\n" flag;
+  usage ();
+  exit 1
+
+(* Split the option flags out of the experiment names.  Both
+   "--flag VALUE" and "--flag=VALUE" spellings are accepted. *)
 let parse_args args =
-  let rec go metrics names = function
-    | [] -> (metrics, List.rev names)
-    | "--metrics" :: file :: rest -> go (Some file) names rest
-    | [ "--metrics" ] ->
-      prerr_endline "--metrics requires a file argument";
-      usage ();
-      exit 1
-    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
-      go (Some (String.sub arg 10 (String.length arg - 10))) names rest
-    | arg :: rest -> go metrics (arg :: names) rest
+  let metrics = ref None in
+  let split arg =
+    match String.index_opt arg '=' with
+    | Some i when String.length arg > 2 && arg.[0] = '-' ->
+      Some (String.sub arg 0 i, String.sub arg (i + 1) (String.length arg - i - 1))
+    | _ -> None
   in
-  go None [] args
+  let apply flag value =
+    match flag with
+    | "--metrics" -> metrics := Some value
+    | "--bench-dir" -> Harness.set_bench_dir value
+    | "--baseline" -> Harness.load_baseline value
+    | "--fail-over" -> (
+      match float_of_string_opt value with
+      | Some pct -> Harness.set_fail_over pct
+      | None ->
+        Printf.eprintf "--fail-over wants a percentage, got %s\n" value;
+        exit 1)
+    | _ -> assert false
+  in
+  let takes_value = [ "--metrics"; "--bench-dir"; "--baseline"; "--fail-over" ] in
+  let rec go names = function
+    | [] -> (!metrics, List.rev names)
+    | "--no-bench-json" :: rest ->
+      Harness.disable_bench_json ();
+      go names rest
+    | flag :: rest when List.mem flag takes_value -> (
+      match rest with
+      | value :: rest -> apply flag value; go names rest
+      | [] -> missing_value flag)
+    | arg :: rest -> (
+      match split arg with
+      | Some (flag, value) when List.mem flag takes_value ->
+        apply flag value;
+        go names rest
+      | _ -> go (arg :: names) rest)
+  in
+  go [] args
 
 let () =
   let metrics, requested =
     parse_args (match Array.to_list Sys.argv with _ :: args -> args | [] -> [])
   in
-  Option.iter Harness.enable_metrics metrics;
+  (match metrics with
+  | Some path ->
+    Harness.enable_metrics path;
+    Harness.disable_bench_json ()
+  | None -> ());
   Printf.printf
     "RDFViewS reproduction benchmarks (scale: %s; set BENCH_SCALE=full for paper-scale runs)\n"
-    (match Harness.scale with Harness.Quick -> "quick" | Harness.Full -> "full");
-  let run_named (name, run) = Harness.experiment name run in
+    Harness.scale_name;
+  let run_named (name, run) = Harness.toplevel name run in
   (match requested with
   | [] -> List.iter run_named experiments
   | names ->
@@ -67,4 +117,5 @@ let () =
           usage ();
           exit 1)
       names);
-  Harness.write_metrics ()
+  Harness.write_metrics ();
+  exit (Harness.finish_bench ())

@@ -3,6 +3,7 @@
    Subcommands:
      select       recommend materialized views for a workload
      check        certify saved states against a workload's semantics
+     report       analyze a search trace (or metrics dump) offline
      reformulate  reformulate queries w.r.t. an RDFS (Algorithm 1)
      saturate     saturate a dataset w.r.t. an RDFS
      eval         evaluate queries over a dataset
@@ -124,6 +125,22 @@ let with_metrics metrics f =
     | file -> Obs.write_file registry file);
     result
 
+(* The event trace mirrors the metrics registry: off unless --trace
+   installs a streaming writer for the run.  Closing in the [finally]
+   flushes buffered events even when the search raises, so a failed run
+   still leaves a well-formed JSONL prefix on disk. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let t = Obs.Trace.create path in
+    Obs.Trace.set_global t;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_global Obs.Trace.disabled;
+        Obs.Trace.close t)
+      f
+
 (* ---------- select --------------------------------------------------------- *)
 
 let strategy_conv =
@@ -196,10 +213,23 @@ let select_cmd =
                 and deduplication) to $(docv), for offline certification \
                 with $(b,rdfviews check).")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Stream a per-event search trace (state accepted / discarded / \
+             duplicate / reopened with cost and stratum, per-transition \
+             applied/rejected counts with timings, cost-memo samples, \
+             progress heartbeats) as JSONL to $(docv), for offline analysis \
+             with $(b,rdfviews report).")
+  in
   let run data workload schema reasoning strategy budget no_avf no_stv materialize sql
-      state_out trace_states metrics =
+      state_out trace_states trace metrics =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
+    with_trace trace @@ fun () ->
     let store = load_store data in
     let queries = load_workload workload in
     let schema = Option.map load_schema schema in
@@ -291,7 +321,7 @@ let select_cmd =
     Term.(
       const run $ data_arg $ workload_arg $ schema_opt_arg $ reasoning_arg
       $ strategy_arg $ budget_arg $ no_avf_arg $ no_stv_arg $ materialize_arg
-      $ sql_arg $ state_out_arg $ trace_states_arg $ metrics_arg)
+      $ sql_arg $ state_out_arg $ trace_states_arg $ trace_arg $ metrics_arg)
 
 (* ---------- check ----------------------------------------------------------- *)
 
@@ -385,6 +415,48 @@ let check_cmd =
     Term.(
       const run $ workload_arg $ schema_opt_arg $ reasoning_arg $ state_arg
       $ data_opt_arg)
+
+(* ---------- report ---------------------------------------------------------- *)
+
+let report_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A JSONL search trace (written by $(b,select --trace)) or a \
+             metrics registry dump (written by $(b,--metrics)); the format \
+             is autodetected.")
+  in
+  let run input =
+    handle_errors @@ fun () ->
+    let text = read_file input in
+    (* A metrics dump is one JSON object with a schema_version member; a
+       trace is one JSON object per line.  Try the whole file first. *)
+    let summary =
+      try
+        match Obs.Json.of_string (String.trim text) with
+        | json when Obs.Json.member "schema_version" json <> None ->
+          Obs.Report.of_metrics json
+        | _ -> Obs.Report.of_trace (Obs.Trace.parse_lines text)
+        | exception Obs.Json.Parse_error _ ->
+          Obs.Report.of_trace (Obs.Trace.parse_lines text)
+      with Obs.Trace.Malformed message ->
+        failwith ("malformed trace: " ^ message)
+    in
+    print_string (Obs.Report.render summary)
+  in
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Reconstruct a search's dynamics offline from its event trace: \
+         convergence curve (best cost vs. wall time and vs. states \
+         created), time-to-within-x%-of-final-cost, per-transition \
+         acceptance breakdown and stratum population.  From a --metrics \
+         dump only the aggregate sections are available."
+  in
+  Cmd.v info Term.(const run $ input_arg)
 
 (* ---------- reformulate ---------------------------------------------------- *)
 
@@ -569,5 +641,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ select_cmd; check_cmd; reformulate_cmd; saturate_cmd; eval_cmd;
-            generate_cmd; barton_cmd ]))
+          [ select_cmd; check_cmd; report_cmd; reformulate_cmd; saturate_cmd;
+            eval_cmd; generate_cmd; barton_cmd ]))

@@ -222,14 +222,31 @@ let breakdown t s =
   in
   { vso_part; rec_part; vmc_part; total }
 
+(* Cumulative memo totals, tallied in plain refs (not the Obs counters,
+   which may be absent) so the trace can sample them.  One [cost_memo]
+   event every 256 lookups keeps the trace volume negligible next to
+   the per-state events. *)
+let memo_hits_total = ref 0
+let memo_misses_total = ref 0
+
+let sample_memo () =
+  let total = !memo_hits_total + !memo_misses_total in
+  if total land 255 = 0 then
+    Obs.Trace.cost_memo (Obs.Trace.global ()) ~hits:!memo_hits_total
+      ~misses:!memo_misses_total
+
 let state_cost t s =
   let key = State.key s in
   match Hashtbl.find_opt t.costs key with
   | Some c ->
     Obs.incr (obs_state_hits ());
+    memo_hits_total := !memo_hits_total + 1;
+    sample_memo ();
     c
   | None ->
     Obs.incr (obs_state_misses ());
+    memo_misses_total := !memo_misses_total + 1;
+    sample_memo ();
     let c = Obs.time (obs_state_eval ()) (fun () -> (breakdown t s).total) in
     Hashtbl.add t.costs key c;
     c

@@ -84,6 +84,9 @@ let obs_explored = Obs.cached_counter "search.explored"
 let obs_reopened = Obs.cached_counter "search.reopened"
 let obs_run_time = Obs.cached_timer "search.run"
 let obs_expand_time = Obs.cached_timer "search.expand"
+let obs_expand_hist = Obs.cached_histogram "search.expand.ns"
+let obs_initial_cost = Obs.cached_gauge "search.initial_cost"
+let obs_best_cost = Obs.cached_gauge "search.best_cost"
 
 let obs_per_stratum make =
   let arr = Array.make (List.length Transition.all_kinds) (make "VB") in
@@ -102,6 +105,7 @@ let obs_stratum_expand =
 type engine = {
   estimator : Cost.t;
   options : options;
+  trace : Obs.Trace.t;  (* the ambient event trace; Off outside --trace *)
   strict_reference : Invariant.reference option;
       (* Some under RDFVIEWS_STRICT: every accepted state is asserted
          equivalent to this reference *)
@@ -136,13 +140,22 @@ let memory_exceeded engine =
     else false
   | None -> false
 
-let note_best engine state =
-  let cost = Cost.state_cost engine.estimator state in
+let note_best engine state cost =
   if cost < engine.best_cost then begin
     engine.best <- state;
     engine.best_cost <- cost;
     engine.trajectory <- (elapsed engine, cost) :: engine.trajectory
   end
+
+(* Periodic progress marker in the event trace: one event (and a forced
+   flush) every 512 created states, bounding what a crash can lose.  The
+   enabled check comes first so the untraced hot path pays one branch
+   and allocates nothing. *)
+let heartbeat engine =
+  if Obs.Trace.is_enabled engine.trace && engine.created land 511 = 0 then
+    Obs.Trace.heartbeat engine.trace ~created:engine.created
+      ~explored:engine.explored ~best_cost:engine.best_cost
+      ~elapsed_ns:(int_of_float (elapsed engine *. 1e9))
 
 (* Register a freshly produced state.  Returns [Some (state, rank)] when
    the state is new (or re-opened at a lower stratum) and should be
@@ -151,12 +164,17 @@ let consider engine ~rank state =
   engine.created <- engine.created + 1;
   Obs.incr (obs_created ());
   Obs.incr (obs_stratum_created.(rank) ());
+  heartbeat engine;
+  (* the trace names states by their creation index; 0 is the initial state *)
+  let id = engine.created in
   let state =
     if engine.options.avf then Transition.fusion_closure state else state
   in
   if violates_stop engine.options state then begin
     engine.discarded <- engine.discarded + 1;
     Obs.incr (obs_discarded ());
+    Obs.Trace.state engine.trace ~cls:Obs.Trace.Discarded ~id ~stratum:rank
+      ~cost:Float.nan;
     None
   end
   else begin
@@ -165,6 +183,8 @@ let consider engine ~rank state =
     | Some old_rank when old_rank <= rank ->
       engine.duplicates <- engine.duplicates + 1;
       Obs.incr (obs_duplicates ());
+      Obs.Trace.state engine.trace ~cls:Obs.Trace.Duplicate ~id ~stratum:rank
+        ~cost:Float.nan;
       None
     | Some _ ->
       (* reached again, but at a lower stratum: re-open *)
@@ -172,6 +192,8 @@ let consider engine ~rank state =
       Obs.incr (obs_duplicates ());
       Obs.incr (obs_reopened ());
       Hashtbl.replace engine.seen key rank;
+      Obs.Trace.state engine.trace ~cls:Obs.Trace.Reopened ~id ~stratum:rank
+        ~cost:Float.nan;
       Some (state, rank)
     | None ->
       Hashtbl.replace engine.seen key rank;
@@ -179,7 +201,10 @@ let consider engine ~rank state =
       | Some reference ->
         Invariant.assert_valid ~estimator:engine.estimator reference state
       | None -> ());
-      note_best engine state;
+      let cost = Cost.state_cost engine.estimator state in
+      note_best engine state cost;
+      Obs.Trace.state engine.trace ~cls:Obs.Trace.Accepted ~id ~stratum:rank
+        ~cost;
       (match engine.options.on_accept with
       | Some hook -> hook state
       | None -> ());
@@ -201,7 +226,7 @@ let expand engine state rank =
     | Exnaive -> 0
     | Exstr | Dfs | Gstr -> Transition.kind_rank kind
   in
-  Obs.time (obs_expand_time ()) @@ fun () ->
+  Obs.time_with (obs_expand_time ()) (obs_expand_hist ()) @@ fun () ->
   Obs.time (obs_stratum_expand.(rank) ()) @@ fun () ->
   List.concat_map
     (fun kind ->
@@ -286,7 +311,7 @@ let gstr_search engine initial =
       (fun current kind -> closure_of kind current)
       initial Transition.all_kinds
   in
-  note_best engine final;
+  note_best engine final (Cost.state_cost engine.estimator final);
   !completed
 
 let run_from estimator options initial =
@@ -320,10 +345,18 @@ let run_from estimator options initial =
   | Some reference -> Invariant.assert_valid ~estimator reference initial
   | None -> ());
   (match options.on_accept with Some hook -> hook initial | None -> ());
+  let trace = Obs.Trace.global () in
+  if Obs.Trace.is_enabled trace then
+    Obs.Trace.run_start trace
+      ~strategy:(strategy_name options.strategy)
+      ~strata:
+        (Array.of_list (List.map Transition.kind_name Transition.all_kinds))
+      ~initial_cost;
   let engine =
     {
       estimator;
       options;
+      trace;
       strict_reference;
       seen = Hashtbl.create 4096;
       created = 0;
@@ -340,12 +373,20 @@ let run_from estimator options initial =
   if engine.best_cost < initial_cost then
     engine.trajectory <- (0., engine.best_cost) :: engine.trajectory;
   Hashtbl.replace engine.seen (State.key initial) 0;
+  Obs.Trace.state trace ~cls:Obs.Trace.Accepted ~id:0 ~stratum:0
+    ~cost:engine.best_cost;
   let completed =
     match options.strategy with
     | Exnaive | Exstr -> worklist_search engine ~lifo:false initial
     | Dfs -> worklist_search engine ~lifo:true initial
     | Gstr -> gstr_search engine initial
   in
+  let completed = completed && not engine.oom in
+  Obs.Trace.run_end trace ~best_cost:engine.best_cost ~created:engine.created
+    ~explored:engine.explored ~duplicates:engine.duplicates
+    ~discarded:engine.discarded ~completed;
+  Obs.set_gauge (obs_initial_cost ()) initial_cost;
+  Obs.set_gauge (obs_best_cost ()) engine.best_cost;
   {
     best = engine.best;
     best_cost = engine.best_cost;
@@ -356,7 +397,7 @@ let run_from estimator options initial =
     explored = engine.explored;
     elapsed = elapsed engine;
     trajectory = List.rev engine.trajectory;
-    completed = completed && not engine.oom;
+    completed;
     out_of_memory = engine.oom;
   }
 

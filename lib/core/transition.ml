@@ -27,7 +27,15 @@ let obs_time =
 
 let obs_avf_fused = Obs.cached_counter "transition.AVF.fused"
 
-let reject kind = Obs.incr (obs_rejected.(kind_rank kind) ())
+(* Plain cumulative tally next to the Obs counter so [successors] can
+   report a per-call rejected delta to the trace without depending on a
+   registry being installed. *)
+let rejected_tally = Array.make (List.length all_kinds) 0
+
+let reject kind =
+  let i = kind_rank kind in
+  rejected_tally.(i) <- rejected_tally.(i) + 1;
+  Obs.incr (obs_rejected.(i) ())
 
 let dedup_head terms =
   let rec go seen = function
@@ -332,17 +340,20 @@ let strict =
     | None | Some "" | Some "0" | Some "false" -> false
     | Some _ -> true)
 
+let generate state kind =
+  match kind with
+  | VB -> view_breaks state
+  | SC -> selection_cuts state
+  | JC -> join_cuts state
+  | VF -> view_fusions state
+
 let successors state kind =
-  let produced =
-    Obs.time
-      (obs_time.(kind_rank kind) ())
-      (fun () ->
-        match kind with
-        | VB -> view_breaks state
-        | SC -> selection_cuts state
-        | JC -> join_cuts state
-        | VF -> view_fusions state)
-  in
+  let i = kind_rank kind in
+  let trace = Obs.Trace.global () in
+  let traced = Obs.Trace.is_enabled trace in
+  let rejected0 = rejected_tally.(i) in
+  let t0 = if traced then Obs.now_ns () else 0 in
+  let produced = Obs.time (obs_time.(i) ()) (fun () -> generate state kind) in
   if Lazy.force strict then
     List.iter
       (fun succ ->
@@ -353,7 +364,12 @@ let successors state kind =
             (Printf.sprintf "Transition.%s produced an invalid state: %s"
                (kind_name kind) problem))
       produced;
-  Obs.add (obs_applied.(kind_rank kind) ()) (List.length produced);
+  Obs.add (obs_applied.(i) ()) (List.length produced);
+  if traced then
+    Obs.Trace.transition trace ~kind:(kind_name kind)
+      ~applied:(List.length produced)
+      ~rejected:(rejected_tally.(i) - rejected0)
+      ~elapsed_ns:(Obs.now_ns () - t0);
   produced
 
 let rec fusion_closure state =

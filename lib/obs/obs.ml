@@ -16,12 +16,31 @@ type span_event = {
   elapsed_ns : int;
 }
 
+(* Histograms are log-bucketed: bucket 0 holds non-positive samples,
+   bucket i >= 1 holds samples in [2^(i-1), 2^i).  64 buckets cover the
+   whole int range, so [observe] never branches on overflow. *)
+type histogram = {
+  buckets : int array;
+  mutable events : int;
+  mutable sum : int;
+  h_live : bool;
+}
+
+type gauge = {
+  mutable g_value : float;
+  mutable g_set : bool;
+  g_live : bool;
+}
+
 type registry = {
   cs : (string, counter) Hashtbl.t;
   ts : (string, timer) Hashtbl.t;
+  hs : (string, histogram) Hashtbl.t;
+  gs : (string, gauge) Hashtbl.t;
   mutable trace : span_event list;  (* most recently completed first *)
   mutable span_depth : int;
-  born_ns : int;
+  mutable born_ns : int;
+  mutable epoch : int;  (* bumped by [reset]; open spans check it *)
 }
 
 type t = Disabled | Enabled of registry
@@ -33,9 +52,12 @@ let create () =
     {
       cs = Hashtbl.create 64;
       ts = Hashtbl.create 64;
+      hs = Hashtbl.create 16;
+      gs = Hashtbl.create 16;
       trace = [];
       span_depth = 0;
       born_ns = now_ns ();
+      epoch = 0;
     }
 
 let is_enabled = function Disabled -> false | Enabled _ -> true
@@ -49,8 +71,20 @@ let reset = function
         tm.total_ns <- 0;
         tm.calls <- 0)
       r.ts;
+    Hashtbl.iter
+      (fun _ h ->
+        Array.fill h.buckets 0 (Array.length h.buckets) 0;
+        h.events <- 0;
+        h.sum <- 0)
+      r.hs;
+    Hashtbl.iter (fun _ g -> g.g_set <- false) r.gs;
     r.trace <- [];
-    r.span_depth <- 0
+    r.span_depth <- 0;
+    (* Re-base the span clock and invalidate any span still open across
+       the reset: its [Fun.protect] finalizer would otherwise restore a
+       stale nesting depth and record a span predating the reset. *)
+    r.born_ns <- now_ns ();
+    r.epoch <- r.epoch + 1
 
 (* ---------- counters ----------------------------------------------------- *)
 
@@ -103,7 +137,112 @@ let timer_ns tm = tm.total_ns
 
 let timer_count tm = tm.calls
 
+(* ---------- histograms --------------------------------------------------- *)
+
+let noop_histogram = { buckets = [||]; events = 0; sum = 0; h_live = false }
+
+let histogram t name =
+  match t with
+  | Disabled -> noop_histogram
+  | Enabled r -> (
+    match Hashtbl.find_opt r.hs name with
+    | Some h -> h
+    | None ->
+      let h = { buckets = Array.make 64 0; events = 0; sum = 0; h_live = true } in
+      Hashtbl.add r.hs name h;
+      h)
+
+let histogram_live h = h.h_live
+
+let bucket_of_sample v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 in
+    let v = ref v in
+    while !v > 0 do
+      i := !i + 1;
+      v := !v lsr 1
+    done;
+    !i  (* v in [2^(i-1), 2^i), i <= 63 *)
+  end
+
+(* The representative sample of a bucket: 0 for the non-positive bucket,
+   the geometric middle of [2^(i-1), 2^i) otherwise. *)
+let bucket_representative i =
+  if i = 0 then 0. else if i = 1 then 1. else Float.ldexp 1.5 (i - 1)
+
+let observe h v =
+  if h.h_live then begin
+    let b = bucket_of_sample v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.events <- h.events + 1;
+    h.sum <- h.sum + v
+  end
+
+let histogram_count h = h.events
+
+let histogram_sum h = h.sum
+
+(* The q-th percentile (q in [0,100]) as the representative value of the
+   bucket holding the ceil(q/100 * events)-th smallest sample; [nan]
+   when the histogram is empty. *)
+let percentile h q =
+  if h.events = 0 then Float.nan
+  else begin
+    let target =
+      Stdlib.max 1 (int_of_float (Float.ceil (q /. 100. *. float_of_int h.events)))
+    in
+    let rec walk i seen =
+      if i >= Array.length h.buckets then bucket_representative (Array.length h.buckets - 1)
+      else begin
+        let seen = seen + h.buckets.(i) in
+        if seen >= target then bucket_representative i else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+(* ---------- gauges ------------------------------------------------------- *)
+
+let noop_gauge = { g_value = 0.; g_set = false; g_live = false }
+
+let gauge t name =
+  match t with
+  | Disabled -> noop_gauge
+  | Enabled r -> (
+    match Hashtbl.find_opt r.gs name with
+    | Some g -> g
+    | None ->
+      let g = { g_value = 0.; g_set = false; g_live = true } in
+      Hashtbl.add r.gs name g;
+      g)
+
+let set_gauge g v =
+  if g.g_live then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
 (* ---------- spans -------------------------------------------------------- *)
+
+(* [time] for sections feeding both a mean (timer) and a distribution
+   (histogram); the clock is read once per side. *)
+let time_with tm h f =
+  if not (tm.t_live || h.h_live) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = now_ns () - t0 in
+        if tm.t_live then begin
+          tm.total_ns <- tm.total_ns + dt;
+          tm.calls <- tm.calls + 1
+        end;
+        observe h dt)
+      f
+  end
 
 let span t name f =
   match t with
@@ -111,18 +250,24 @@ let span t name f =
   | Enabled r ->
     let start = now_ns () in
     let depth = r.span_depth in
+    let epoch = r.epoch in
     r.span_depth <- depth + 1;
     Fun.protect
       ~finally:(fun () ->
-        r.span_depth <- depth;
-        r.trace <-
-          {
-            span_name = name;
-            depth;
-            start_ns = start - r.born_ns;
-            elapsed_ns = now_ns () - start;
-          }
-          :: r.trace)
+        (* A [reset] issued while this span was open re-based the clock
+           and zeroed the depth; restoring ours would leave the depth
+           stale for every later span, so the span is simply dropped. *)
+        if r.epoch = epoch then begin
+          r.span_depth <- depth;
+          r.trace <-
+            {
+              span_name = name;
+              depth;
+              start_ns = start - r.born_ns;
+              elapsed_ns = now_ns () - start;
+            }
+            :: r.trace
+        end)
       f
 
 let spans = function
@@ -146,10 +291,36 @@ let timers = function
   | Disabled -> []
   | Enabled r -> sorted_bindings r.ts (fun tm -> (tm.calls, tm.total_ns))
 
+let histograms = function
+  | Disabled -> []
+  | Enabled r -> sorted_bindings r.hs (fun h -> h)
+
+let gauges = function
+  | Disabled -> []
+  | Enabled r ->
+    Hashtbl.fold
+      (fun name g acc -> if g.g_set then (name, g.g_value) :: acc else acc)
+      r.gs []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let find_counter t name =
   match t with
   | Disabled -> None
   | Enabled r -> Option.map (fun c -> c.n) (Hashtbl.find_opt r.cs name)
+
+let find_timer t name =
+  match t with
+  | Disabled -> None
+  | Enabled r ->
+    Option.map (fun tm -> (tm.calls, tm.total_ns)) (Hashtbl.find_opt r.ts name)
+
+let find_histogram t name =
+  match t with Disabled -> None | Enabled r -> Hashtbl.find_opt r.hs name
+
+let find_gauge t name =
+  match t with
+  | Disabled -> None
+  | Enabled r -> Option.bind (Hashtbl.find_opt r.gs name) gauge_value
 
 (* ---------- the global sink ---------------------------------------------- *)
 
@@ -182,6 +353,26 @@ let cached_timer name =
     if !seen_gen <> !global_gen then begin
       seen_gen := !global_gen;
       cache := timer !global_sink name
+    end;
+    !cache
+
+let cached_histogram name =
+  let cache = ref noop_histogram in
+  let seen_gen = ref (-1) in
+  fun () ->
+    if !seen_gen <> !global_gen then begin
+      seen_gen := !global_gen;
+      cache := histogram !global_sink name
+    end;
+    !cache
+
+let cached_gauge name =
+  let cache = ref noop_gauge in
+  let seen_gen = ref (-1) in
+  fun () ->
+    if !seen_gen <> !global_gen then begin
+      seen_gen := !global_gen;
+      cache := gauge !global_sink name
     end;
     !cache
 
@@ -222,7 +413,10 @@ module Json = struct
       | Bool x -> Buffer.add_string b (if x then "true" else "false")
       | Int i -> Buffer.add_string b (string_of_int i)
       | Float f ->
-        if Float.is_integer f && Float.abs f < 1e15 then
+        (* JSON has no NaN/Infinity literal; serialize non-finite floats
+           as null so the output always parses. *)
+        if not (Float.is_finite f) then Buffer.add_string b "null"
+        else if Float.is_integer f && Float.abs f < 1e15 then
           Buffer.add_string b (Printf.sprintf "%.1f" f)
         else Buffer.add_string b (Printf.sprintf "%.17g" f)
       | String s ->
@@ -443,6 +637,24 @@ let to_json t =
                [ ("count", Json.Int calls); ("total_ns", Json.Int total_ns) ] ))
          (timers t))
   in
+  let histograms_json =
+    Json.Obj
+      (List.map
+         (fun (name, h) ->
+           ( name,
+             Json.Obj
+               [
+                 ("count", Json.Int (histogram_count h));
+                 ("total", Json.Int (histogram_sum h));
+                 ("p50", Json.Float (percentile h 50.));
+                 ("p90", Json.Float (percentile h 90.));
+                 ("p99", Json.Float (percentile h 99.));
+               ] ))
+         (histograms t))
+  in
+  let gauges_json =
+    Json.Obj (List.map (fun (name, v) -> (name, Json.Float v)) (gauges t))
+  in
   let spans_json =
     Json.List
       (List.map
@@ -458,9 +670,11 @@ let to_json t =
   in
   Json.Obj
     [
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int 2);
       ("counters", counters_json);
       ("timers", timers_json);
+      ("histograms", histograms_json);
+      ("gauges", gauges_json);
       ("spans", spans_json);
     ]
 
@@ -471,3 +685,790 @@ let write_file t path =
   output_string oc (to_string t);
   output_char oc '\n';
   close_out oc
+
+(* ---------- streaming search traces -------------------------------------- *)
+
+module Trace = struct
+  let schema_version = 1
+
+  type state_class = Accepted | Discarded | Duplicate | Reopened
+
+  let class_name = function
+    | Accepted -> "accepted"
+    | Discarded -> "discarded"
+    | Duplicate -> "duplicate"
+    | Reopened -> "reopened"
+
+  let class_of_name = function
+    | "accepted" -> Some Accepted
+    | "discarded" -> Some Discarded
+    | "duplicate" -> Some Duplicate
+    | "reopened" -> Some Reopened
+    | _ -> None
+
+  type writer = {
+    oc : out_channel;
+    buf : Buffer.t;
+    cap : int;          (* flush threshold, bytes *)
+    w_born : int;       (* ns; event timestamps are offsets from this *)
+    mutable events : int;
+    mutable closed : bool;
+  }
+
+  type t = Off | On of writer
+
+  let disabled = Off
+
+  let is_enabled = function Off -> false | On _ -> true
+
+  (* Events are buffered whole lines; a flush therefore always leaves
+     the file line-aligned, so a crashed run's partial trace is valid
+     JSONL up to the last flush. *)
+  let flush_writer w =
+    if not w.closed then begin
+      output_string w.oc (Buffer.contents w.buf);
+      Buffer.clear w.buf;
+      Stdlib.flush w.oc
+    end
+
+  let finish_line w =
+    Buffer.add_char w.buf '\n';
+    w.events <- w.events + 1;
+    if Buffer.length w.buf >= w.cap then flush_writer w
+
+  let add_float b f =
+    if Float.is_finite f then Printf.bprintf b "%.17g" f
+    else Buffer.add_string b "null"
+
+  let stamp w = Printf.bprintf w.buf {|"t":%d|} (now_ns () - w.w_born)
+
+  let create ?(buffer_bytes = 1 lsl 16) path =
+    let oc = open_out path in
+    let w =
+      {
+        oc;
+        buf = Buffer.create (buffer_bytes + 512);
+        cap = buffer_bytes;
+        w_born = now_ns ();
+        events = 0;
+        closed = false;
+      }
+    in
+    Printf.bprintf w.buf {|{"e":"meta","v":%d}|} schema_version;
+    finish_line w;
+    On w
+
+  let flush = function Off -> () | On w -> flush_writer w
+
+  let close = function
+    | Off -> ()
+    | On w ->
+      if not w.closed then begin
+        flush_writer w;
+        w.closed <- true;
+        close_out w.oc
+      end
+
+  let event_count = function Off -> 0 | On w -> w.events
+
+  (* Emitters: each is a plain call that returns immediately on [Off]
+     without allocating — they sit on the search's hot path. *)
+
+  let run_start t ~strategy ~strata ~initial_cost =
+    match t with
+    | Off -> ()
+    | On w ->
+      Printf.bprintf w.buf {|{"e":"run_start",|};
+      stamp w;
+      Printf.bprintf w.buf {|,"strategy":"%s","strata":[|} strategy;
+      Array.iteri
+        (fun i name ->
+          if i > 0 then Buffer.add_char w.buf ',';
+          Printf.bprintf w.buf {|"%s"|} name)
+        strata;
+      Buffer.add_string w.buf {|],"initial_cost":|};
+      add_float w.buf initial_cost;
+      Buffer.add_char w.buf '}';
+      finish_line w
+
+  let run_end t ~best_cost ~created ~explored ~duplicates ~discarded ~completed =
+    match t with
+    | Off -> ()
+    | On w ->
+      Printf.bprintf w.buf {|{"e":"run_end",|};
+      stamp w;
+      Buffer.add_string w.buf {|,"best_cost":|};
+      add_float w.buf best_cost;
+      Printf.bprintf w.buf
+        {|,"created":%d,"explored":%d,"duplicates":%d,"discarded":%d,"completed":%b}|}
+        created explored duplicates discarded completed;
+      finish_line w;
+      (* a run boundary is always durable *)
+      flush_writer w
+
+  let state t ~cls ~id ~stratum ~cost =
+    match t with
+    | Off -> ()
+    | On w ->
+      Printf.bprintf w.buf {|{"e":"state",|};
+      stamp w;
+      Printf.bprintf w.buf {|,"k":"%s","id":%d,"stratum":%d,"cost":|}
+        (class_name cls) id stratum;
+      add_float w.buf cost;
+      Buffer.add_char w.buf '}';
+      finish_line w
+
+  let transition t ~kind ~applied ~rejected ~elapsed_ns =
+    match t with
+    | Off -> ()
+    | On w ->
+      Printf.bprintf w.buf {|{"e":"transition",|};
+      stamp w;
+      Printf.bprintf w.buf {|,"k":"%s","applied":%d,"rejected":%d,"ns":%d}|}
+        kind applied rejected elapsed_ns;
+      finish_line w
+
+  let cost_memo t ~hits ~misses =
+    match t with
+    | Off -> ()
+    | On w ->
+      Printf.bprintf w.buf {|{"e":"cost_memo",|};
+      stamp w;
+      Printf.bprintf w.buf {|,"hits":%d,"misses":%d}|} hits misses;
+      finish_line w
+
+  let heartbeat t ~created ~explored ~best_cost ~elapsed_ns =
+    match t with
+    | Off -> ()
+    | On w ->
+      Printf.bprintf w.buf {|{"e":"heartbeat",|};
+      stamp w;
+      Printf.bprintf w.buf {|,"created":%d,"explored":%d,"best_cost":|} created
+        explored;
+      add_float w.buf best_cost;
+      Printf.bprintf w.buf {|,"elapsed_ns":%d}|} elapsed_ns;
+      finish_line w;
+      (* heartbeats bound how much a crash can lose *)
+      flush_writer w
+
+  (* ---------- the global trace sink ---------- *)
+
+  let global_trace = ref Off
+
+  let set_global t = global_trace := t
+
+  let global () = !global_trace
+
+  (* ---------- reading ---------- *)
+
+  type event =
+    | Meta of { version : int }
+    | Run_start of {
+        at_ns : int;
+        strategy : string;
+        strata : string array;
+        initial_cost : float;
+      }
+    | Run_end of {
+        at_ns : int;
+        best_cost : float;
+        created : int;
+        explored : int;
+        duplicates : int;
+        discarded : int;
+        completed : bool;
+      }
+    | State of {
+        at_ns : int;
+        cls : state_class;
+        id : int;
+        stratum : int;
+        cost : float option;
+      }
+    | Transition of {
+        at_ns : int;
+        kind : string;
+        applied : int;
+        rejected : int;
+        elapsed_ns : int;
+      }
+    | Cost_memo of { at_ns : int; hits : int; misses : int }
+    | Heartbeat of {
+        at_ns : int;
+        created : int;
+        explored : int;
+        best_cost : float;
+        elapsed_ns : int;
+      }
+
+  exception Malformed of string
+
+  let ifield ?(default = 0) j k =
+    match Json.member k j with Some (Json.Int i) -> i | _ -> default
+
+  let ffield j k =
+    match Json.member k j with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> Float.nan
+
+  let ffield_opt j k =
+    match Json.member k j with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | Some Json.Null | None | Some _ -> None
+
+  let sfield j k =
+    match Json.member k j with Some (Json.String s) -> s | _ -> ""
+
+  let event_of_json j =
+    let at_ns = ifield j "t" in
+    match Json.member "e" j with
+    | Some (Json.String "meta") -> Some (Meta { version = ifield j "v" })
+    | Some (Json.String "run_start") ->
+      let strata =
+        match Json.member "strata" j with
+        | Some (Json.List items) ->
+          Array.of_list
+            (List.filter_map
+               (function Json.String s -> Some s | _ -> None)
+               items)
+        | _ -> [||]
+      in
+      Some
+        (Run_start
+           {
+             at_ns;
+             strategy = sfield j "strategy";
+             strata;
+             initial_cost = ffield j "initial_cost";
+           })
+    | Some (Json.String "run_end") ->
+      Some
+        (Run_end
+           {
+             at_ns;
+             best_cost = ffield j "best_cost";
+             created = ifield j "created";
+             explored = ifield j "explored";
+             duplicates = ifield j "duplicates";
+             discarded = ifield j "discarded";
+             completed =
+               (match Json.member "completed" j with
+               | Some (Json.Bool b) -> b
+               | _ -> false);
+           })
+    | Some (Json.String "state") ->
+      Option.map
+        (fun cls ->
+          State
+            {
+              at_ns;
+              cls;
+              id = ifield j "id";
+              stratum = ifield j "stratum";
+              cost = ffield_opt j "cost";
+            })
+        (class_of_name (sfield j "k"))
+    | Some (Json.String "transition") ->
+      Some
+        (Transition
+           {
+             at_ns;
+             kind = sfield j "k";
+             applied = ifield j "applied";
+             rejected = ifield j "rejected";
+             elapsed_ns = ifield j "ns";
+           })
+    | Some (Json.String "cost_memo") ->
+      Some (Cost_memo { at_ns; hits = ifield j "hits"; misses = ifield j "misses" })
+    | Some (Json.String "heartbeat") ->
+      Some
+        (Heartbeat
+           {
+             at_ns;
+             created = ifield j "created";
+             explored = ifield j "explored";
+             best_cost = ffield j "best_cost";
+             elapsed_ns = ifield j "elapsed_ns";
+           })
+    | Some _ | None -> None (* unknown event kinds are skipped, not fatal *)
+
+  (* Parse a trace.  A malformed *last* line is tolerated (a crash can
+     truncate the final OS-level write mid-line); a malformed line in
+     the middle raises [Malformed]. *)
+  let parse_lines text =
+    let lines = String.split_on_char '\n' text in
+    let n = List.length lines in
+    let events = ref [] in
+    List.iteri
+      (fun i line ->
+        if not (String.equal (String.trim line) "") then begin
+          match Json.of_string line with
+          | j -> (
+            match event_of_json j with
+            | Some e -> events := e :: !events
+            | None -> ())
+          | exception Json.Parse_error msg ->
+            if i < n - 1 then
+              raise
+                (Malformed (Printf.sprintf "line %d: %s" (i + 1) msg))
+        end)
+      lines;
+    List.rev !events
+
+  let read_file path =
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse_lines text
+end
+
+(* ---------- offline trace analysis --------------------------------------- *)
+
+module Report = struct
+  type kind_row = {
+    kind : string;
+    applied : int;
+    rejected : int;
+    created_k : int;
+    accepted_k : int;
+    reopened_k : int;
+    duplicates_k : int;
+    discarded_k : int;
+    time_ns : int;
+  }
+
+  type summary = {
+    source : string;  (* "trace" or "metrics" *)
+    strategy : string option;
+    initial_cost : float option;
+    final_cost : float option;
+    created : int;
+    explored : int;
+    duplicates : int;
+    discarded : int;
+    accepted : int;
+    reopened : int;
+    completed : bool option;
+    wall_ns : int option;
+    convergence : (int * int * float) list;
+        (* (at_ns, states created so far, new best cost), oldest first *)
+    kinds : kind_row list;
+    memo_hits : int;
+    memo_misses : int;
+  }
+
+  let rcr s =
+    match (s.initial_cost, s.final_cost) with
+    | Some i, Some f when i > 0. -> Some ((i -. f) /. i)
+    | _ -> None
+
+  (* Earliest convergence point within [pct]% of the final best cost
+     (threshold final * (1 + pct/100)), as (at_ns, states created). *)
+  let time_to_within s pct =
+    match s.final_cost with
+    | None -> None
+    | Some final ->
+      let threshold = final *. (1. +. (pct /. 100.)) in
+      List.find_map
+        (fun (at_ns, created, cost) ->
+          if cost <= threshold then Some (at_ns, created) else None)
+        s.convergence
+
+  let empty source =
+    {
+      source;
+      strategy = None;
+      initial_cost = None;
+      final_cost = None;
+      created = 0;
+      explored = 0;
+      duplicates = 0;
+      discarded = 0;
+      accepted = 0;
+      reopened = 0;
+      completed = None;
+      wall_ns = None;
+      convergence = [];
+      kinds = [];
+      memo_hits = 0;
+      memo_misses = 0;
+    }
+
+  type _kind_acc = {
+    mutable a_applied : int;
+    mutable a_rejected : int;
+    mutable a_time : int;
+    mutable a_accepted : int;
+    mutable a_reopened : int;
+    mutable a_duplicates : int;
+    mutable a_discarded : int;
+  }
+
+  let _fresh_acc () =
+    {
+      a_applied = 0;
+      a_rejected = 0;
+      a_time = 0;
+      a_accepted = 0;
+      a_reopened = 0;
+      a_duplicates = 0;
+      a_discarded = 0;
+    }
+
+  let of_trace events =
+    let s = ref (empty "trace") in
+    let strata = ref [||] in
+    let by_kind : (string, _kind_acc) Hashtbl.t = Hashtbl.create 8 in
+    let kind_order = ref [] in
+    let acc_for kind =
+      match Hashtbl.find_opt by_kind kind with
+      | Some a -> a
+      | None ->
+        let a = _fresh_acc () in
+        Hashtbl.add by_kind kind a;
+        kind_order := kind :: !kind_order;
+        a
+    in
+    let kind_of_stratum i =
+      if i >= 0 && i < Array.length !strata then !strata.(i)
+      else Printf.sprintf "#%d" i
+    in
+    let best = ref Float.infinity in
+    let created = ref 0 in
+    let explored = ref 0 in
+    let initial_accepted = ref 0 in
+    let last_ns = ref 0 in
+    let from_run_end = ref false in
+    List.iter
+      (fun e ->
+        (match e with
+        | Trace.Meta _ -> ()
+        | Trace.Run_start r ->
+          last_ns := Stdlib.max !last_ns r.at_ns;
+          strata := r.strata;
+          Array.iter (fun k -> ignore (acc_for k)) r.strata;
+          s :=
+            {
+              !s with
+              strategy = Some r.strategy;
+              initial_cost =
+                (if Float.is_finite r.initial_cost then Some r.initial_cost
+                 else None);
+            }
+        | Trace.Run_end r ->
+          last_ns := Stdlib.max !last_ns r.at_ns;
+          from_run_end := true;
+          s :=
+            {
+              !s with
+              final_cost =
+                (if Float.is_finite r.best_cost then Some r.best_cost
+                 else !s.final_cost);
+              created = r.created;
+              explored = r.explored;
+              duplicates = r.duplicates;
+              discarded = r.discarded;
+              completed = Some r.completed;
+              wall_ns = Some r.at_ns;
+            }
+        | Trace.State st ->
+          last_ns := Stdlib.max !last_ns st.at_ns;
+          (* id 0 is the initial state: accepted, but neither "created"
+             nor attributable to any transition's stratum *)
+          if st.id > 0 then created := !created + 1;
+          (match (st.cls, st.cost) with
+          | Trace.Accepted, Some c when c < !best ->
+            best := c;
+            s := { !s with convergence = (st.at_ns, !created, c) :: !s.convergence }
+          | _ -> ());
+          if st.id = 0 then initial_accepted := !initial_accepted + 1
+          else begin
+            let a = acc_for (kind_of_stratum st.stratum) in
+            match st.cls with
+            | Trace.Accepted -> a.a_accepted <- a.a_accepted + 1
+            | Trace.Reopened -> a.a_reopened <- a.a_reopened + 1
+            | Trace.Duplicate -> a.a_duplicates <- a.a_duplicates + 1
+            | Trace.Discarded -> a.a_discarded <- a.a_discarded + 1
+          end
+        | Trace.Transition tr ->
+          last_ns := Stdlib.max !last_ns tr.at_ns;
+          let a = acc_for tr.kind in
+          a.a_applied <- a.a_applied + tr.applied;
+          a.a_rejected <- a.a_rejected + tr.rejected;
+          a.a_time <- a.a_time + tr.elapsed_ns
+        | Trace.Cost_memo m ->
+          last_ns := Stdlib.max !last_ns m.at_ns;
+          s := { !s with memo_hits = m.hits; memo_misses = m.misses }
+        | Trace.Heartbeat h ->
+          last_ns := Stdlib.max !last_ns h.at_ns;
+          explored := h.explored))
+      events;
+    let kinds =
+      List.rev_map
+        (fun kind ->
+          let a = acc_for kind in
+          {
+            kind;
+            applied = a.a_applied;
+            rejected = a.a_rejected;
+            created_k = a.a_accepted + a.a_reopened + a.a_duplicates + a.a_discarded;
+            accepted_k = a.a_accepted;
+            reopened_k = a.a_reopened;
+            duplicates_k = a.a_duplicates;
+            discarded_k = a.a_discarded;
+            time_ns = a.a_time;
+          })
+        !kind_order
+    in
+    let accepted, reopened, duplicates, discarded =
+      List.fold_left
+        (fun (a, r, du, di) row ->
+          ( a + row.accepted_k,
+            r + row.reopened_k,
+            du + row.duplicates_k,
+            di + row.discarded_k ))
+        (0, 0, 0, 0) kinds
+    in
+    let s = !s in
+    let s =
+      if !from_run_end then s
+      else
+        (* crashed / truncated trace: reconstruct totals from the events *)
+        {
+          s with
+          created = !created;
+          explored = !explored;
+          duplicates = duplicates + reopened;
+          discarded;
+          wall_ns = (if !last_ns > 0 then Some !last_ns else None);
+          final_cost =
+            (if Float.is_finite !best then Some !best else s.final_cost);
+        }
+    in
+    {
+      s with
+      accepted = accepted + !initial_accepted;
+      reopened;
+      kinds;
+      convergence = List.rev s.convergence;
+      final_cost =
+        (match s.final_cost with
+        | Some f -> Some f
+        | None -> if Float.is_finite !best then Some !best else None);
+    }
+
+  (* Degraded analysis of a `--metrics` registry dump: totals and
+     per-kind counters are available, but there are no per-event
+     records, so the convergence curve is empty. *)
+  let of_metrics json =
+    let counter name =
+      match Option.bind (Json.member "counters" json) (Json.member name) with
+      | Some (Json.Int i) -> i
+      | _ -> 0
+    in
+    let gauge name =
+      match Option.bind (Json.member "gauges" json) (Json.member name) with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let timer_total name =
+      match Option.bind (Json.member "timers" json) (Json.member name) with
+      | Some t -> (
+        match Json.member "total_ns" t with Some (Json.Int i) -> Some i | _ -> None)
+      | _ -> None
+    in
+    let kind_names =
+      match Json.member "counters" json with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (name, _) ->
+            match String.split_on_char '.' name with
+            | [ "transition"; kind; "applied" ] -> Some kind
+            | _ -> None)
+          fields
+      | _ -> []
+    in
+    let kinds =
+      List.map
+        (fun kind ->
+          {
+            kind;
+            applied = counter (Printf.sprintf "transition.%s.applied" kind);
+            rejected = counter (Printf.sprintf "transition.%s.rejected" kind);
+            created_k = counter (Printf.sprintf "search.stratum.%s.created" kind);
+            accepted_k = 0;
+            reopened_k = 0;
+            duplicates_k = 0;
+            discarded_k = 0;
+            time_ns =
+              Option.value ~default:0
+                (timer_total (Printf.sprintf "transition.%s.time" kind));
+          })
+        kind_names
+    in
+    {
+      (empty "metrics") with
+      initial_cost = gauge "search.initial_cost";
+      final_cost = gauge "search.best_cost";
+      created = counter "search.created";
+      explored = counter "search.explored";
+      duplicates = counter "search.duplicates";
+      discarded = counter "search.discarded";
+      reopened = counter "search.reopened";
+      accepted =
+        counter "search.created" - counter "search.duplicates"
+        - counter "search.discarded";
+      wall_ns = timer_total "search.run";
+      kinds;
+      memo_hits = counter "cost.state.hits";
+      memo_misses = counter "cost.state.misses";
+    }
+
+  (* ---------- text rendering ---------- *)
+
+  let _btable b rows =
+    match rows with
+    | [] -> ()
+    | header :: _ ->
+      let widths = Array.make (List.length header) 0 in
+      List.iter
+        (List.iteri (fun i cell ->
+             widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+        rows;
+      List.iteri
+        (fun r row ->
+          Buffer.add_string b "  ";
+          List.iteri
+            (fun i cell ->
+              if i > 0 then Buffer.add_string b "  ";
+              Printf.bprintf b "%-*s" widths.(i) cell)
+            row;
+          Buffer.add_char b '\n';
+          if r = 0 then begin
+            Buffer.add_string b "  ";
+            Array.iteri
+              (fun i w ->
+                if i > 0 then Buffer.add_string b "--";
+                Buffer.add_string b (String.make w '-'))
+              widths;
+            Buffer.add_char b '\n'
+          end)
+        rows
+
+  let _fcost f = Printf.sprintf "%.6g" f
+
+  let _fsec ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e9)
+
+  let render s =
+    let b = Buffer.create 4096 in
+    Printf.bprintf b "search %s report\n" s.source;
+    Buffer.add_string b "===================\n";
+    (match s.strategy with
+    | Some st -> Printf.bprintf b "strategy:   %s\n" st
+    | None -> ());
+    Printf.bprintf b
+      "states:     created %d (accepted %d, duplicates %d, discarded %d, \
+       reopened %d), explored %d\n"
+      s.created s.accepted s.duplicates s.discarded s.reopened s.explored;
+    (match (s.initial_cost, s.final_cost) with
+    | Some i, Some f ->
+      Printf.bprintf b "cost:       initial %s -> final best %s" (_fcost i)
+        (_fcost f);
+      (match rcr s with
+      | Some r -> Printf.bprintf b " (rcr %.3f)\n" r
+      | None -> Buffer.add_char b '\n')
+    | None, Some f -> Printf.bprintf b "cost:       final best %s\n" (_fcost f)
+    | _, None -> Buffer.add_string b "cost:       (no cost events)\n");
+    (match s.wall_ns with
+    | Some ns -> Printf.bprintf b "wall time:  %s s\n" (_fsec ns)
+    | None -> ());
+    (match s.completed with
+    | Some true -> Buffer.add_string b "outcome:    completed (space exhausted)\n"
+    | Some false -> Buffer.add_string b "outcome:    cut (budget or memory)\n"
+    | None -> ());
+    if s.memo_hits + s.memo_misses > 0 then
+      Printf.bprintf b "cost memo:  %d hits / %d misses (%.1f%% hit rate)\n"
+        s.memo_hits s.memo_misses
+        (100.
+        *. float_of_int s.memo_hits
+        /. float_of_int (s.memo_hits + s.memo_misses));
+    Buffer.add_string b "\nconvergence (best cost vs wall time and states created)\n";
+    if s.convergence = [] then
+      Buffer.add_string b
+        "  (no per-event data; run `rdfviews select --trace FILE` and point \
+         `rdfviews report` at the trace)\n"
+    else
+      _btable b
+        ([ "time_s"; "created"; "best_cost" ]
+        :: List.map
+             (fun (at_ns, created, cost) ->
+               [ _fsec at_ns; string_of_int created; _fcost cost ])
+             s.convergence);
+    if s.convergence <> [] then begin
+      Buffer.add_string b "\ntime to within x% of final best cost\n";
+      _btable b
+        ([ "within"; "time_s"; "created" ]
+        :: List.filter_map
+             (fun pct ->
+               Option.map
+                 (fun (at_ns, created) ->
+                   [
+                     Printf.sprintf "%g%%" pct;
+                     _fsec at_ns;
+                     string_of_int created;
+                   ])
+                 (time_to_within s pct))
+             [ 50.; 20.; 10.; 5.; 1.; 0. ])
+    end;
+    (* a metrics dump has no per-state class records, so the per-class
+       columns only appear for trace input *)
+    let per_class = String.equal s.source "trace" in
+    if s.kinds <> [] then begin
+      Buffer.add_string b "\ntransition acceptance breakdown\n";
+      _btable b
+        (([ "kind"; "applied"; "rejected" ]
+         @ (if per_class then [ "accepted"; "acceptance" ] else [])
+         @ [ "time_ms" ])
+        :: List.map
+             (fun k ->
+               [ k.kind; string_of_int k.applied; string_of_int k.rejected ]
+               @ (if per_class then
+                    [
+                      string_of_int k.accepted_k;
+                      (if k.applied = 0 then "-"
+                       else
+                         Printf.sprintf "%.1f%%"
+                           (100. *. float_of_int k.accepted_k
+                           /. float_of_int k.applied));
+                    ]
+                  else [])
+               @ [ Printf.sprintf "%.3f" (float_of_int k.time_ns /. 1e6) ])
+             s.kinds);
+      Buffer.add_string b "\nstratum population\n";
+      _btable b
+        (([ "stratum"; "created" ]
+         @
+         if per_class then [ "accepted"; "reopened"; "duplicates"; "discarded" ]
+         else [])
+        :: List.map
+             (fun k ->
+               [ k.kind; string_of_int k.created_k ]
+               @
+               if per_class then
+                 [
+                   string_of_int k.accepted_k;
+                   string_of_int k.reopened_k;
+                   string_of_int k.duplicates_k;
+                   string_of_int k.discarded_k;
+                 ]
+               else [])
+             s.kinds)
+    end;
+    Buffer.contents b
+end

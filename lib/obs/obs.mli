@@ -1,5 +1,7 @@
-(** Run-level observability: named counters, monotonic timers and nested
-    trace spans, gathered in a registry that serializes to JSON.
+(** Run-level observability: named counters, monotonic timers, log-bucketed
+    histograms, gauges and nested trace spans, gathered in a registry that
+    serializes to JSON — plus a streaming per-event search trace
+    ({!Trace}) and its offline analyzer ({!Report}).
 
     The library is the substrate for the paper-style search telemetry
     (states created / duplicates / time-to-best-cost, §6) and for
@@ -18,6 +20,12 @@
     {- {b deterministic accounting} — counters and span nesting are
        exact; only timer values depend on the clock.}} *)
 
+val now_ns : unit -> int
+(** The monotonic clock, in nanoseconds from an arbitrary origin — the
+    clock every timer, histogram and trace timestamp is read from.
+    Exposed for call sites that must time a section without allocating
+    a closure. *)
+
 (** {1 Sinks} *)
 
 type t
@@ -34,8 +42,11 @@ val create : unit -> t
 val is_enabled : t -> bool
 
 val reset : t -> unit
-(** Zero all counters and timers and drop recorded spans.  No-op on
-    [disabled]. *)
+(** Zero all counters, timers and histograms, unset gauges, drop
+    recorded spans, re-base the span clock, and zero the span nesting
+    depth.  A span still open across the reset is dropped (not
+    recorded) when it closes, so reusing one registry across benchmark
+    experiments starts each experiment clean.  No-op on [disabled]. *)
 
 (** {1 Counters} *)
 
@@ -71,6 +82,66 @@ val timer_ns : timer -> int
 val timer_count : timer -> int
 (** Number of completed [time] calls. *)
 
+(** {1 Histograms}
+
+    Log-bucketed distribution of integer samples (latencies in ns,
+    sizes): bucket 0 holds non-positive samples, bucket [i >= 1] holds
+    samples in [[2^(i-1), 2^i)].  64 buckets cover the whole [int]
+    range, so recording never branches on overflow.  Percentiles are
+    bucket-resolution approximations (within a factor of ~1.5). *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** The histogram registered under the given name; the shared no-op
+    histogram on a disabled sink. *)
+
+val histogram_live : histogram -> bool
+(** [false] exactly for the no-op histogram — lets a hot path skip
+    reading the clock when nobody will see the sample. *)
+
+val observe : histogram -> int -> unit
+(** Record one sample.  No-op (and allocation-free) on the no-op
+    histogram. *)
+
+val histogram_count : histogram -> int
+(** Number of recorded samples. *)
+
+val histogram_sum : histogram -> int
+(** Sum of all recorded samples. *)
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0..100]: the representative value of
+    the bucket holding the ⌈q/100·count⌉-th smallest sample; [nan]
+    when empty. *)
+
+val bucket_of_sample : int -> int
+(** The bucket index a sample lands in (exposed for tests). *)
+
+val bucket_representative : int -> float
+(** The representative sample of a bucket: 0 for bucket 0, the
+    geometric middle of [[2^(i-1), 2^i)] otherwise. *)
+
+val time_with : timer -> histogram -> (unit -> 'a) -> 'a
+(** [time_with tm h f] runs [f], feeding its elapsed nanoseconds to
+    both the timer (mean) and the histogram (distribution) from a
+    single clock-pair.  Just [f ()] when both handles are no-ops. *)
+
+(** {1 Gauges}
+
+    A gauge holds the last value set — for end-of-run point facts
+    (best cost, peak heap words) that are not sums. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+val gauge_value : gauge -> float option
+(** [None] until the first {!set_gauge} (and always for the no-op
+    gauge). *)
+
 (** {1 Spans}
 
     Spans are begin/end trace events with nesting, for coarse phases
@@ -86,7 +157,8 @@ type span_event = {
 
 val span : t -> string -> (unit -> 'a) -> 'a
 (** [span t name f] runs [f] inside a span (recorded also when [f]
-    raises).  On a disabled sink this is just [f ()]. *)
+    raises).  On a disabled sink this is just [f ()].  A span crossing
+    a {!reset} is dropped. *)
 
 val spans : t -> span_event list
 (** Completed spans in chronological order of their start. *)
@@ -100,8 +172,22 @@ val timers : t -> (string * (int * int)) list
 (** All registered timers as [(name, (count, total_ns))], sorted by
     name. *)
 
+val histograms : t -> (string * histogram) list
+(** All registered histograms, sorted by name. *)
+
+val gauges : t -> (string * float) list
+(** All {e set} gauges, sorted by name. *)
+
 val find_counter : t -> string -> int option
 (** The value of a counter, [None] if never registered. *)
+
+val find_timer : t -> string -> (int * int) option
+(** A timer as [(count, total_ns)], [None] if never registered. *)
+
+val find_histogram : t -> string -> histogram option
+
+val find_gauge : t -> string -> float option
+(** The value of a gauge, [None] if never registered or never set. *)
 
 (** {1 The global sink}
 
@@ -124,6 +210,12 @@ val cached_counter : string -> unit -> counter
 val cached_timer : string -> unit -> timer
 (** Same memoization for timers. *)
 
+val cached_histogram : string -> unit -> histogram
+(** Same memoization for histograms. *)
+
+val cached_gauge : string -> unit -> gauge
+(** Same memoization for gauges. *)
+
 (** {1 JSON} *)
 
 (** A minimal JSON tree — enough to serialize a registry and to parse
@@ -139,6 +231,8 @@ module Json : sig
     | Obj of (string * t) list
 
   val to_string : ?indent:bool -> t -> string
+  (** Non-finite floats (NaN, ±∞) serialize as [null] — JSON has no
+      literal for them and the output must always re-parse. *)
 
   exception Parse_error of string
 
@@ -151,15 +245,224 @@ end
 
 val to_json : t -> Json.t
 (** Serialize a registry:
-    {[ { "schema_version": 1,
-         "counters": { name: int, ... },
-         "timers":   { name: { "count": int, "total_ns": int }, ... },
-         "spans":    [ { "name": string, "depth": int,
-                         "start_ns": int, "elapsed_ns": int }, ... ] } ]}
-    A disabled sink serializes to the same shape with empty members. *)
+    {[ { "schema_version": 2,
+         "counters":   { name: int, ... },
+         "timers":     { name: { "count": int, "total_ns": int }, ... },
+         "histograms": { name: { "count": int, "total": int,
+                                 "p50": num, "p90": num, "p99": num }, ... },
+         "gauges":     { name: float, ... },
+         "spans":      [ { "name": string, "depth": int,
+                           "start_ns": int, "elapsed_ns": int }, ... ] } ]}
+    A disabled sink serializes to the same shape with empty members.
+    Version history: 1 = counters/timers/spans only; 2 adds
+    "histograms" and "gauges". *)
 
 val to_string : t -> string
 (** [Json.to_string ~indent:true (to_json t)]. *)
 
 val write_file : t -> string -> unit
 (** Serialize the registry to a file (trailing newline included). *)
+
+(** {1 Streaming search traces}
+
+    An event-sourced record of one search: every state decision,
+    per-expand transition batch, cost-memo sample and progress
+    heartbeat is appended as one JSON line to a trace file.  The
+    writer buffers whole lines and flushes line-aligned, so a crashed
+    run leaves a file that is valid JSONL up to the last flush
+    ([run_end] and [heartbeat] force a flush).  [rdfviews report]
+    replays a trace offline into the paper's §6 quantities. *)
+module Trace : sig
+  val schema_version : int
+  (** Version written in the leading [meta] event (currently 1). *)
+
+  (** How the search classified a candidate state. *)
+  type state_class = Accepted | Discarded | Duplicate | Reopened
+
+  val class_name : state_class -> string
+  val class_of_name : string -> state_class option
+
+  type t
+  (** A trace sink: either off or an open streaming writer. *)
+
+  val disabled : t
+  (** The off sink; every emitter returns immediately without
+      allocating. *)
+
+  val is_enabled : t -> bool
+
+  val create : ?buffer_bytes:int -> string -> t
+  (** [create path] opens a streaming writer (truncating [path]) and
+      emits the [meta] schema event.  [buffer_bytes] (default 64 KiB)
+      is the flush threshold. *)
+
+  val flush : t -> unit
+  (** Force buffered events to the file (line-aligned). *)
+
+  val close : t -> unit
+  (** Flush and close.  Idempotent; emitters on a closed trace are
+      no-ops. *)
+
+  val event_count : t -> int
+  (** Events emitted so far (including [meta]); [0] when off. *)
+
+  (** {2 Emitters}
+
+      Plain calls that return immediately on the off sink — they sit
+      on the search's hot path and must not allocate when tracing is
+      disabled. *)
+
+  val run_start :
+    t -> strategy:string -> strata:string array -> initial_cost:float -> unit
+  (** [strata] names stratum indices (e.g. [|"VB";"SC";"JC";"VF"|]) so
+      later [state] events' integer [stratum] fields can be labeled by
+      an analyzer that knows nothing of [Core.Transition]. *)
+
+  val run_end :
+    t ->
+    best_cost:float ->
+    created:int ->
+    explored:int ->
+    duplicates:int ->
+    discarded:int ->
+    completed:bool ->
+    unit
+  (** Authoritative end-of-run totals; forces a flush. *)
+
+  val state : t -> cls:state_class -> id:int -> stratum:int -> cost:float -> unit
+  (** One candidate-state decision.  [id] is the running created-states
+      count (0 = the initial state); pass [Float.nan] as [cost] for
+      classes where no cost was computed — it serializes as [null]. *)
+
+  val transition : t -> kind:string -> applied:int -> rejected:int -> elapsed_ns:int -> unit
+  (** One per transition kind per expand: how many successors the kind
+      produced / rejected and how long generation took. *)
+
+  val cost_memo : t -> hits:int -> misses:int -> unit
+  (** Sampled cumulative cost-memo totals. *)
+
+  val heartbeat :
+    t -> created:int -> explored:int -> best_cost:float -> elapsed_ns:int -> unit
+  (** Periodic progress marker; forces a flush, bounding how much a
+      crash can lose. *)
+
+  (** {2 The global trace sink} *)
+
+  val set_global : t -> unit
+  val global : unit -> t
+
+  (** {2 Reading} *)
+
+  type event =
+    | Meta of { version : int }
+    | Run_start of {
+        at_ns : int;
+        strategy : string;
+        strata : string array;
+        initial_cost : float;
+      }
+    | Run_end of {
+        at_ns : int;
+        best_cost : float;
+        created : int;
+        explored : int;
+        duplicates : int;
+        discarded : int;
+        completed : bool;
+      }
+    | State of {
+        at_ns : int;
+        cls : state_class;
+        id : int;
+        stratum : int;
+        cost : float option;
+      }
+    | Transition of {
+        at_ns : int;
+        kind : string;
+        applied : int;
+        rejected : int;
+        elapsed_ns : int;
+      }
+    | Cost_memo of { at_ns : int; hits : int; misses : int }
+    | Heartbeat of {
+        at_ns : int;
+        created : int;
+        explored : int;
+        best_cost : float;
+        elapsed_ns : int;
+      }
+
+  exception Malformed of string
+
+  val parse_lines : string -> event list
+  (** Parse JSONL trace text.  Unknown event kinds are skipped (forward
+      compatibility); a malformed {e last} line is tolerated (a crash
+      can truncate the final write mid-line); a malformed line anywhere
+      else raises {!Malformed}. *)
+
+  val read_file : string -> event list
+end
+
+(** {1 Offline trace analysis}
+
+    Turns a {!Trace} event stream (or, degraded, a [--metrics]
+    registry dump) into the run summary behind [rdfviews report]:
+    convergence curve, per-transition acceptance, stratum population,
+    time-to-within-x%.  Pure — rendering returns a string; printing is
+    the caller's business. *)
+module Report : sig
+  type kind_row = {
+    kind : string;         (** transition kind / stratum label *)
+    applied : int;
+    rejected : int;
+    created_k : int;       (** states created in this stratum *)
+    accepted_k : int;
+    reopened_k : int;
+    duplicates_k : int;
+    discarded_k : int;
+    time_ns : int;         (** total successor-generation time *)
+  }
+
+  type summary = {
+    source : string;  (** ["trace"] or ["metrics"] *)
+    strategy : string option;
+    initial_cost : float option;
+    final_cost : float option;
+    created : int;
+    explored : int;
+    duplicates : int;
+    discarded : int;
+    accepted : int;
+    reopened : int;
+    completed : bool option;
+    wall_ns : int option;
+    convergence : (int * int * float) list;
+        (** (at_ns, states created so far, new best cost), oldest
+            first; empty for metrics-dump input *)
+    kinds : kind_row list;
+    memo_hits : int;
+    memo_misses : int;
+  }
+
+  val of_trace : Trace.event list -> summary
+  (** Replay a trace.  When the trace has a [run_end] event its totals
+      are authoritative; otherwise (crashed run) totals are
+      reconstructed from the per-event records. *)
+
+  val of_metrics : Json.t -> summary
+  (** Degraded summary from a [--metrics] registry dump: totals and
+      per-kind counters only, no convergence curve. *)
+
+  val rcr : summary -> float option
+  (** Relative cost reduction (initial − final) / initial. *)
+
+  val time_to_within : summary -> float -> (int * int) option
+  (** [time_to_within s pct]: the earliest convergence point whose cost
+      is ≤ final·(1 + pct/100), as [(at_ns, states created)]. *)
+
+  val render : summary -> string
+  (** Human-readable multi-section report (header, convergence table,
+      time-to-within table, transition acceptance, stratum
+      population). *)
+end

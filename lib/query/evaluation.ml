@@ -47,11 +47,22 @@ let has_impossible (s, p, o) =
 
 (* Estimated result count of an atom under the current bindings: used to
    pick the cheapest next atom (most selective first). *)
+let obs_probe_hist = Obs.cached_histogram "eval.probe.ns"
+
 let atom_cost store slots =
   if has_impossible slots then 0
   else begin
     Obs.incr (obs_atom_probes ());
-    Rdf.Store.count_matching store (pattern_of slots)
+    (* join-ordering probe latency; clock read only under a live
+       histogram, no closure on the common path *)
+    let h = obs_probe_hist () in
+    if Obs.histogram_live h then begin
+      let t0 = Obs.now_ns () in
+      let n = Rdf.Store.count_matching store (pattern_of slots) in
+      Obs.observe h (Obs.now_ns () - t0);
+      n
+    end
+    else Rdf.Store.count_matching store (pattern_of slots)
   end
 
 let extend_bindings bindings slots (ts, tp, to_) =

@@ -146,8 +146,7 @@ let fold_matching t pat f init =
 
 let iter_matching t pat f = fold_matching t pat (fun tr () -> f tr) ()
 
-let count_matching t pat =
-  Obs.incr (obs_count_probes ());
+let count_of_pattern t pat =
   match pat with
   | { ps = None; pp = None; po = None } -> size t
   | { ps = Some s; pp = Some p; po = Some o } ->
@@ -157,6 +156,21 @@ let count_matching t pat =
     | Some (Some b) -> b.n
     | Some None -> 0
     | None -> assert false)
+
+let obs_probe_hist = Obs.cached_histogram "store.probe.ns"
+
+let count_matching t pat =
+  Obs.incr (obs_count_probes ());
+  (* per-probe latency distribution; the clock is only read when a live
+     histogram will see the sample, and no closure is allocated *)
+  let h = obs_probe_hist () in
+  if Obs.histogram_live h then begin
+    let t0 = Obs.now_ns () in
+    let n = count_of_pattern t pat in
+    Obs.observe h (Obs.now_ns () - t0);
+    n
+  end
+  else count_of_pattern t pat
 
 let matching t pat = fold_matching t pat (fun tr acc -> tr :: acc) []
 

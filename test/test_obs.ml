@@ -48,6 +48,82 @@ let test_timer_semantics () =
   check_int "no-op timer passes through" 7 (Obs.time dtm (fun () -> 7));
   check_int "no-op timer records nothing" 0 (Obs.timer_count dtm)
 
+(* ---------- histograms ---------------------------------------------------- *)
+
+let test_histogram_bucketing () =
+  check_int "non-positive samples land in bucket 0" 0 (Obs.bucket_of_sample 0);
+  check_int "negative samples land in bucket 0" 0 (Obs.bucket_of_sample (-5));
+  check_int "1 lands in bucket 1" 1 (Obs.bucket_of_sample 1);
+  check_int "2 lands in bucket 2" 2 (Obs.bucket_of_sample 2);
+  check_int "3 lands in bucket 2" 2 (Obs.bucket_of_sample 3);
+  check_int "4 lands in bucket 3" 3 (Obs.bucket_of_sample 4);
+  check_int "1024 lands in bucket 11" 11 (Obs.bucket_of_sample 1024);
+  check_int "max_int does not overflow" 62 (Obs.bucket_of_sample max_int);
+  check_bool "bucket 0 represents 0" true (Obs.bucket_representative 0 = 0.);
+  (* the representative of a sample's bucket stays within the bucket's
+     factor-of-two bounds *)
+  List.iter
+    (fun sample ->
+      let r = Obs.bucket_representative (Obs.bucket_of_sample sample) in
+      check_bool
+        (Printf.sprintf "representative of %d within 2x" sample)
+        true
+        (r >= float_of_int sample /. 2. && r <= float_of_int sample *. 2.))
+    [ 1; 2; 3; 7; 100; 1024; 999_999 ]
+
+let test_histogram_percentiles () =
+  let reg = Obs.create () in
+  let h = Obs.histogram reg "h" in
+  check_bool "empty percentile is nan" true (Float.is_nan (Obs.percentile h 50.));
+  check_bool "registered histogram is live" true (Obs.histogram_live h);
+  for i = 1 to 100 do
+    Obs.observe h i
+  done;
+  check_int "count" 100 (Obs.histogram_count h);
+  check_int "sum" 5050 (Obs.histogram_sum h);
+  (* bucket-resolution approximation: p50 of 1..100 is within a factor
+     of 2 of the exact median *)
+  let p50 = Obs.percentile h 50. in
+  check_bool "p50 near exact median" true (p50 >= 25. && p50 <= 100.);
+  let p99 = Obs.percentile h 99. in
+  check_bool "p99 >= p50" true (p99 >= p50);
+  Obs.reset reg;
+  check_int "reset zeroes histogram" 0 (Obs.histogram_count h);
+  (* disabled sink: shared no-op histogram *)
+  let dh = Obs.histogram Obs.disabled "h" in
+  check_bool "no-op histogram is not live" false (Obs.histogram_live dh);
+  Obs.observe dh 42;
+  check_int "no-op histogram records nothing" 0 (Obs.histogram_count dh)
+
+let test_time_with () =
+  let reg = Obs.create () in
+  let tm = Obs.timer reg "tw" in
+  let h = Obs.histogram reg "tw.hist" in
+  let result = Obs.time_with tm h (fun () -> 5 * 5) in
+  check_int "time_with returns the result" 25 result;
+  check_int "timer saw one call" 1 (Obs.timer_count tm);
+  check_int "histogram saw one sample" 1 (Obs.histogram_count h);
+  (try Obs.time_with tm h (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "raising call recorded in timer" 2 (Obs.timer_count tm);
+  check_int "raising call recorded in histogram" 2 (Obs.histogram_count h)
+
+(* ---------- gauges -------------------------------------------------------- *)
+
+let test_gauge_semantics () =
+  let reg = Obs.create () in
+  let g = Obs.gauge reg "g" in
+  check_bool "fresh gauge is unset" true (Obs.gauge_value g = None);
+  check_bool "unset gauge not listed" true (Obs.gauges reg = []);
+  Obs.set_gauge g 3.5;
+  Obs.set_gauge g 7.25;
+  check_bool "gauge keeps the last value" true (Obs.gauge_value g = Some 7.25);
+  check_bool "find_gauge sees it" true (Obs.find_gauge reg "g" = Some 7.25);
+  Obs.reset reg;
+  check_bool "reset unsets the gauge" true (Obs.gauge_value g = None);
+  let dg = Obs.gauge Obs.disabled "g" in
+  Obs.set_gauge dg 1.;
+  check_bool "no-op gauge stays unset" true (Obs.gauge_value dg = None)
+
 (* ---------- spans -------------------------------------------------------- *)
 
 let test_span_nesting () =
@@ -100,6 +176,32 @@ let test_json_roundtrip () =
   check_bool "indented round-trips" true
     (Obs.Json.of_string pretty = sample_json)
 
+(* Non-finite floats have no JSON literal; they must serialize as null
+   so the output always re-parses (a p99 of an empty histogram is nan). *)
+let test_json_nonfinite () =
+  let doc =
+    Obs.Json.(
+      Obj
+        [
+          ("nan", Float Float.nan);
+          ("pinf", Float Float.infinity);
+          ("ninf", Float Float.neg_infinity);
+          ("fine", Float 1.5);
+        ])
+  in
+  let text = Obs.Json.to_string doc in
+  let reparsed = Obs.Json.of_string text in
+  check_bool "nan serializes as null" true
+    (Obs.Json.member "nan" reparsed = Some Obs.Json.Null);
+  check_bool "+inf serializes as null" true
+    (Obs.Json.member "pinf" reparsed = Some Obs.Json.Null);
+  check_bool "-inf serializes as null" true
+    (Obs.Json.member "ninf" reparsed = Some Obs.Json.Null);
+  check_bool "finite float survives" true
+    (Obs.Json.member "fine" reparsed = Some (Obs.Json.Float 1.5));
+  check_bool "indented form also reparses" true
+    (Obs.Json.of_string (Obs.Json.to_string ~indent:true doc) = reparsed)
+
 let test_json_parse_errors () =
   let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"open"; "1 2" ] in
   List.iter
@@ -113,10 +215,29 @@ let test_registry_serialization () =
   let reg = Obs.create () in
   Obs.add (Obs.counter reg "c1") 5;
   let _ = Obs.time (Obs.timer reg "t1") (fun () -> ()) in
+  Obs.observe (Obs.histogram reg "h1") 100;
+  Obs.set_gauge (Obs.gauge reg "g1") 2.5;
   Obs.span reg "phase" (fun () -> ());
   let json = Obs.Json.of_string (Obs.to_string reg) in
   check_bool "schema version present" true
-    (Obs.Json.member "schema_version" json = Some (Obs.Json.Int 1));
+    (Obs.Json.member "schema_version" json = Some (Obs.Json.Int 2));
+  (match Obs.Json.member "histograms" json with
+  | Some hists -> (
+    match Obs.Json.member "h1" hists with
+    | Some h1 ->
+      check_bool "histogram count serialized" true
+        (Obs.Json.member "count" h1 = Some (Obs.Json.Int 1));
+      check_bool "histogram total serialized" true
+        (Obs.Json.member "total" h1 = Some (Obs.Json.Int 100));
+      check_bool "histogram p50 present" true
+        (Obs.Json.member "p50" h1 <> None)
+    | None -> Alcotest.fail "no h1 histogram")
+  | None -> Alcotest.fail "no histograms member");
+  (match Obs.Json.member "gauges" json with
+  | Some gauges ->
+    check_bool "gauge serialized" true
+      (Obs.Json.member "g1" gauges = Some (Obs.Json.Float 2.5))
+  | None -> Alcotest.fail "no gauges member");
   (match Obs.Json.(member "counters" json) with
   | Some counters ->
     check_bool "counter value serialized" true
@@ -135,6 +256,32 @@ let test_registry_serialization () =
     check_bool "span name serialized" true
       (Obs.Json.member "name" span = Some (Obs.Json.String "phase"))
   | _ -> Alcotest.fail "expected exactly one span"
+
+(* A reset in the middle of an open span must not poison later spans:
+   the open span is dropped when it closes (its start offset predates
+   the re-based clock) and the nesting depth returns to zero, so spans
+   recorded after the reset sit at depth 0 with small offsets. *)
+let test_reset_inside_span () =
+  let reg = Obs.create () in
+  (try
+     Obs.span reg "stale" (fun () ->
+         Obs.reset reg;
+         (* nested span inside the stale one, after the reset *)
+         Obs.span reg "nested" (fun () -> ());
+         failwith "escape")
+   with Failure _ -> ());
+  Obs.span reg "fresh" (fun () -> ());
+  let names = List.map (fun s -> s.Obs.span_name) (Obs.spans reg) in
+  check_bool "stale span dropped" false (List.mem "stale" names);
+  check_bool "fresh span recorded" true (List.mem "fresh" names);
+  let fresh = List.find (fun s -> s.Obs.span_name = "fresh") (Obs.spans reg) in
+  check_int "depth re-based to zero" 0 fresh.Obs.depth;
+  check_bool "start offset re-based" true (fresh.Obs.start_ns >= 0);
+  (* the nested span recorded after the reset is also at depth 0: the
+     stale enclosing frame no longer counts *)
+  match List.find_opt (fun s -> s.Obs.span_name = "nested") (Obs.spans reg) with
+  | Some nested -> check_int "post-reset nested span at depth 0" 0 nested.Obs.depth
+  | None -> Alcotest.fail "nested span missing"
 
 (* ---------- cached handles and the global sink --------------------------- *)
 
@@ -229,19 +376,31 @@ let test_search_emits_consistent_counters () =
   check_bool "cost memo hit at least once" true (counter "cost.state.hits" > 0);
   check_bool "cost memo missed at least once" true
     (counter "cost.state.misses" > 0);
-  (match Obs.timers reg with
-  | timers -> (
-    match List.assoc_opt "cost.state.eval" timers with
-    | Some (calls, _) -> check_int "misses are timed" (counter "cost.state.misses") calls
-    | None -> Alcotest.fail "cost.state.eval timer missing"));
+  (match Obs.find_timer reg "cost.state.eval" with
+  | Some (calls, _) -> check_int "misses are timed" (counter "cost.state.misses") calls
+  | None -> Alcotest.fail "cost.state.eval timer missing");
   (* statistics probe the store through the indexed counters *)
   check_bool "store probes recorded" true (counter "store.count_probes" > 0);
   (* expansion timing covers every explored state *)
-  (match List.assoc_opt "search.expand" (Obs.timers reg) with
+  (match Obs.find_timer reg "search.expand" with
   | Some (calls, _) ->
     check_int "one expand timing per explored state"
       report.Core.Search.explored calls
-  | None -> Alcotest.fail "search.expand timer missing")
+  | None -> Alcotest.fail "search.expand timer missing");
+  (* the expand-latency histogram mirrors the expand timer call-count *)
+  (match Obs.find_histogram reg "search.expand.ns" with
+  | Some h ->
+    check_int "one histogram sample per explored state"
+      report.Core.Search.explored (Obs.histogram_count h)
+  | None -> Alcotest.fail "search.expand.ns histogram missing");
+  (* end-of-run gauges record the cost trajectory endpoints *)
+  (match (Obs.find_gauge reg "search.initial_cost",
+          Obs.find_gauge reg "search.best_cost") with
+  | Some initial, Some best ->
+    check_bool "best cost <= initial cost" true (best <= initial);
+    check_bool "best cost mirrors the report" true
+      (Float.abs (best -. report.Core.Search.best_cost) < 1e-9)
+  | _ -> Alcotest.fail "search cost gauges missing")
 
 let test_disabled_sink_changes_nothing () =
   Obs.set_global Obs.disabled;
@@ -264,10 +423,22 @@ let () =
           Alcotest.test_case "disabled" `Quick test_disabled_counter;
         ] );
       ("timers", [ Alcotest.test_case "semantics" `Quick test_timer_semantics ]);
-      ("spans", [ Alcotest.test_case "nesting" `Quick test_span_nesting ]);
+      ( "histograms",
+        [
+          Alcotest.test_case "bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "time_with" `Quick test_time_with;
+        ] );
+      ("gauges", [ Alcotest.test_case "semantics" `Quick test_gauge_semantics ]);
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "reset inside span" `Quick test_reset_inside_span;
+        ] );
       ( "json",
         [
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "registry serialization" `Quick
             test_registry_serialization;
