@@ -105,8 +105,9 @@ let run_equivalence () =
       ~reasoning:(Core.Selector.Post_reformulation schema) ~options:opts queries
   in
   let same =
-    Core.State.key sat.Core.Selector.report.Core.Search.best
-    = Core.State.key post.Core.Selector.report.Core.Search.best
+    Core.State.equal_key
+      (Core.State.key sat.Core.Selector.report.Core.Search.best)
+      (Core.State.key post.Core.Selector.report.Core.Search.best)
   in
   Printf.printf "  same recommended view set: %b\n" same;
   Printf.printf "  best costs: saturation %s, post-reformulation %s\n"

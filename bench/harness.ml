@@ -148,7 +148,7 @@ let bench_json name registry =
   in
   Obs.Json.Obj
     [
-      ("schema_version", Obs.Json.Int 1);
+      ("schema_version", Obs.Json.Int 2);
       ("experiment", Obs.Json.String name);
       ("scale", Obs.Json.String scale_name);
       ("states_created", Obs.Json.Int created);
@@ -164,6 +164,9 @@ let bench_json name registry =
           ] );
       ("best_cost", gauge "search.best_cost");
       ("initial_cost", gauge "search.initial_cost");
+      (* process-wide interner population after the run: deterministic
+         for a fixed workload, so it participates in the exact compare *)
+      ("interned_views", gauge "intern.size");
       ("peak_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
     ]
 
@@ -210,7 +213,7 @@ let compare_to_baseline name current =
             end
             else Printf.printf "  ok %s: %s\n" key (fmt_float c)
           | _ -> Printf.printf "  skip %s (absent)\n" key)
-        [ "states_created"; "states_explored"; "best_cost" ];
+        [ "states_created"; "states_explored"; "best_cost"; "interned_views" ];
       (match
          (bench_number "states_per_sec" base, bench_number "states_per_sec" current)
        with

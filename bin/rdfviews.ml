@@ -262,13 +262,15 @@ let select_cmd =
     in
     let report = result.Core.Selector.report in
     Printf.printf
-      "search (%s, %s): explored %d states in %.2fs; cost %.4g -> %.4g (rcr %.3f)%s\n\n"
+      "search (%s, %s): explored %d states in %.2fs; cost %.4g -> %.4g (rcr %.3f)%s\n"
       (Core.Search.strategy_name strategy)
       (Core.Selector.reasoning_name reasoning)
       report.Core.Search.explored report.Core.Search.elapsed
       report.Core.Search.initial_cost report.Core.Search.best_cost
       (Core.Search.rcr report)
       (if report.Core.Search.completed then " [complete]" else "");
+    Printf.printf "interner: %d distinct canonical forms\n\n"
+      (Core.Intern.size ());
     print_endline "recommended views:";
     List.iter
       (fun u ->

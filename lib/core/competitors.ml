@@ -33,7 +33,7 @@ let check_resources rs =
    development, as in [21]: view breaks and edge removals on the isolated
    query). *)
 let develop_query rs state =
-  let seen = Hashtbl.create 256 in
+  let seen = State.Tbl.create 256 in
   let results = ref [] in
   let pending = Queue.create () in
   let push rank s =
@@ -42,9 +42,9 @@ let develop_query rs state =
       rs.discarded <- rs.discarded + 1
     else
     let key = State.key s in
-    if Hashtbl.mem seen key then rs.duplicates <- rs.duplicates + 1
+    if State.Tbl.mem seen key then rs.duplicates <- rs.duplicates + 1
     else begin
-      Hashtbl.replace seen key ();
+      State.Tbl.replace seen key ();
       rs.live_states <- rs.live_states + 1;
       check_resources rs;
       results := s :: !results;
@@ -67,10 +67,9 @@ let develop_query rs state =
 
 let merge_states a b =
   let merged =
-    {
-      State.views = a.State.views @ b.State.views;
-      rewritings = a.State.rewritings @ b.State.rewritings;
-    }
+    State.make
+      ~views:(a.State.views @ b.State.views)
+      ~rewritings:(a.State.rewritings @ b.State.rewritings)
   in
   Transition.fusion_closure merged
 
@@ -95,7 +94,9 @@ let prune_dominated rs states =
   in
   let dominated (s, c, n) =
     List.exists
-      (fun (s', c', n') -> (not (s == s')) && c' <= c && n' <= n && (c' < c || n' < n))
+      (fun (s', c', n') ->
+        (* lint: allow phys-equal — self-exclusion among list elements *)
+        (not (s == s')) && c' <= c && n' <= n && (c' < c || n' < n))
       info
   in
   let kept = List.filter (fun entry -> not (dominated entry)) info in
@@ -125,7 +126,10 @@ let heuristic_filter rs per_query =
           (fun v -> List.mem (View.canonical_body v) other_keys)
           s.State.views
       in
-      let is_best s = match best with Some b -> s == b | None -> false in
+      let is_best s =
+        (* lint: allow phys-equal — identity of the already-chosen best *)
+        match best with Some b -> s == b | None -> false
+      in
       let kept = List.filter (fun s -> is_best s || fusable s) states in
       rs.discarded <- rs.discarded + (List.length states - List.length kept);
       (* fusable states are still pruned by dominance before combining *)

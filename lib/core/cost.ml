@@ -10,14 +10,19 @@ type weights = {
 let default_weights = { cs = 1.; cr = 1.; cm = 0.5; c1 = 1.; c2 = 1.; f = 2. }
 
 (* Estimator telemetry: memo-table hit rates for view profiles and
-   state costs, the number of algebra nodes estimated, and the time
-   spent computing non-memoized state costs. *)
+   state costs, the number of algebra nodes estimated, the time spent
+   computing non-memoized state costs, and the incremental path's
+   share (delta-applied vs full-recompute) with its latency
+   distribution. *)
 let obs_profile_hits = Obs.cached_counter "cost.profile.hits"
 let obs_profile_misses = Obs.cached_counter "cost.profile.misses"
 let obs_state_hits = Obs.cached_counter "cost.state.hits"
 let obs_state_misses = Obs.cached_counter "cost.state.misses"
 let obs_estimate_nodes = Obs.cached_counter "cost.estimate.nodes"
 let obs_state_eval = Obs.cached_timer "cost.state.eval"
+let obs_delta_incremental = Obs.cached_counter "cost.delta.incremental"
+let obs_delta_full = Obs.cached_counter "cost.delta.full"
+let obs_delta_hist = Obs.cached_histogram "cost.delta.ns"
 
 type view_profile = {
   cardinality : float;
@@ -25,15 +30,40 @@ type view_profile = {
   width : float;                      (* bytes per tuple *)
 }
 
+(* A memoized state cost with enough structure to be updated by a
+   transition delta: the three unweighted components and the weighted
+   per-rewriting REC contributions, in rewriting order.  [chain] counts
+   incremental steps since the last full recompute; VSO and VMC drift
+   by float re-association a little on every step, so the chain length
+   is capped (REC reuse is exact: untouched rewritings keep their
+   contribution bit-for-bit). *)
+type node = {
+  total : float;
+  vso_n : float;
+  rec_n : float;
+  vmc_n : float;
+  per_rw : (string * float) list;
+  chain : int;
+}
+
 type t = {
   stats : Stats.Statistics.t;
   weights : weights;
   profiles : (string, view_profile) Hashtbl.t;  (* by view name *)
-  costs : (string, float) Hashtbl.t;            (* by state key *)
+  costs : node State.Tbl.t;                     (* by state key *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 let create stats weights =
-  { stats; weights; profiles = Hashtbl.create 1024; costs = Hashtbl.create 1024 }
+  {
+    stats;
+    weights;
+    profiles = Hashtbl.create 1024;
+    costs = State.Tbl.create 1024;
+    memo_hits = 0;
+    memo_misses = 0;
+  }
 
 let weights t = t.weights
 let stats t = t.stats
@@ -83,13 +113,14 @@ let view_size t v =
   let p = profile t v in
   p.cardinality *. Float.max p.width 1.
 
+let view_maintenance t v =
+  Float.pow t.weights.f (float_of_int (View.atom_count v))
+
 let vso t (s : State.t) =
   List.fold_left (fun acc v -> acc +. view_size t v) 0. s.State.views
 
 let vmc t (s : State.t) =
-  List.fold_left
-    (fun acc v -> acc +. Float.pow t.weights.f (float_of_int (View.atom_count v)))
-    0. s.State.views
+  List.fold_left (fun acc v -> acc +. view_maintenance t v) 0. s.State.views
 
 (* Estimation result for a sub-expression. *)
 type estimate = {
@@ -203,58 +234,187 @@ let rewriting_cost t s expr =
 
 let rewriting_cardinality t s expr = (estimate t s expr).card
 
+(* One rewriting's weighted REC contribution, c1·io + c2·cpu. *)
+let weighted_rw t s expr =
+  let io, cpu = rewriting_cost t s expr in
+  (t.weights.c1 *. io) +. (t.weights.c2 *. cpu)
+
+let sum_per_rw per_rw = List.fold_left (fun acc (_, c) -> acc +. c) 0. per_rw
+
 let rec_cost t (s : State.t) =
   List.fold_left
-    (fun acc (_, r) ->
-      let io, cpu = rewriting_cost t s r in
-      acc +. (t.weights.c1 *. io) +. (t.weights.c2 *. cpu))
+    (fun acc (_, r) -> acc +. weighted_rw t s r)
     0. s.State.rewritings
+
+let total_of t ~vso_n ~rec_n ~vmc_n =
+  (t.weights.cs *. vso_n) +. (t.weights.cr *. rec_n) +. (t.weights.cm *. vmc_n)
+
+(* The reference path: everything from scratch.  Both [breakdown] and
+   the memo's full recomputes go through here, so the strict-mode
+   cross-checks compare the incremental result against exactly this. *)
+let node_full t (s : State.t) =
+  let vso_n = vso t s in
+  let vmc_n = vmc t s in
+  let per_rw =
+    List.map (fun (q, r) -> (q, weighted_rw t s r)) s.State.rewritings
+  in
+  let rec_n = sum_per_rw per_rw in
+  { total = total_of t ~vso_n ~rec_n ~vmc_n; vso_n; rec_n; vmc_n; per_rw; chain = 0 }
 
 type breakdown = { vso_part : float; rec_part : float; vmc_part : float; total : float }
 
 let breakdown t s =
-  let vso_part = vso t s in
-  let rec_part = rec_cost t s in
-  let vmc_part = vmc t s in
-  let total =
-    (t.weights.cs *. vso_part) +. (t.weights.cr *. rec_part)
-    +. (t.weights.cm *. vmc_part)
-  in
-  { vso_part; rec_part; vmc_part; total }
+  let n = node_full t s in
+  { vso_part = n.vso_n; rec_part = n.rec_n; vmc_part = n.vmc_n; total = n.total }
 
-(* Cumulative memo totals, tallied in plain refs (not the Obs counters,
-   which may be absent) so the trace can sample them.  One [cost_memo]
-   event every 256 lookups keeps the trace volume negligible next to
-   the per-state events. *)
-let memo_hits_total = ref 0
-let memo_misses_total = ref 0
-
-let sample_memo () =
-  let total = !memo_hits_total + !memo_misses_total in
+(* Cumulative memo totals live in the estimator (two concurrent
+   estimators — e.g. bench warm-up vs. measured run — must not
+   cross-contaminate the sampled [cost_memo] trace events).  One event
+   every 256 lookups keeps the trace volume negligible next to the
+   per-state events. *)
+let sample_memo t =
+  let total = t.memo_hits + t.memo_misses in
   if total land 255 = 0 then
-    Obs.Trace.cost_memo (Obs.Trace.global ()) ~hits:!memo_hits_total
-      ~misses:!memo_misses_total
+    Obs.Trace.cost_memo (Obs.Trace.global ()) ~hits:t.memo_hits
+      ~misses:t.memo_misses
+
+let memo_counts t = (t.memo_hits, t.memo_misses)
+
+let note_hit t =
+  t.memo_hits <- t.memo_hits + 1;
+  Obs.incr (obs_state_hits ());
+  sample_memo t
+
+let note_miss t =
+  t.memo_misses <- t.memo_misses + 1;
+  Obs.incr (obs_state_misses ());
+  sample_memo t
 
 let state_cost t s =
   let key = State.key s in
-  match Hashtbl.find_opt t.costs key with
-  | Some c ->
-    Obs.incr (obs_state_hits ());
-    memo_hits_total := !memo_hits_total + 1;
-    sample_memo ();
-    c
+  match State.Tbl.find_opt t.costs key with
+  | Some n ->
+    note_hit t;
+    n.total
   | None ->
-    Obs.incr (obs_state_misses ());
-    memo_misses_total := !memo_misses_total + 1;
-    sample_memo ();
-    let c = Obs.time (obs_state_eval ()) (fun () -> (breakdown t s).total) in
-    Hashtbl.add t.costs key c;
-    c
+    note_miss t;
+    let n = Obs.time (obs_state_eval ()) (fun () -> node_full t s) in
+    State.Tbl.add t.costs key n;
+    n.total
+
+(* ---------- incremental costing ------------------------------------------ *)
+
+(* Incremental chains are cut after this many steps: REC reuse is exact,
+   but VSO/VMC accumulate one float re-association per step, so a
+   periodic full recompute keeps the drift orders of magnitude below the
+   strict-mode tolerance. *)
+let max_chain = 24
+
+let delta_tolerance = 1e-6
+
+(* Read per call (not lazily once): tests toggle the variable with
+   Unix.putenv mid-process.  One getenv per newly accepted state is
+   noise next to the estimation work. *)
+let strict_now () =
+  match Sys.getenv_opt "RDFVIEWS_STRICT" with
+  | None | Some "" | Some "0" | Some "false" -> false
+  | Some _ -> true
+
+exception Delta_mismatch
+
+(* parent − removed + added, with only the touched rewritings
+   re-estimated in the child.  Untouched rewritings are physically
+   shared with the parent and scan only surviving views, whose profiles
+   are memoized by name — their cached contributions are bit-exact. *)
+let node_delta t parent_node (d : Delta.t) (child : State.t) =
+  let sum f vs = List.fold_left (fun acc v -> acc +. f v) 0. vs in
+  let vso_n =
+    parent_node.vso_n
+    -. sum (view_size t) d.Delta.views_removed
+    +. sum (view_size t) d.Delta.views_added
+  in
+  let vmc_n =
+    parent_node.vmc_n
+    -. sum (view_maintenance t) d.Delta.views_removed
+    +. sum (view_maintenance t) d.Delta.views_added
+  in
+  let touched q = List.exists (String.equal q) d.Delta.rewritings_touched in
+  let per_rw =
+    List.map2
+      (fun (q, cached) (q', r) ->
+        if not (String.equal q q') then raise Delta_mismatch;
+        if touched q then (q, weighted_rw t child r) else (q, cached))
+      parent_node.per_rw child.State.rewritings
+  in
+  let rec_n = sum_per_rw per_rw in
+  {
+    total = total_of t ~vso_n ~rec_n ~vmc_n;
+    vso_n;
+    rec_n;
+    vmc_n;
+    per_rw;
+    chain = parent_node.chain + 1;
+  }
+
+let node_of t s =
+  let key = State.key s in
+  match State.Tbl.find_opt t.costs key with
+  | Some n -> n
+  | None ->
+    let n = node_full t s in
+    State.Tbl.add t.costs key n;
+    n
+
+let state_cost_delta t ~parent ~delta child =
+  let key = State.key child in
+  match State.Tbl.find_opt t.costs key with
+  | Some n ->
+    note_hit t;
+    n.total
+  | None ->
+    note_miss t;
+    let parent_node = node_of t parent in
+    let n =
+      if parent_node.chain >= max_chain then begin
+        Obs.incr (obs_delta_full ());
+        Obs.time (obs_state_eval ()) (fun () -> node_full t child)
+      end
+      else
+        let h = obs_delta_hist () in
+        let t0 = if Obs.histogram_live h then Obs.now_ns () else 0 in
+        match node_delta t parent_node delta child with
+        | n ->
+          Obs.incr (obs_delta_incremental ());
+          if Obs.histogram_live h then Obs.observe h (Obs.now_ns () - t0);
+          n
+        | exception (Delta_mismatch | Invalid_argument _) ->
+          (* the delta does not line up with the child's rewritings (a
+             caller outside the transition pipeline); fall back to the
+             reference path *)
+          Obs.incr (obs_delta_full ());
+          Obs.time (obs_state_eval ()) (fun () -> node_full t child)
+    in
+    if strict_now () && n.chain > 0 then begin
+      let reference = node_full t child in
+      let scale =
+        Float.max 1. (Float.max (Float.abs n.total) (Float.abs reference.total))
+      in
+      if Float.abs (n.total -. reference.total) > delta_tolerance *. scale then
+        failwith
+          (Printf.sprintf
+             "Cost.state_cost_delta: incremental cost %.12g diverged from \
+              full recompute %.12g on state %s"
+             n.total reference.total (State.key_string child))
+    end;
+    State.Tbl.add t.costs key n;
+    n.total
 
 let memo_consistent t s =
-  match Hashtbl.find_opt t.costs (State.key s) with
+  match State.Tbl.find_opt t.costs (State.key s) with
   | None -> true
   | Some memoized ->
-    let fresh = (breakdown t s).total in
-    let scale = Float.max 1. (Float.max (Float.abs memoized) (Float.abs fresh)) in
-    Float.abs (memoized -. fresh) <= 1e-9 *. scale
+    let fresh = (node_full t s).total in
+    let scale =
+      Float.max 1. (Float.max (Float.abs memoized.total) (Float.abs fresh))
+    in
+    Float.abs (memoized.total -. fresh) <= delta_tolerance *. scale

@@ -50,7 +50,26 @@ val rewriting_cardinality : t -> State.t -> Rewriting.t -> float
 (** Estimated output cardinality of a rewriting. *)
 
 val state_cost : t -> State.t -> float
-(** cε(S), memoized on {!State.key}. *)
+(** cε(S), memoized on {!State.key} (compact interned-id keys, hashed
+    once per state). *)
+
+val state_cost_delta : t -> parent:State.t -> delta:Delta.t -> State.t -> float
+(** cε(child), computed incrementally from the parent's memoized cost:
+    VSO and VMC are updated by the delta's removed/added views, and only
+    the touched rewritings are re-estimated — every untouched rewriting
+    keeps its cached REC contribution bit-for-bit.  Falls back to the
+    full recompute when the parent was never costed, when the delta does
+    not line up with the child, or after {e max_chain} consecutive
+    incremental steps (bounding float drift in VSO/VMC).  Under
+    [RDFVIEWS_STRICT] every incremental result is cross-checked against
+    the full recompute within a relative tolerance of 1e-6; divergence
+    raises [Failure].  The result is memoized exactly like
+    {!state_cost}. *)
+
+val memo_counts : t -> int * int
+(** Cumulative state-cost memo [(hits, misses)] of this estimator —
+    per-estimator so concurrent estimators (bench warm-up vs. measured
+    run) cannot cross-contaminate the sampled trace events. *)
 
 type breakdown = { vso_part : float; rec_part : float; vmc_part : float; total : float }
 
@@ -59,5 +78,9 @@ val breakdown : t -> State.t -> breakdown
 
 val memo_consistent : t -> State.t -> bool
 (** True when the memoized cost for the state (if any) agrees with a
-    fresh recomputation of {!breakdown}, up to floating-point noise.
-    States never memoized are vacuously consistent. *)
+    fresh full recomputation within a relative tolerance of 1e-6 (the
+    memoized value may have been produced by the incremental path, whose
+    VSO/VMC components drift by float re-association).  States never
+    memoized are vacuously consistent.  This is the
+    incremental-vs-reference cross-check {!Invariant.check_costs} runs
+    on every accepted state in strict mode. *)

@@ -15,7 +15,7 @@ let trim (state : State.t) removed =
   let views =
     List.filter (fun v -> SSet.mem (View.name v) used) state.State.views
   in
-  { State.views; rewritings }
+  State.make ~views ~rewritings
 
 let extend ~store ~reasoning ~options ~previous ~removed ~added =
   let base = previous.Selector.report.Search.best in
@@ -34,14 +34,13 @@ let extend ~store ~reasoning ~options ~previous ~removed ~added =
     added;
   let fresh =
     match added with
-    | [] -> { State.views = []; rewritings = [] }
+    | [] -> State.make ~views:[] ~rewritings:[]
     | _ :: _ -> Selector.initial_state reasoning added
   in
   let warm =
-    {
-      State.views = survivors.State.views @ fresh.State.views;
-      rewritings = survivors.State.rewritings @ fresh.State.rewritings;
-    }
+    State.make
+      ~views:(survivors.State.views @ fresh.State.views)
+      ~rewritings:(survivors.State.rewritings @ fresh.State.rewritings)
   in
   if warm.State.rewritings = [] then
     invalid_arg "Dynamic.extend: empty resulting workload";

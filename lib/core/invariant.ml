@@ -241,13 +241,13 @@ let ucq_equivalent a b = ucq_contained_in a b && ucq_contained_in b a
 (* ---------- the checks --------------------------------------------------- *)
 
 let check_structure state =
-  let key = State.key state in
+  let key = State.key_string state in
   List.map
     (fun detail -> { state_key = key; invariant = "structure"; detail })
     (State.structural_violations state)
 
 let check_equivalence reference state =
-  let key = State.key state in
+  let key = State.key_string state in
   let problems = ref [] in
   let note invariant detail = problems := { state_key = key; invariant; detail } :: !problems in
   List.iter
@@ -296,7 +296,7 @@ let check_equivalence reference state =
 let finite_nonneg x = Float.is_finite x && x >= 0.
 
 let check_costs estimator state =
-  let key = State.key state in
+  let key = State.key_string state in
   let problems = ref [] in
   let note detail =
     problems := { state_key = key; invariant = "cost"; detail } :: !problems
@@ -347,8 +347,8 @@ let check_edge ~parent ~child =
       (fun kind ->
         List.exists
           (fun succ ->
-            String.equal (State.key succ) target
-            || String.equal (State.key (Transition.fusion_closure succ)) target)
+            State.equal_key (State.key succ) target
+            || State.equal_key (State.key (Transition.fusion_closure succ)) target)
           (Transition.successors parent kind))
       Transition.all_kinds
   in
@@ -356,7 +356,7 @@ let check_edge ~parent ~child =
   else
     [
       {
-        state_key = target;
+        state_key = State.key_to_string target;
         invariant = "edge";
         detail = "child state is not reachable from parent by any transition";
       };

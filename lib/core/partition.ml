@@ -37,12 +37,10 @@ let merge_reports total_elapsed reports =
     let sumi f = List.fold_left (fun acc r -> acc + f r) 0 reports in
     {
       Search.best =
-        {
-          State.views =
-            List.concat_map (fun r -> r.Search.best.State.views) reports;
-          rewritings =
-            List.concat_map (fun r -> r.Search.best.State.rewritings) reports;
-        };
+        State.make
+          ~views:(List.concat_map (fun r -> r.Search.best.State.views) reports)
+          ~rewritings:
+            (List.concat_map (fun r -> r.Search.best.State.rewritings) reports);
       best_cost = sum (fun r -> r.Search.best_cost);
       initial_cost = sum (fun r -> r.Search.initial_cost);
       created = sumi (fun r -> r.Search.created);

@@ -66,6 +66,12 @@ let rec substitute name replacement expr =
   | Rename (mapping, e) -> Rename (mapping, substitute name replacement e)
   | Union branches -> Union (List.map (substitute name replacement) branches)
 
+let rec mentions name = function
+  | Scan n -> String.equal n name
+  | Select (_, e) | Project (_, e) | Rename (_, e) -> mentions name e
+  | Join (_, l, r) -> mentions name l || mentions name r
+  | Union branches -> List.exists (mentions name) branches
+
 let views_used expr =
   let rec collect acc = function
     | Scan n -> if List.mem n acc then acc else n :: acc

@@ -44,6 +44,12 @@ val substitute : string -> t -> t -> t
     [expr] by [replacement].  The replacement must have the same columns
     as the view it stands for. *)
 
+val mentions : string -> t -> bool
+(** [mentions name expr] is true when [expr] contains [Scan name] —
+    cheaper than [views_used] (no allocation, early exit) and used by
+    the transitions to substitute only the rewritings that actually
+    reference the replaced view. *)
+
 val views_used : t -> string list
 (** Distinct view names scanned by the expression (with multiplicity
     collapsed); order of first occurrence. *)

@@ -87,6 +87,7 @@ let obs_expand_time = Obs.cached_timer "search.expand"
 let obs_expand_hist = Obs.cached_histogram "search.expand.ns"
 let obs_initial_cost = Obs.cached_gauge "search.initial_cost"
 let obs_best_cost = Obs.cached_gauge "search.best_cost"
+let obs_intern_size = Obs.cached_gauge "intern.size"
 
 let obs_per_stratum make =
   let arr = Array.make (List.length Transition.all_kinds) (make "VB") in
@@ -109,7 +110,7 @@ type engine = {
   strict_reference : Invariant.reference option;
       (* Some under RDFVIEWS_STRICT: every accepted state is asserted
          equivalent to this reference *)
-  seen : (string, int) Hashtbl.t;  (* state key -> lowest stratum rank *)
+  seen : int State.Tbl.t;  (* state key -> lowest stratum rank *)
   mutable created : int;
   mutable duplicates : int;
   mutable discarded : int;
@@ -133,7 +134,7 @@ let timed_out engine =
 let memory_exceeded engine =
   match engine.options.max_states with
   | Some cap ->
-    if Hashtbl.length engine.seen > cap then begin
+    if State.Tbl.length engine.seen > cap then begin
       engine.oom <- true;
       true
     end
@@ -159,16 +160,27 @@ let heartbeat engine =
 
 (* Register a freshly produced state.  Returns [Some (state, rank)] when
    the state is new (or re-opened at a lower stratum) and should be
-   expanded further. *)
-let consider engine ~rank state =
+   expanded further.  [parent] is the state the transition was applied
+   to and [delta] the transition's own change; the AVF collapse composes
+   its fusion deltas on top, so the pair handed to
+   {!Cost.state_cost_delta} always describes parent → accepted state. *)
+let consider engine ~rank ~parent ~delta state =
   engine.created <- engine.created + 1;
   Obs.incr (obs_created ());
   Obs.incr (obs_stratum_created.(rank) ());
   heartbeat engine;
   (* the trace names states by their creation index; 0 is the initial state *)
   let id = engine.created in
-  let state =
-    if engine.options.avf then Transition.fusion_closure state else state
+  let state, delta =
+    if engine.options.avf then begin
+      match Transition.fusion_closure_delta state with
+      (* no fusion fired (the common case): skip the compose allocation *)
+      | state', { Delta.views_removed = []; views_added = []; rewritings_touched = [] }
+        ->
+        (state', delta)
+      | state', fused -> (state', Delta.compose delta fused)
+    end
+    else (state, delta)
   in
   if violates_stop engine.options state then begin
     engine.discarded <- engine.discarded + 1;
@@ -179,7 +191,7 @@ let consider engine ~rank state =
   end
   else begin
     let key = State.key state in
-    match Hashtbl.find_opt engine.seen key with
+    match State.Tbl.find_opt engine.seen key with
     | Some old_rank when old_rank <= rank ->
       engine.duplicates <- engine.duplicates + 1;
       Obs.incr (obs_duplicates ());
@@ -191,17 +203,23 @@ let consider engine ~rank state =
       engine.duplicates <- engine.duplicates + 1;
       Obs.incr (obs_duplicates ());
       Obs.incr (obs_reopened ());
-      Hashtbl.replace engine.seen key rank;
+      State.Tbl.replace engine.seen key rank;
       Obs.Trace.state engine.trace ~cls:Obs.Trace.Reopened ~id ~stratum:rank
         ~cost:Float.nan;
       Some (state, rank)
     | None ->
-      Hashtbl.replace engine.seen key rank;
+      State.Tbl.replace engine.seen key rank;
+      (* cost first, then the strict assertion: the incremental result
+         must be memoized before Invariant's memo_consistent check so
+         that the check exercises the delta path, not a fresh full
+         recompute of its own *)
+      let cost =
+        Cost.state_cost_delta engine.estimator ~parent ~delta state
+      in
       (match engine.strict_reference with
       | Some reference ->
         Invariant.assert_valid ~estimator:engine.estimator reference state
       | None -> ());
-      let cost = Cost.state_cost engine.estimator state in
       note_best engine state cost;
       Obs.Trace.state engine.trace ~cls:Obs.Trace.Accepted ~id ~stratum:rank
         ~cost;
@@ -231,8 +249,9 @@ let expand engine state rank =
   List.concat_map
     (fun kind ->
       List.filter_map
-        (fun succ -> consider engine ~rank:(rank_of kind) succ)
-        (Transition.successors state kind))
+        (fun (succ, delta) ->
+          consider engine ~rank:(rank_of kind) ~parent:state ~delta succ)
+        (Transition.successors_with_delta state kind))
     (allowed_kinds engine.options rank)
 
 (* Worklist search; [lifo] makes it depth-first.  FIFO uses a Queue to
@@ -287,9 +306,11 @@ let gstr_search engine initial =
           Obs.incr (obs_explored ());
           let fresh =
             List.filter_map
-              (fun succ ->
-                consider engine ~rank:(Transition.kind_rank kind) succ)
-              (Transition.successors state kind)
+              (fun (succ, delta) ->
+                consider engine
+                  ~rank:(Transition.kind_rank kind)
+                  ~parent:state ~delta succ)
+              (Transition.successors_with_delta state kind)
           in
           List.iter
             (fun (s, _) ->
@@ -332,7 +353,7 @@ let run_from estimator options initial =
         raise
           (Invariant.Violation
              {
-               Invariant.state_key = State.key initial;
+               Invariant.state_key = State.key_string initial;
                invariant = "rewriting";
                detail = "initial state does not unfold: " ^ detail;
              })
@@ -358,7 +379,7 @@ let run_from estimator options initial =
       options;
       trace;
       strict_reference;
-      seen = Hashtbl.create 4096;
+      seen = State.Tbl.create 4096;
       created = 0;
       duplicates = 0;
       discarded = 0;
@@ -372,7 +393,7 @@ let run_from estimator options initial =
   in
   if engine.best_cost < initial_cost then
     engine.trajectory <- (0., engine.best_cost) :: engine.trajectory;
-  Hashtbl.replace engine.seen (State.key initial) 0;
+  State.Tbl.replace engine.seen (State.key initial) 0;
   Obs.Trace.state trace ~cls:Obs.Trace.Accepted ~id:0 ~stratum:0
     ~cost:engine.best_cost;
   let completed =
@@ -387,6 +408,7 @@ let run_from estimator options initial =
     ~discarded:engine.discarded ~completed;
   Obs.set_gauge (obs_initial_cost ()) initial_cost;
   Obs.set_gauge (obs_best_cost ()) engine.best_cost;
+  Obs.set_gauge (obs_intern_size ()) (float_of_int (Intern.size ()));
   {
     best = engine.best;
     best_cost = engine.best_cost;

@@ -24,10 +24,8 @@ let plain_views state =
 (* final rewritings are normalized (Simplify) so that downstream engines
    receive compact select-project-join plans *)
 let simplified_rewritings state =
-  let env = State.env state in
-  List.map
-    (fun (q, r) -> (q, Simplify.simplify env r))
-    state.State.rewritings
+  let simplified, _touched = Simplify.state_rewritings state in
+  simplified.State.rewritings
 
 (* Statistics and the store views are materialized against, per mode. *)
 let statistics_for ~store = function

@@ -123,3 +123,27 @@ let rec simplify env expr =
   match step env expr with
   | Some expr' -> simplify env (fixpoint env expr' 64)
   | None -> expr
+
+(* Whole-state normalization for final reporting: simplify every
+   rewriting and say which queries actually changed, as a Delta (no
+   views move, so only [rewritings_touched] is populated).  The search
+   itself keeps the raw expressions — simplifying mid-search would
+   change nothing semantically but would invalidate the bit-exact
+   per-rewriting REC sharing of Cost.state_cost_delta. *)
+let state_rewritings (s : State.t) =
+  let env = State.env s in
+  let touched = ref [] in
+  let rewritings =
+    List.map
+      (fun (q, r) ->
+        let r' = simplify env r in
+        if not (Rewriting.equal r r') then touched := q :: !touched;
+        (q, r'))
+      s.State.rewritings
+  in
+  ( State.make ~views:s.State.views ~rewritings,
+    {
+      Delta.views_removed = [];
+      views_added = [];
+      rewritings_touched = List.rev !touched;
+    } )

@@ -24,3 +24,11 @@ val simplify : Rewriting.env -> Rewriting.t -> Rewriting.t
 
 val node_count : Rewriting.t -> int
 (** Number of operator nodes, for measuring the simplification. *)
+
+val state_rewritings : State.t -> State.t * Delta.t
+(** Normalize every rewriting of the state.  The views are unchanged (so
+    the state's interned {!State.key} is preserved); the returned delta
+    has empty view lists and names the queries whose expression actually
+    changed.  Used on final states for reporting — the search keeps raw
+    expressions so the incremental cost path can share untouched
+    rewriting estimates bit-for-bit. *)

@@ -1,7 +1,12 @@
+type key = { ids : int array; khash : int }
+
 type t = {
   views : View.t list;
   rewritings : (string * Rewriting.t) list;
+  mutable ident : key option;  (* cached structural key; never observable *)
 }
+
+let make ~views ~rewritings = { views; rewritings; ident = None }
 
 let check_distinct_names queries =
   let names = List.map (fun q -> q.Query.Cq.name) queries in
@@ -17,7 +22,7 @@ let initial queries =
         (view, (q.Query.Cq.name, Rewriting.Scan (View.name view))))
       queries
   in
-  { views = List.map fst entries; rewritings = List.map snd entries }
+  make ~views:(List.map fst entries) ~rewritings:(List.map snd entries)
 
 let initial_union groups =
   let entries =
@@ -34,35 +39,92 @@ let initial_union groups =
         (views, (qname, expr)))
       groups
   in
-  {
-    views = List.concat_map fst entries;
-    rewritings = List.map snd entries;
-  }
+  make
+    ~views:(List.concat_map fst entries)
+    ~rewritings:(List.map snd entries)
 
 let env t =
   let table = Hashtbl.create (List.length t.views) in
   List.iter (fun v -> Hashtbl.replace table (View.name v) (View.columns v)) t.views;
   table
 
+(* FNV-1a over the sorted id multiset, the same mixing as Rdf.Term.hash.
+   The sorted array makes the key order-insensitive: two states with the
+   same views in any order collide, as §3.1's set semantics requires. *)
 let key t =
-  String.concat "\x01" (List.sort String.compare (List.map View.canonical t.views))
+  match t.ident with
+  | Some k -> k
+  | None ->
+    let ids = Array.of_list (List.map View.intern_id t.views) in
+    Array.sort Int.compare ids;
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun id -> h := (!h lxor id) * 0x01000193 land max_int) ids;
+    let k = { ids; khash = !h } in
+    t.ident <- Some k;
+    k
+
+let equal_key a b =
+  a.khash = b.khash
+  && Array.length a.ids = Array.length b.ids
+  && (let n = Array.length a.ids in
+      let rec eq i = i = n || (a.ids.(i) = b.ids.(i) && eq (i + 1)) in
+      eq 0)
+
+let hash_key k = k.khash
+
+let key_to_string k =
+  String.concat "." (Array.to_list (Array.map string_of_int k.ids))
+
+let key_string t = key_to_string (key t)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = key
+
+  let equal = equal_key
+  let hash = hash_key
+end)
 
 let find_view t name =
   List.find_opt (fun v -> String.equal (View.name v) name) t.views
 
+(* View names are process-unique ("v<id>"), so name equality identifies
+   the victim exactly — including across State_io reloads, where the
+   physical identity the old ==-based filter relied on does not
+   survive.  Only the rewritings that actually scan the victim are
+   substituted; the untouched ones are shared with the parent, which is
+   what makes the reported delta's [rewritings_touched] exact. *)
 let replace_view t ~victim ~replacements ~expression =
+  let vname = View.name victim in
   let views =
-    replacements @ List.filter (fun v -> not (v == victim)) t.views
+    replacements
+    @ List.filter (fun v -> not (String.equal (View.name v) vname)) t.views
   in
+  let touched = ref [] in
   let rewritings =
     List.map
-      (fun (q, r) -> (q, Rewriting.substitute (View.name victim) expression r))
+      (fun (q, r) ->
+        if Rewriting.mentions vname r then begin
+          touched := q :: !touched;
+          (q, Rewriting.substitute vname expression r)
+        end
+        else (q, r))
       t.rewritings
   in
-  { views; rewritings }
+  ( make ~views ~rewritings,
+    {
+      Delta.views_removed = [ victim ];
+      views_added = replacements;
+      rewritings_touched = List.rev !touched;
+    } )
 
 let remove_views t victims =
-  { t with views = List.filter (fun v -> not (List.memq v victims)) t.views }
+  let names = List.map View.name victims in
+  make
+    ~views:
+      (List.filter
+         (fun v -> not (List.exists (String.equal (View.name v)) names))
+         t.views)
+    ~rewritings:t.rewritings
 
 let structural_violations t =
   let env = env t in

@@ -4,14 +4,33 @@
     A state pairs a set of views with exactly one rewriting per workload
     query; every view participates in at least one rewriting (this is an
     invariant maintained by the transitions, checked by
-    {!invariants_hold}). *)
+    {!invariants_hold}).
 
-type t = {
+    The record is private: build states with {!make} (or {!initial} /
+    {!initial_union}) so the cached structural key stays coherent.
+    Field access and pattern matching work as usual. *)
+
+type key
+(** Canonical identity of a state: the sorted multiset of its views'
+    interned canonical ids plus a precomputed hash.  Two states are
+    equivalent iff they have the same view sets (§3.1); comparing keys
+    is O(|views|) integer work, with no canonical strings involved
+    beyond each view's one-time interning. *)
+
+type t = private {
   views : View.t list;
   rewritings : (string * Rewriting.t) list;
       (** query name → rewriting; columns align positionally with the
           query head *)
+  mutable ident : key option;
+      (** memoized {!key}; managed internally, never inspect it *)
 }
+
+val make :
+  views:View.t list -> rewritings:(string * Rewriting.t) list -> t
+(** The one constructor.  No validation is performed (see
+    {!structural_violations} for that); the fresh state's key cache is
+    empty. *)
 
 val initial : Query.Cq.t list -> t
 (** The initial state S0: one view per workload query (the query itself,
@@ -25,22 +44,36 @@ val initial_union : (string * Query.Cq.t list) list -> t
 val env : t -> Rewriting.env
 (** View name → columns, for algebra operations. *)
 
-val key : t -> string
-(** Canonical identity of the state: the sorted multiset of the views'
-    canonical forms.  Two states are equivalent iff they have the same
-    view sets (§3.1). *)
+val key : t -> key
+(** The state's identity key, computed once and cached on the state. *)
+
+val equal_key : key -> key -> bool
+
+val hash_key : key -> int
+
+val key_to_string : key -> string
+(** Diagnostic rendering of a key: the sorted interned ids, dot
+    separated.  Stable within a process; use only for reporting. *)
+
+val key_string : t -> string
+(** [key_to_string (key t)]. *)
+
+module Tbl : Hashtbl.S with type key = key
+(** Hash tables keyed by state identity ({!equal_key} / {!hash_key});
+    the search's seen-set and the cost memo live in these. *)
 
 val find_view : t -> string -> View.t option
 
 val replace_view : t -> victim:View.t -> replacements:View.t list ->
-  expression:Rewriting.t -> t
-(** The common shape of all transitions: remove [victim], add
-    [replacements], and substitute [expression] for the victim's symbol
-    in every rewriting. *)
+  expression:Rewriting.t -> t * Delta.t
+(** The common shape of all transitions: remove [victim] (identified by
+    name), add [replacements], and substitute [expression] for the
+    victim's symbol in every rewriting that mentions it.  Returns the
+    successor and the exact delta (victim removed, replacements added,
+    the substituted rewritings touched). *)
 
 val remove_views : t -> View.t list -> t
-(** Remove views without touching rewritings (used by fusion, which
-    substitutes two symbols). *)
+(** Remove views (by name) without touching rewritings. *)
 
 val structural_violations : t -> string list
 (** Human-readable descriptions of every structural invariant the state

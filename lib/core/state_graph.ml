@@ -116,6 +116,17 @@ let is_connected_subset q nodes =
   | [] -> false
   | _ -> List.length (components nodes (edge_pairs q)) = 1
 
+(* The VB enumeration calls the connectivity test O(2^n) times on one
+   view; recomputing (and re-sorting) the edge list inside every call
+   dominated its profile.  The checker closes over the edge pairs
+   computed once. *)
+let subset_checker q =
+  let pairs = edge_pairs q in
+  fun nodes ->
+    match nodes with
+    | [] -> false
+    | _ -> List.length (components nodes pairs) = 1
+
 let components_without_edge q edge =
   let all = List.mapi (fun i _ -> i) q.Query.Cq.body in
   (* remove exactly one occurrence of the edge's endpoints pair *)

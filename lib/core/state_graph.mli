@@ -32,6 +32,12 @@ val is_connected_subset : Query.Cq.t -> int list -> bool
 (** Whether the subgraph induced by the given atom indices is
     connected. *)
 
+val subset_checker : Query.Cq.t -> int list -> bool
+(** Partial application precomputes the view's edge pairs once; the
+    returned closure is {!is_connected_subset} without the per-call
+    edge recomputation.  Use when testing many subsets of one view
+    (the VB split enumeration). *)
+
 val components_without_edge : Query.Cq.t -> join_edge -> int list list
 (** Connected components (lists of atom indices) of the view graph after
     removing exactly one occurrence of the given join edge; multi-edges

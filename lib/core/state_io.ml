@@ -273,7 +273,7 @@ let parse_states text =
   let flush () =
     if !open_state then begin
       states :=
-        { State.views = List.rev !views; rewritings = List.rev !rewritings }
+        State.make ~views:(List.rev !views) ~rewritings:(List.rev !rewritings)
         :: !states;
       views := [];
       rewritings := []

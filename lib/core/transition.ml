@@ -10,7 +10,10 @@ let all_kinds = [ VB; SC; JC; VF ]
    produced, [rejected] counts candidates pruned before producing a
    state (disconnecting join-cut orientations, disconnected view-break
    splits, fusion pairs with equal canonical bodies but no body
-   isomorphism).  Handles index by [kind_rank]. *)
+   isomorphism).  Handles index by [kind_rank].
+
+   The per-view enumeration caches below mean a rejection is tallied
+   once per view, not once per state containing the view. *)
 let obs_per_kind make =
   let arr = Array.make (List.length all_kinds) (make "VB") in
   List.iter (fun k -> arr.(kind_rank k) <- make (kind_name k)) all_kinds;
@@ -56,34 +59,70 @@ let view_of_parts head body =
 let replace_atom body i atom =
   List.mapi (fun j a -> if j = i then atom else a) body
 
-(* ---------------- Selection cut ---------------------------------------- *)
+(* ---------------- per-view action caches -------------------------------- *)
 
-let selection_cuts state =
+(* The replacement views and the rewriting expression of an SC, JC or VB
+   application depend only on the victim view, never on the state around
+   it — and the same view object survives across every state that keeps
+   it, so a DFS re-derives each view's actions hundreds of times.  Each
+   cache maps the process-unique [View.id] (an int, assigned at
+   creation) to the complete [(replacements, expression)] action list;
+   producing a successor is then a single [State.replace_view].
+
+   Reusing the cached replacement *view objects* across states is the
+   heart of the speedup: their canonical forms, interned ids and cost
+   profiles are computed once ever instead of once per created state.
+   View names are globally unique ("v<counter>"), so a cached view can
+   sit in any number of sibling states without in-state collisions.
+   Entries are immutable and live as long as the process, like the
+   interner itself. *)
+
+type action = View.t list * Rewriting.t
+
+let cached (cache : (int, action list) Hashtbl.t) (v : View.t) derive =
+  match Hashtbl.find_opt cache v.View.id with
+  | Some actions -> actions
+  | None ->
+    let actions = derive v in
+    Hashtbl.add cache v.View.id actions;
+    actions
+
+let apply_actions state kind_cache derive =
   List.concat_map
     (fun v ->
-      let cq = v.View.cq in
       List.map
-        (fun (edge : State_graph.selection_edge) ->
-          let fresh = Query.Qterm.fresh_var () in
-          let atom =
-            Query.Atom.set_at
-              (List.nth (body_of v) edge.atom)
-              edge.pos (Query.Qterm.Var fresh)
-          in
-          let body' = replace_atom (body_of v) edge.atom atom in
-          let head' = head_of v @ [ Query.Qterm.Var fresh ] in
-          let v' = view_of_parts head' body' in
-          let expr =
-            Rewriting.Project
-              ( View.columns v,
-                Rewriting.Select
-                  ( [ Rewriting.Eq_cst (fresh, edge.constant) ],
-                    Rewriting.Scan (View.name v') ) )
-          in
-          State.replace_view state ~victim:v ~replacements:[ v' ]
-            ~expression:expr)
-        (State_graph.selection_edges cq))
+        (fun (replacements, expression) ->
+          State.replace_view state ~victim:v ~replacements ~expression)
+        (cached kind_cache v derive))
     state.State.views
+
+(* ---------------- Selection cut ---------------------------------------- *)
+
+let sc_cache : (int, action list) Hashtbl.t = Hashtbl.create 1024
+
+let sc_actions (v : View.t) : action list =
+  List.map
+    (fun (edge : State_graph.selection_edge) ->
+      let fresh = Query.Qterm.fresh_var () in
+      let atom =
+        Query.Atom.set_at
+          (List.nth (body_of v) edge.atom)
+          edge.pos (Query.Qterm.Var fresh)
+      in
+      let body' = replace_atom (body_of v) edge.atom atom in
+      let head' = head_of v @ [ Query.Qterm.Var fresh ] in
+      let v' = view_of_parts head' body' in
+      let expr =
+        Rewriting.Project
+          ( View.columns v,
+            Rewriting.Select
+              ( [ Rewriting.Eq_cst (fresh, edge.constant) ],
+                Rewriting.Scan (View.name v') ) )
+      in
+      ([ v' ], expr))
+    (State_graph.selection_edges v.View.cq)
+
+let selection_cuts state = apply_actions state sc_cache sc_actions
 
 (* ---------------- Join cut --------------------------------------------- *)
 
@@ -101,7 +140,7 @@ let head_terms_for_component (v : View.t) body_atoms extra_vars =
   in
   from_head @ List.map (fun x -> Query.Qterm.Var x) extra_vars
 
-let join_cut_connected state v (edge : State_graph.join_edge) (i, pos) =
+let join_cut_connected v (edge : State_graph.join_edge) (i, pos) : action =
   let fresh = Query.Qterm.fresh_var () in
   let atom =
     Query.Atom.set_at (List.nth (body_of v) i) pos (Query.Qterm.Var fresh)
@@ -118,9 +157,9 @@ let join_cut_connected state v (edge : State_graph.join_edge) (i, pos) =
           ( [ Rewriting.Eq_col (edge.var, fresh) ],
             Rewriting.Scan (View.name v') ) )
   in
-  State.replace_view state ~victim:v ~replacements:[ v' ] ~expression:expr
+  ([ v' ], expr)
 
-let join_cut_split state v (edge : State_graph.join_edge) comp_a comp_b =
+let join_cut_split v (edge : State_graph.join_edge) comp_a comp_b : action =
   let body = Array.of_list (body_of v) in
   let atoms_of comp = List.map (fun i -> body.(i)) comp in
   let make_side comp =
@@ -136,110 +175,110 @@ let join_cut_split state v (edge : State_graph.join_edge) comp_a comp_b =
         Rewriting.Join ([], Rewriting.Scan (View.name va), Rewriting.Scan (View.name vb))
       )
   in
-  State.replace_view state ~victim:v ~replacements:[ va; vb ] ~expression:expr
+  ([ va; vb ], expr)
 
-let join_cuts state =
+let jc_cache : (int, action list) Hashtbl.t = Hashtbl.create 1024
+
+let jc_actions (v : View.t) : action list =
+  let cq = v.View.cq in
   List.concat_map
-    (fun v ->
-      let cq = v.View.cq in
-      List.concat_map
-        (fun (edge : State_graph.join_edge) ->
-          match State_graph.components_without_edge cq edge with
-          | [ _ ] ->
-            (* connected case: an orientation is only valid if replacing
-               that occurrence (which removes all its edges) leaves the
-               view connected — otherwise the new view would have a
-               Cartesian product *)
-            let orientation (i, pos) =
-              match State_graph.components_without_occurrence cq i pos with
-              | [ _ ] -> [ join_cut_connected state v edge (i, pos) ]
-              | _ ->
-                reject JC;
-                []
-            in
-            orientation (edge.atom_a, edge.pos_a)
-            @ orientation (edge.atom_b, edge.pos_b)
-          | [ comp_a; comp_b ] -> [ join_cut_split state v edge comp_a comp_b ]
-          | _ -> [] (* cannot happen: removing one edge splits in ≤ 2 *))
-        (State_graph.join_edges cq))
-    state.State.views
+    (fun (edge : State_graph.join_edge) ->
+      match State_graph.components_without_edge cq edge with
+      | [ _ ] ->
+        (* connected case: an orientation is only valid if replacing
+           that occurrence (which removes all its edges) leaves the
+           view connected — otherwise the new view would have a
+           Cartesian product *)
+        let orientation (i, pos) =
+          match State_graph.components_without_occurrence cq i pos with
+          | [ _ ] -> [ join_cut_connected v edge (i, pos) ]
+          | _ ->
+            reject JC;
+            []
+        in
+        orientation (edge.atom_a, edge.pos_a)
+        @ orientation (edge.atom_b, edge.pos_b)
+      | [ comp_a; comp_b ] -> [ join_cut_split v edge comp_a comp_b ]
+      | _ -> [] (* cannot happen: removing one edge splits in ≤ 2 *))
+    (State_graph.join_edges cq)
+
+let join_cuts state = apply_actions state jc_cache jc_actions
 
 (* ---------------- View break ------------------------------------------- *)
 
 (* Disjoint connected splits, plus splits overlapping on exactly one
    node.  Atom 0's side is called A to halve the enumeration. *)
 let split_candidates (v : View.t) =
-  let cq = v.View.cq in
-  let n = Query.Cq.atom_count cq in
-  if n < 3 then []
-  else begin
-    let indices mask members =
-      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) members
-    in
-    let all = List.init n (fun i -> i) in
-    let disjoint = ref [] in
-    for mask = 1 to (1 lsl n) - 2 do
-      if mask land 1 = 1 then begin
-        let a = indices mask all in
-        let b = List.filter (fun i -> not (List.mem i a)) all in
-        if
-          b <> []
-          && State_graph.is_connected_subset cq a
-          && State_graph.is_connected_subset cq b
-        then disjoint := (a, b) :: !disjoint
-        else reject VB
+    let cq = v.View.cq in
+    let n = Query.Cq.atom_count cq in
+    let splits =
+      if n < 3 then []
+      else begin
+        let connected = State_graph.subset_checker cq in
+        let indices mask members =
+          List.filteri (fun i _ -> mask land (1 lsl i) <> 0) members
+        in
+        let all = List.init n (fun i -> i) in
+        let disjoint = ref [] in
+        for mask = 1 to (1 lsl n) - 2 do
+          if mask land 1 = 1 then begin
+            let a = indices mask all in
+            let b = List.filter (fun i -> not (List.mem i a)) all in
+            if b <> [] && connected a && connected b then
+              disjoint := (a, b) :: !disjoint
+            else reject VB
+          end
+        done;
+        let overlapping = ref [] in
+        for k = 0 to n - 1 do
+          let rest = List.filter (fun i -> i <> k) all in
+          let m = List.length rest in
+          for mask = 1 to (1 lsl m) - 2 do
+            let a' = indices mask rest in
+            let b' = List.filter (fun i -> not (List.mem i a')) rest in
+            (* canonical orientation: the smallest non-shared index sits in A *)
+            if a' <> [] && b' <> [] && List.hd rest = List.hd a' then begin
+              let a = List.sort Int.compare (k :: a') in
+              let b = List.sort Int.compare (k :: b') in
+              if connected a && connected b then
+                overlapping := (a, b) :: !overlapping
+              else reject VB
+            end
+          done
+        done;
+        !disjoint @ !overlapping
       end
-    done;
-    let overlapping = ref [] in
-    for k = 0 to n - 1 do
-      let rest = List.filter (fun i -> i <> k) all in
-      let m = List.length rest in
-      for mask = 1 to (1 lsl m) - 2 do
-        let a' = indices mask rest in
-        let b' = List.filter (fun i -> not (List.mem i a')) rest in
-        (* canonical orientation: the smallest non-shared index sits in A *)
-        if a' <> [] && b' <> [] && List.hd rest = List.hd a' then begin
-          let a = List.sort Int.compare (k :: a') in
-          let b = List.sort Int.compare (k :: b') in
-          if
-            State_graph.is_connected_subset cq a
-            && State_graph.is_connected_subset cq b
-          then overlapping := (a, b) :: !overlapping
-          else reject VB
-        end
-      done
-    done;
-    !disjoint @ !overlapping
-  end
+    in
+    splits
 
-let view_breaks state =
-  List.concat_map
-    (fun v ->
-      let body = Array.of_list (body_of v) in
-      List.map
-        (fun (comp_a, comp_b) ->
-          let atoms_of comp = List.map (fun i -> body.(i)) comp in
-          let atoms_a = atoms_of comp_a in
-          let atoms_b = atoms_of comp_b in
-          let vars_of atoms =
-            List.concat_map Query.Atom.var_set atoms
-            |> List.sort_uniq String.compare
-          in
-          let shared =
-            List.filter (fun x -> List.mem x (vars_of atoms_b)) (vars_of atoms_a)
-          in
-          let v1 = view_of_parts (head_terms_for_component v atoms_a shared) atoms_a in
-          let v2 = view_of_parts (head_terms_for_component v atoms_b shared) atoms_b in
-          let expr =
-            Rewriting.Project
-              ( View.columns v,
-                Rewriting.Join
-                  ([], Rewriting.Scan (View.name v1), Rewriting.Scan (View.name v2)) )
-          in
-          State.replace_view state ~victim:v ~replacements:[ v1; v2 ]
-            ~expression:expr)
-        (split_candidates v))
-    state.State.views
+let vb_cache : (int, action list) Hashtbl.t = Hashtbl.create 1024
+
+let vb_actions (v : View.t) : action list =
+  let body = Array.of_list (body_of v) in
+  List.map
+    (fun (comp_a, comp_b) ->
+      let atoms_of comp = List.map (fun i -> body.(i)) comp in
+      let atoms_a = atoms_of comp_a in
+      let atoms_b = atoms_of comp_b in
+      let vars_of atoms =
+        List.concat_map Query.Atom.var_set atoms
+        |> List.sort_uniq String.compare
+      in
+      let shared =
+        List.filter (fun x -> List.mem x (vars_of atoms_b)) (vars_of atoms_a)
+      in
+      let v1 = view_of_parts (head_terms_for_component v atoms_a shared) atoms_a in
+      let v2 = view_of_parts (head_terms_for_component v atoms_b shared) atoms_b in
+      let expr =
+        Rewriting.Project
+          ( View.columns v,
+            Rewriting.Join
+              ([], Rewriting.Scan (View.name v1), Rewriting.Scan (View.name v2)) )
+      in
+      ([ v1; v2 ], expr))
+    (split_candidates v)
+
+let view_breaks state = apply_actions state vb_cache vb_actions
 
 (* ---------------- View fusion ------------------------------------------ *)
 
@@ -297,29 +336,44 @@ let fuse state v1 v2 =
       Rewriting.Project
         (View.columns v2, Rewriting.Rename (mapping, Rewriting.Scan (View.name v3)))
     in
+    let n1 = View.name v1 in
+    let n2 = View.name v2 in
     let views =
-      v3 :: List.filter (fun v -> not (v == v1 || v == v2)) state.State.views
+      v3
+      :: List.filter
+           (fun v ->
+             let n = View.name v in
+             not (String.equal n n1 || String.equal n n2))
+           state.State.views
     in
+    let touched = ref [] in
     let rewritings =
       List.map
         (fun (q, r) ->
-          ( q,
-            Rewriting.substitute (View.name v2) expr2
-              (Rewriting.substitute (View.name v1) expr1 r) ))
+          if Rewriting.mentions n1 r || Rewriting.mentions n2 r then begin
+            touched := q :: !touched;
+            (q, Rewriting.substitute n2 expr2 (Rewriting.substitute n1 expr1 r))
+          end
+          else (q, r))
         state.State.rewritings
     in
-    Some { State.views; rewritings }
+    Some
+      ( State.make ~views ~rewritings,
+        {
+          Delta.views_removed = [ v1; v2 ];
+          views_added = [ v3 ];
+          rewritings_touched = List.rev !touched;
+        } )
 
 let fusion_pairs state =
   let tagged =
-    List.map (fun v -> (View.canonical_body v, v)) state.State.views
+    List.map (fun v -> (View.body_intern_id v, v)) state.State.views
   in
   let rec pairs = function
     | [] -> []
     | (key1, v1) :: rest ->
       List.filter_map
-        (fun (key2, v2) ->
-          if String.equal key1 key2 then Some (v1, v2) else None)
+        (fun (key2, v2) -> if key1 = key2 then Some (v1, v2) else None)
         rest
       @ pairs rest
   in
@@ -347,7 +401,7 @@ let generate state kind =
   | JC -> join_cuts state
   | VF -> view_fusions state
 
-let successors state kind =
+let successors_with_delta state kind =
   let i = kind_rank kind in
   let trace = Obs.Trace.global () in
   let traced = Obs.Trace.is_enabled trace in
@@ -356,7 +410,7 @@ let successors state kind =
   let produced = Obs.time (obs_time.(i) ()) (fun () -> generate state kind) in
   if Lazy.force strict then
     List.iter
-      (fun succ ->
+      (fun (succ, _) ->
         match State.structural_violations succ with
         | [] -> ()
         | problem :: _ ->
@@ -372,22 +426,27 @@ let successors state kind =
       ~elapsed_ns:(Obs.now_ns () - t0);
   produced
 
-let rec fusion_closure state =
+let successors state kind = List.map fst (successors_with_delta state kind)
+
+let rec fusion_closure_from state acc =
   match fusion_pairs state with
-  | [] -> state
+  | [] -> (state, acc)
   | (v1, v2) :: rest -> (
     match fuse state v1 v2 with
-    | Some state' ->
+    | Some (state', d) ->
       Obs.incr (obs_avf_fused ());
-      fusion_closure state'
+      fusion_closure_from state' (Delta.compose acc d)
     | None -> (
       (* isomorphism can fail despite equal canonical bodies only in
          pathological hash-free cases; fall through to other pairs *)
       match
         List.find_map (fun (a, b) -> fuse state a b) rest
       with
-      | Some state' ->
+      | Some (state', d) ->
         Obs.incr (obs_avf_fused ());
-        fusion_closure state'
-      | None -> state))
+        fusion_closure_from state' (Delta.compose acc d)
+      | None -> (state, acc)))
 
+let fusion_closure_delta state = fusion_closure_from state Delta.empty
+
+let fusion_closure state = fst (fusion_closure_delta state)

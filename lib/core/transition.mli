@@ -29,12 +29,23 @@ val kind_name : kind -> string
 val all_kinds : kind list
 (** In stratification order. *)
 
-val successors : State.t -> kind -> State.t list
+val successors_with_delta : State.t -> kind -> (State.t * Delta.t) list
 (** All states reachable from the given state by one application of the
-    given transition kind.  No deduplication is performed here; the
-    search deduplicates by {!State.key}. *)
+    given transition kind, each paired with the exact delta the
+    transition applied (views removed, views added, rewritings whose
+    expression changed).  The delta feeds {!Cost.state_cost_delta}.  No
+    deduplication is performed here; the search deduplicates by
+    {!State.key}. *)
 
-val fusion_closure : State.t -> State.t
+val successors : State.t -> kind -> State.t list
+(** [successors s k] is [List.map fst (successors_with_delta s k)]. *)
+
+val fusion_closure_delta : State.t -> State.t * Delta.t
 (** Repeatedly apply view fusions until none is applicable — the
     aggressive-view-fusion (AVF) collapse of §5.2; the result is unique
-    no matter the fusion order. *)
+    no matter the fusion order.  Also returns the composition of all
+    fusion deltas ({!Delta.empty} when no fusion applied, in which case
+    the returned state is the input itself). *)
+
+val fusion_closure : State.t -> State.t
+(** [fusion_closure s] is [fst (fusion_closure_delta s)]. *)

@@ -1,4 +1,11 @@
-type t = { id : int; cq : Query.Cq.t; canon : string Lazy.t; canon_body : string Lazy.t }
+type t = {
+  id : int;
+  cq : Query.Cq.t;
+  canon : string Lazy.t;
+  canon_body : string Lazy.t;
+  iid : Intern.id Lazy.t;
+  body_iid : Intern.id Lazy.t;
+}
 
 let counter = ref 0
 
@@ -14,11 +21,15 @@ let validate who cq =
       ("View." ^ who ^ ": duplicate head variable: " ^ Query.Cq.to_string cq)
 
 let wrap id cq =
+  let canon = lazy (Query.Cq.canonical_head_set_string cq) in
+  let canon_body = lazy (Query.Cq.canonical_body_string cq) in
   {
     id;
     cq;
-    canon = lazy (Query.Cq.canonical_head_set_string cq);
-    canon_body = lazy (Query.Cq.canonical_body_string cq);
+    canon;
+    canon_body;
+    iid = lazy (Intern.of_canonical (Lazy.force canon));
+    body_iid = lazy (Intern.of_canonical (Lazy.force canon_body));
   }
 
 let make cq =
@@ -44,6 +55,10 @@ let atom_count v = Query.Cq.atom_count v.cq
 let canonical v = Lazy.force v.canon
 
 let canonical_body v = Lazy.force v.canon_body
+
+let intern_id v = Lazy.force v.iid
+
+let body_intern_id v = Lazy.force v.body_iid
 
 let reset_counter () = counter := 0
 

@@ -9,6 +9,8 @@ type t = private {
   cq : Query.Cq.t;
   canon : string Lazy.t;
   canon_body : string Lazy.t;
+  iid : Intern.id Lazy.t;       (** interned id of [canon] *)
+  body_iid : Intern.id Lazy.t;  (** interned id of [canon_body] *)
 }
 
 val make : Query.Cq.t -> t
@@ -39,6 +41,15 @@ val canonical : t -> string
 val canonical_body : t -> string
 (** Canonical string of the body only, used to detect fusion
     candidates. *)
+
+val intern_id : t -> Intern.id
+(** The interned id of {!canonical} — equal exactly for views with equal
+    canonical forms, computed once per view.  {!State.key} is built from
+    these. *)
+
+val body_intern_id : t -> Intern.id
+(** The interned id of {!canonical_body}; fusion candidates are pairs of
+    views with equal body ids. *)
 
 val reset_counter : unit -> unit
 (** Reset the id counter; only for reproducible tests. *)

@@ -111,6 +111,7 @@ let eval_bindings store (q : Cq.t) emit =
       | Some (atom, slots, _) ->
         if not (has_impossible slots) then begin
           Obs.incr (obs_atom_scans ());
+          (* lint: allow phys-equal — removes this one occurrence, not its structural duplicates *)
           let rest = List.filter (fun a -> not (a == atom)) remaining in
           Rdf.Store.iter_matching store (pattern_of slots) (fun triple ->
               match extend_bindings bindings slots triple with

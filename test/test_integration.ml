@@ -102,7 +102,7 @@ let test_saturation_and_post_agree () =
   let sat = run_scenario (Core.Selector.Saturation schema) in
   let post = run_scenario (Core.Selector.Post_reformulation schema) in
   let key r =
-    Core.State.key r.Core.Selector.report.Core.Search.best
+    Core.State.key_string r.Core.Selector.report.Core.Search.best
   in
   check_string "same best view set" (key sat) (key post);
   check_bool "same best cost" true

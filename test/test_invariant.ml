@@ -113,7 +113,9 @@ let test_search_accepts_only_valid_states () =
     !accepted;
   check_bool "best state among accepted" true
     (List.exists
-       (fun s -> String.equal (Core.State.key s) (Core.State.key report.Core.Search.best))
+       (fun s ->
+         Core.State.equal_key (Core.State.key s)
+           (Core.State.key report.Core.Search.best))
        !accepted)
 
 let test_edge_not_replayable () =
@@ -129,7 +131,8 @@ let test_swapped_rewritings_rejected () =
   let swapped =
     match state.Core.State.rewritings with
     | [ (n1, r1); (n2, r2) ] ->
-      { state with Core.State.rewritings = [ (n1, r2); (n2, r1) ] }
+      Core.State.make ~views:state.Core.State.views
+        ~rewritings:[ (n1, r2); (n2, r1) ]
     | _ -> Alcotest.fail "expected two rewritings"
   in
   let reference = Core.Invariant.reference_of_workload [ q1_paper; q2_paper ] in
@@ -149,10 +152,8 @@ let test_view_with_extra_atom_incomplete () =
          ])
   in
   let state =
-    {
-      Core.State.views = [ narrow ];
-      rewritings = [ ("q2", Core.Rewriting.Scan "v_narrow") ];
-    }
+    Core.State.make ~views:[ narrow ]
+      ~rewritings:[ ("q2", Core.Rewriting.Scan "v_narrow") ]
   in
   let violations =
     Core.Invariant.check (Core.Invariant.reference_of_workload [ q2_paper ]) state
@@ -184,10 +185,8 @@ let test_dropped_selection_unsound () =
          ])
   in
   let state =
-    {
-      Core.State.views = [ wide ];
-      rewritings = [ ("q1", Core.Rewriting.Scan "v_wide") ];
-    }
+    Core.State.make ~views:[ wide ]
+      ~rewritings:[ ("q1", Core.Rewriting.Scan "v_wide") ]
   in
   let violations =
     Core.Invariant.check (Core.Invariant.reference_of_workload [ q1_paper ]) state
@@ -198,7 +197,8 @@ let test_dropped_selection_unsound () =
 let test_dangling_scan_rejected () =
   let state = Core.State.initial [ q2_paper ] in
   let broken =
-    { state with Core.State.rewritings = [ ("q2", Core.Rewriting.Scan "ghost") ] }
+    Core.State.make ~views:state.Core.State.views
+      ~rewritings:[ ("q2", Core.Rewriting.Scan "ghost") ]
   in
   let violations =
     Core.Invariant.check (Core.Invariant.reference_of_workload [ q2_paper ]) broken
@@ -210,7 +210,7 @@ let test_dangling_scan_rejected () =
 
 let test_missing_rewriting_rejected () =
   let state = Core.State.initial [ q2_paper ] in
-  let silenced = { state with Core.State.rewritings = [] } in
+  let silenced = Core.State.make ~views:state.Core.State.views ~rewritings:[] in
   check_bool "missing rewriting is a coverage violation" true
     (has_violation "coverage"
        (Core.Invariant.check
@@ -249,10 +249,11 @@ let test_state_file_round_trip () =
   let text = Core.State_io.states_to_text [ state; successor ] in
   match Core.State_io.parse_states text with
   | [ state'; successor' ] ->
-    check_string "first state round-trips" (Core.State.key state)
-      (Core.State.key state');
-    check_string "second state round-trips" (Core.State.key successor)
-      (Core.State.key successor');
+    check_string "first state round-trips" (Core.State.key_string state)
+      (Core.State.key_string state');
+    check_string "second state round-trips"
+      (Core.State.key_string successor)
+      (Core.State.key_string successor');
     check_clean "reloaded state valid" (Core.Invariant.check reference state');
     check_clean "reloaded successor valid"
       (Core.Invariant.check reference successor')

@@ -372,13 +372,20 @@ let test_search_emits_consistent_counters () =
   check_int "created minus duplicates = distinct states"
     (report.Core.Search.explored - 1)
     (report.Core.Search.created - report.Core.Search.duplicates);
-  (* the cost memo was exercised, and every miss was timed *)
+  (* the cost memo was exercised, and every miss went through exactly
+     one of the two costing paths: the timed full recompute or the
+     delta application *)
   check_bool "cost memo hit at least once" true (counter "cost.state.hits" > 0);
   check_bool "cost memo missed at least once" true
     (counter "cost.state.misses" > 0);
   (match Obs.find_timer reg "cost.state.eval" with
-  | Some (calls, _) -> check_int "misses are timed" (counter "cost.state.misses") calls
+  | Some (calls, _) ->
+    check_int "misses are timed or delta-applied"
+      (counter "cost.state.misses")
+      (calls + counter "cost.delta.incremental")
   | None -> Alcotest.fail "cost.state.eval timer missing");
+  check_bool "incremental path was taken" true
+    (counter "cost.delta.incremental" > 0);
   (* statistics probe the store through the indexed counters *)
   check_bool "store probes recorded" true (counter "store.count_probes" > 0);
   (* expansion timing covers every explored state *)

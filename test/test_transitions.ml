@@ -81,8 +81,8 @@ let test_initial_state () =
 let test_state_key_stable () =
   let s1 = Core.State.initial [ q1_paper ] in
   let s2 = Core.State.initial [ q1_paper ] in
-  check_string "same key despite fresh names" (Core.State.key s1)
-    (Core.State.key s2)
+  check_string "same key despite fresh names" (Core.State.key_string s1)
+    (Core.State.key_string s2)
 
 let test_duplicate_query_names_rejected () =
   Alcotest.check_raises "duplicate names"
@@ -198,7 +198,8 @@ let test_vf_on_isomorphic_views () =
   check_state_equivalent store [ qa; qb ] fused;
   (* fusion_closure reaches the same state *)
   let closed = Core.Transition.fusion_closure s0 in
-  check_string "closure = fusion" (Core.State.key fused) (Core.State.key closed)
+  check_string "closure = fusion" (Core.State.key_string fused)
+    (Core.State.key_string closed)
 
 let test_vf_head_union () =
   (* same body, different heads: fused view exports both *)

@@ -144,8 +144,20 @@ let positional_args args =
     (function Asttypes.Nolabel, e -> Some e | _ -> None)
     args
 
-let check_apply ~file fn args loc =
+let check_apply ~file ~is_lib fn args loc =
   match fn.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt = Longident.Lident (("==" | "!=") as op); _ }
+    when is_lib ->
+    report ~file ~loc "phys-equal"
+      (Printf.sprintf
+         "physical %s compares object identity, which transitions and \
+          reloads do not preserve; compare by name or dedicated equal"
+         op)
+  | Parsetree.Pexp_ident { txt; _ }
+    when is_lib && tail_pair txt = ("List", "memq") ->
+    report ~file ~loc "phys-equal"
+      "List.memq compares by physical identity, which transitions and \
+       reloads do not preserve; use a name-based List.exists"
   | Parsetree.Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ } -> (
     match positional_args args with
     | a :: b :: _ ->
@@ -205,7 +217,7 @@ let lint_structure ~file ~is_lib structure =
           | Parsetree.Pexp_ident { txt; _ } ->
             check_ident ~file ~is_lib txt e.Parsetree.pexp_loc
           | Parsetree.Pexp_apply (fn, args) ->
-            check_apply ~file fn args e.Parsetree.pexp_loc
+            check_apply ~file ~is_lib fn args e.Parsetree.pexp_loc
           | Parsetree.Pexp_try (_, cases) when is_lib -> check_try ~file cases
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);

@@ -55,6 +55,15 @@ let rules =
       scope = Everywhere;
     };
     {
+      id = "phys-equal";
+      summary =
+        "physical equality (==/!=) or List.memq in a library; domain \
+         values are rebuilt by transitions and reloads, so physical \
+         identity silently diverges from structural identity — compare \
+         by name or with the module's equal";
+      scope = Lib_only;
+    };
+    {
       id = "catch-all";
       summary =
         "catch-all exception handler (try ... with _ -> / with e ->) in a \
