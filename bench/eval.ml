@@ -1,0 +1,152 @@
+(* Query-evaluation micro-benchmark: compiled plans (Query.Plan) against
+   the interpretive Reference evaluator on one fixed-seed Barton store
+   and generated workload.
+
+   The two engines must produce identical per-query answer counts (the
+   run aborts otherwise); the BENCH json's eval section then records the
+   deterministic work counts (queries, answers, bindings, probes) for
+   the exact baseline compare, plus bindings/sec for both engines and
+   the per-query latency percentiles for the threshold compare. *)
+
+let reps = match Harness.scale with Harness.Quick -> 30 | Harness.Full -> 200
+
+(* Constant-free chains and stars over the popular property band
+   (prop46..prop60 carry half the links): thousands of bindings per
+   query, so the per-binding join machinery — not per-query setup —
+   dominates the measurement. *)
+let heavy_queries =
+  let v x = Query.Qterm.Var x in
+  let props = Array.of_list (Workload.Barton.properties ()) in
+  let p i = Query.Qterm.Cst props.(i) in
+  let atom s pr o = Query.Atom.make s pr o in
+  let cq name head body = Query.Cq.make ~name ~head ~body in
+  [
+    cq "chain2" [ v "X"; v "Z" ]
+      [ atom (v "X") (p 46) (v "Y"); atom (v "Y") (p 47) (v "Z") ];
+    cq "chain3"
+      [ v "X"; v "W" ]
+      [
+        atom (v "X") (p 48) (v "Y");
+        atom (v "Y") (p 49) (v "Z");
+        atom (v "Z") (p 50) (v "W");
+      ];
+    cq "star3"
+      [ v "A"; v "B"; v "C" ]
+      [
+        atom (v "X") (p 51) (v "A");
+        atom (v "X") (p 52) (v "B");
+        atom (v "X") (p 53) (v "C");
+      ];
+    cq "selfjoin" [ v "X"; v "Y"; v "Z" ]
+      [ atom (v "X") (p 54) (v "Y"); atom (v "Z") (p 54) (v "Y") ];
+    (* variable-property hops enumerate whole buckets: the all-triples
+       scan joined on its object, the evaluator's worst fan-out case *)
+    cq "hop2" [ v "X"; v "Z" ]
+      [ atom (v "X") (v "P1") (v "Y"); atom (v "Y") (v "P2") (v "Z") ];
+    cq "hop3" [ v "X"; v "W" ]
+      [
+        atom (v "X") (v "P1") (v "Y");
+        atom (v "Y") (v "P2") (v "Z");
+        atom (v "Z") (v "P3") (v "W");
+      ];
+    (* a genuine cross-product: every pair of same-class instances *)
+    (let c19 = Query.Qterm.Cst (List.nth (Workload.Barton.classes ()) 19) in
+     let ty = Query.Qterm.Cst Rdf.Vocabulary.rdf_type in
+     cq "typed_pair" [ v "X"; v "Y" ]
+       [ atom (v "X") ty c19; atom (v "Y") ty c19 ]);
+  ]
+
+(* A mixed-shape generated workload on top: stars stress the join
+   ordering, chains the frame-extension fast path.  All satisfiable on
+   the store, so every query does real binding work. *)
+let workload store =
+  heavy_queries
+  @ List.concat_map
+      (fun (shape, n, atoms, seed) ->
+        Workload.Generator.generate_satisfiable store
+          (Harness.spec shape n atoms Workload.Generator.High seed))
+      [
+        (Workload.Generator.Star, 4, 5, 13);
+        (Workload.Generator.Chain, 4, 6, 17);
+        (Workload.Generator.Mixed, 4, 4, 23);
+      ]
+
+let run () =
+  Harness.section "Eval: compiled plans vs the reference evaluator";
+  let store = Lazy.force Harness.barton_store in
+  let queries = workload store in
+  Query.Plan.reset_cache ();
+  (* correctness gate (and warm-up): identical answer counts per query *)
+  let counts evaluate =
+    List.map (fun q -> List.length (evaluate store q)) queries
+  in
+  let compiled_counts = counts Query.Evaluation.eval_cq_codes in
+  let reference_counts = counts Query.Evaluation.Reference.eval_cq_codes in
+  if not (List.equal Int.equal compiled_counts reference_counts) then
+    failwith "eval bench: compiled and reference answer counts differ";
+  (* reference pass: wall-clock and binding count, then wiped from the
+     registry so the BENCH numbers cover the compiled pass alone *)
+  let reg = Obs.global () in
+  let bindings_of () =
+    Option.value ~default:0 (Obs.find_counter reg "eval.bindings")
+  in
+  Obs.reset reg;
+  let (), ref_secs =
+    Harness.time_once (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun q -> ignore (Query.Evaluation.Reference.eval_cq_codes store q))
+            queries
+        done)
+  in
+  let ref_bindings = bindings_of () in
+  let ref_rate =
+    if ref_secs > 0. then float_of_int ref_bindings /. ref_secs else 0.
+  in
+  Obs.reset reg;
+  Query.Plan.reset_cache ();
+  (* compiled pass: plan compilation happens inside the timed region, so
+     the cache-miss cost of the first repetition is part of the price *)
+  let run_timer = Obs.timer reg "eval.run" in
+  let qhist = Obs.histogram reg "eval.query.ns" in
+  let answers = Obs.counter reg "eval.answers" in
+  Obs.time run_timer (fun () ->
+      for _ = 1 to reps do
+        List.iter
+          (fun q ->
+            let t0 = Obs.now_ns () in
+            let rows = Query.Evaluation.eval_cq_codes store q in
+            Obs.observe qhist (Obs.now_ns () - t0);
+            Obs.add answers (List.length rows))
+          queries
+      done);
+  let bindings = bindings_of () in
+  let compiled_ns = Obs.timer_ns run_timer in
+  let compiled_rate =
+    if compiled_ns > 0 then
+      float_of_int bindings /. (float_of_int compiled_ns /. 1e9)
+    else 0.
+  in
+  let speedup = if ref_rate > 0. then compiled_rate /. ref_rate else 0. in
+  Obs.set_gauge (Obs.gauge reg "eval.reference.bindings_per_sec") ref_rate;
+  Obs.set_gauge (Obs.gauge reg "eval.reference.speedup") speedup;
+  Harness.print_table
+    ~header:
+      [ "queries"; "reps"; "bindings"; "compiled b/s"; "reference b/s"; "speedup" ]
+    [
+      [
+        string_of_int (List.length queries);
+        string_of_int reps;
+        string_of_int bindings;
+        Harness.fmt_float compiled_rate;
+        Harness.fmt_float ref_rate;
+        Printf.sprintf "%.1fx" speedup;
+      ];
+    ];
+  (* the number of complete assignments is join-order independent, so
+     the two engines must agree on it exactly *)
+  if bindings <> ref_bindings then
+    Printf.printf
+      "  warning: binding counts differ (compiled %d vs reference %d)\n"
+      bindings ref_bindings
+

@@ -125,6 +125,49 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Query-evaluation section, present only when the experiment drove the
+   evaluator under the "eval.run" timer (the eval experiment).  The
+   count fields (queries, answers, bindings, probes) are deterministic
+   for a fixed workload and participate in the exact baseline compare;
+   the rates are wall-clock-derived and only threshold-compared. *)
+let eval_json registry =
+  match Obs.find_timer registry "eval.run" with
+  | None -> None
+  | Some (_, run_ns) ->
+    let counter n = Option.value ~default:0 (Obs.find_counter registry n) in
+    let pctl q =
+      match Obs.find_histogram registry "eval.query.ns" with
+      | Some h -> Obs.Json.Float (Obs.percentile h q)
+      | None -> Obs.Json.Null
+    in
+    let gauge n =
+      match Obs.find_gauge registry n with
+      | Some v -> Obs.Json.Float v
+      | None -> Obs.Json.Null
+    in
+    let bindings = counter "eval.bindings" in
+    let per_sec =
+      if run_ns = 0 then 0.
+      else float_of_int bindings /. (float_of_int run_ns /. 1e9)
+    in
+    Some
+      (Obs.Json.Obj
+         [
+           ("queries", Obs.Json.Int (counter "eval.queries"));
+           ("answers", Obs.Json.Int (counter "eval.answers"));
+           ("bindings", Obs.Json.Int bindings);
+           ("probes", Obs.Json.Int (counter "eval.frame.extensions"));
+           ("plan_compiles", Obs.Json.Int (counter "eval.plan.cache_misses"));
+           ("plan_cache_hits", Obs.Json.Int (counter "eval.plan.cache_hits"));
+           ("run_ns", Obs.Json.Int run_ns);
+           ("bindings_per_sec", Obs.Json.Float per_sec);
+           ( "query_ns",
+             Obs.Json.Obj
+               [ ("p50", pctl 50.); ("p90", pctl 90.); ("p99", pctl 99.) ] );
+           ("reference_bindings_per_sec", gauge "eval.reference.bindings_per_sec");
+           ("speedup_vs_reference", gauge "eval.reference.speedup");
+         ])
+
 let bench_json name registry =
   let counter n = Option.value ~default:0 (Obs.find_counter registry n) in
   let timer_total n =
@@ -147,7 +190,7 @@ let bench_json name registry =
     else float_of_int created /. (float_of_int run_ns /. 1e9)
   in
   Obs.Json.Obj
-    [
+    ([
       ("schema_version", Obs.Json.Int 2);
       ("experiment", Obs.Json.String name);
       ("scale", Obs.Json.String scale_name);
@@ -169,6 +212,10 @@ let bench_json name registry =
       ("interned_views", gauge "intern.size");
       ("peak_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
     ]
+    @
+    match eval_json registry with
+    | Some section -> [ ("eval", section) ]
+    | None -> [])
 
 (* Numeric lookup along a dotted path ("expand_ns.p50"). *)
 let bench_number path json =
@@ -213,21 +260,28 @@ let compare_to_baseline name current =
             end
             else Printf.printf "  ok %s: %s\n" key (fmt_float c)
           | _ -> Printf.printf "  skip %s (absent)\n" key)
-        [ "states_created"; "states_explored"; "best_cost"; "interned_views" ];
-      (match
-         (bench_number "states_per_sec" base, bench_number "states_per_sec" current)
-       with
-      | Some b, Some c when b > 0. ->
-        let drop = (b -. c) /. b *. 100. in
-        if drop > threshold then begin
-          incr regressions;
-          Printf.printf "  REGRESSION states_per_sec: %s -> %s (-%.1f%%)\n"
-            (fmt_float b) (fmt_float c) drop
-        end
-        else
-          Printf.printf "  ok states_per_sec: %s -> %s (%+.1f%%)\n" (fmt_float b)
-            (fmt_float c) (-.drop)
-      | _ -> Printf.printf "  skip states_per_sec (absent)\n")
+        [
+          "states_created"; "states_explored"; "best_cost"; "interned_views";
+          (* eval-experiment determinism: answer/binding/probe counts of
+             the fixed workload (absent, hence skipped, elsewhere) *)
+          "eval.queries"; "eval.answers"; "eval.bindings"; "eval.probes";
+        ];
+      let rate key =
+        match (bench_number key base, bench_number key current) with
+        | Some b, Some c when b > 0. ->
+          let drop = (b -. c) /. b *. 100. in
+          if drop > threshold then begin
+            incr regressions;
+            Printf.printf "  REGRESSION %s: %s -> %s (-%.1f%%)\n" key
+              (fmt_float b) (fmt_float c) drop
+          end
+          else
+            Printf.printf "  ok %s: %s -> %s (%+.1f%%)\n" key (fmt_float b)
+              (fmt_float c) (-.drop)
+        | _ -> Printf.printf "  skip %s (absent)\n" key
+      in
+      rate "states_per_sec";
+      rate "eval.bindings_per_sec"
     end
 
 (* Exit status for main: 0 unless --fail-over turned regressions

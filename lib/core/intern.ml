@@ -1,51 +1,6 @@
-(* Hash-consing of canonical strings.
+(* The interner lives in the dependency-free [interning] library so that
+   layers below core (notably Query.Plan's compiled-plan cache) share
+   the same process-global id space; core re-exports it under its
+   historical name. *)
 
-   Canonical forms (View.canonical, View.canonical_body) are long
-   strings; computing them once per view is unavoidable, but comparing,
-   sorting and hashing them on every state key is not.  The interner
-   assigns each distinct canonical string a dense non-negative id, so
-   all downstream identity work (State.key, Search.seen dedup,
-   Transition.fusion_pairs) becomes integer work.
-
-   The table is process-global on purpose: view canonicalization is
-   deterministic and rename-invariant, so two views with the same
-   semantics always receive the same id no matter which search,
-   estimator or State_io reload produced them.  Ids are never reused;
-   [reset] exists only so reproducible tests can restart the numbering
-   together with [View.reset_counter]. *)
-
-type id = int
-
-let table : (string, id) Hashtbl.t = Hashtbl.create 4096
-
-(* Reverse lookup, a growable array indexed by id. *)
-let names = ref (Array.make 1024 "")
-let count = ref 0
-
-let of_canonical s =
-  match Hashtbl.find_opt table s with
-  | Some i -> i
-  | None ->
-    let i = !count in
-    if i = Array.length !names then begin
-      let bigger = Array.make (2 * i) "" in
-      Array.blit !names 0 bigger 0 i;
-      names := bigger
-    end;
-    !names.(i) <- s;
-    Hashtbl.add table s i;
-    incr count;
-    i
-
-let canonical_of i =
-  if i < 0 || i >= !count then
-    invalid_arg (Printf.sprintf "Intern.canonical_of: unknown id %d" i);
-  !names.(i)
-
-let mem s = Hashtbl.mem table s
-
-let size () = !count
-
-let reset () =
-  Hashtbl.reset table;
-  count := 0
+include Interning

@@ -9,7 +9,7 @@ let rec eval store env expr : string list * int array list =
   match expr with
   | Core.Rewriting.Scan name -> (
     match Hashtbl.find_opt env name with
-    | Some rel -> (rel.Relation.cols, rel.Relation.rows)
+    | Some rel -> (Relation.cols rel, Relation.rows rel)
     | None -> failwith ("Executor: unknown view " ^ name))
   | Core.Rewriting.Select (conds, inner) ->
     let cols, rows = eval store env inner in
@@ -31,18 +31,13 @@ let rec eval store env expr : string list * int array list =
     (cols, List.filter (fun row -> List.for_all (fun test -> test row) tests) rows)
   | Core.Rewriting.Project (out_cols, inner) ->
     let cols, rows = eval store env inner in
-    let idx = List.map (column_index cols) out_cols in
-    let seen = Hashtbl.create 64 in
+    let idx = Array.of_list (List.map (column_index cols) out_cols) in
+    let seen = Query.Rowset.create 64 in
     let projected =
       List.filter_map
         (fun row ->
-          let tuple = Array.of_list (List.map (fun i -> row.(i)) idx) in
-          let key = Array.to_list tuple in
-          if Hashtbl.mem seen key then None
-          else begin
-            Hashtbl.add seen key ();
-            Some tuple
-          end)
+          let tuple = Array.map (fun i -> row.(i)) idx in
+          if Query.Rowset.add seen tuple then Some tuple else None)
         rows
     in
     (out_cols, projected)
@@ -65,8 +60,8 @@ let rec eval store env expr : string list * int array list =
                 rcols
       | _ :: _ -> conds
     in
-    let lkey = List.map (fun (a, _) -> column_index lcols a) pairs in
-    let rkey = List.map (fun (_, b) -> column_index rcols b) pairs in
+    let lkey = Array.of_list (List.map (fun (a, _) -> column_index lcols a) pairs) in
+    let rkey = Array.of_list (List.map (fun (_, b) -> column_index rcols b) pairs) in
     (* output columns mirror Rewriting.columns: left columns, then the
        right columns whose names are not already present on the left *)
     let kept_right =
@@ -75,21 +70,31 @@ let rec eval store env expr : string list * int array list =
         (List.mapi (fun i c -> (i, c)) rcols)
     in
     let out_cols = lcols @ List.map snd kept_right in
-    let table = Hashtbl.create (List.length lrows) in
+    (* hash join: bucket the left rows by their join-key projection,
+       keyed directly by the int array (no per-probe list allocation) *)
+    let table = Query.Rowset.Tbl.create (List.length lrows) in
     List.iter
       (fun row ->
-        let key = List.map (fun i -> row.(i)) lkey in
-        Hashtbl.add table key row)
+        let key = Array.map (fun i -> row.(i)) lkey in
+        let prev =
+          match Query.Rowset.Tbl.find_opt table key with
+          | Some rows -> rows
+          | None -> []
+        in
+        Query.Rowset.Tbl.replace table key (row :: prev))
       lrows;
     let joined =
       List.concat_map
         (fun rrow ->
-          let key = List.map (fun i -> rrow.(i)) rkey in
-          List.map
-            (fun lrow ->
-              Array.append lrow
-                (Array.of_list (List.map (fun (i, _) -> rrow.(i)) kept_right)))
-            (Hashtbl.find_all table key))
+          let key = Array.map (fun i -> rrow.(i)) rkey in
+          match Query.Rowset.Tbl.find_opt table key with
+          | None -> []
+          | Some lmatches ->
+            List.map
+              (fun lrow ->
+                Array.append lrow
+                  (Array.of_list (List.map (fun (i, _) -> rrow.(i)) kept_right)))
+              lmatches)
         rrows
     in
     (out_cols, joined)
@@ -98,19 +103,11 @@ let rec eval store env expr : string list * int array list =
     (match results with
     | [] -> failwith "Executor: empty union"
     | (cols, _) :: _ ->
-      let seen = Hashtbl.create 64 in
+      let seen = Query.Rowset.create 64 in
       let rows =
         List.concat_map
           (fun (_, rows) ->
-            List.filter
-              (fun row ->
-                let key = Array.to_list row in
-                if Hashtbl.mem seen key then false
-                else begin
-                  Hashtbl.add seen key ();
-                  true
-                end)
-              rows)
+            List.filter (fun row -> Query.Rowset.add seen row) rows)
           results
       in
       (cols, rows))

@@ -48,7 +48,7 @@ let eval_with_bindings store (q : Query.Cq.t) bindings skip_index =
          ~body:remaining)
 
 let delta_insert store (q : Query.Cq.t) triple =
-  let seen = Hashtbl.create 16 in
+  let seen = Query.Rowset.create 16 in
   let deltas = ref [] in
   List.iteri
     (fun i atom ->
@@ -57,11 +57,7 @@ let delta_insert store (q : Query.Cq.t) triple =
       | Some bindings ->
         List.iter
           (fun tuple ->
-            let key = Array.to_list tuple in
-            if not (Hashtbl.mem seen key) then begin
-              Hashtbl.add seen key ();
-              deltas := tuple :: !deltas
-            end)
+            if Query.Rowset.add seen tuple then deltas := tuple :: !deltas)
           (eval_with_bindings store q bindings i))
     q.Query.Cq.body;
   !deltas

@@ -24,7 +24,7 @@ let materialize_views store views =
   List.iter
     (fun u ->
       let rel = materialize_ucq store u in
-      Hashtbl.replace env rel.Relation.name rel)
+      Hashtbl.replace env (Relation.name rel) rel)
     views;
   env
 
@@ -33,7 +33,7 @@ let materialize_state store (s : Core.State.t) =
   List.iter
     (fun v ->
       let rel = materialize_cq store v.Core.View.cq in
-      Hashtbl.replace env rel.Relation.name rel)
+      Hashtbl.replace env (Relation.name rel) rel)
     s.Core.State.views;
   env
 

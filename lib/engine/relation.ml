@@ -1,47 +1,86 @@
+(* Array-backed row storage with a row -> slot index.
+
+   Rows live in a dense prefix [0, n) of a growable array; the index
+   (a Query.Rowset.Tbl, so rows hash directly, no Array.to_list keys) maps
+   each stored row to its slot.  Deletion swap-removes: the last row
+   moves into the vacated slot and the index is patched — O(1), where
+   the former cons-list representation paid a full List.filter with a
+   polymorphic [<>] per removal. *)
+
 type t = {
   name : string;
   cols : string list;
-  mutable rows : int array list;
-  index : (int list, unit) Hashtbl.t;  (* set-semantics membership *)
+  mutable data : int array array;  (* dense prefix [0, n) *)
+  mutable n : int;
+  index : int Query.Rowset.Tbl.t;  (* stored row -> its slot in [data] *)
 }
 
-let make ~name ~cols rows =
-  let index = Hashtbl.create (max 64 (List.length rows)) in
-  let deduped =
-    List.filter
-      (fun row ->
-        let key = Array.to_list row in
-        if Hashtbl.mem index key then false
-        else begin
-          Hashtbl.add index key ();
-          true
-        end)
-      rows
-  in
-  { name; cols; rows = deduped; index }
-
+let name t = t.name
+let cols t = t.cols
 let arity t = List.length t.cols
-let cardinality t = List.length t.rows
+let cardinality t = t.n
 
-let mem t row = Hashtbl.mem t.index (Array.to_list row)
+let ensure_capacity t =
+  let cap = Array.length t.data in
+  if t.n >= cap then begin
+    let data = Array.make (max 16 (2 * cap)) [||] in
+    Array.blit t.data 0 data 0 t.n;
+    t.data <- data
+  end
+
+let mem t row = Query.Rowset.Tbl.mem t.index row
 
 let add_row t row =
-  let key = Array.to_list row in
-  if Hashtbl.mem t.index key then false
+  if Query.Rowset.Tbl.mem t.index row then false
   else begin
-    Hashtbl.add t.index key ();
-    t.rows <- row :: t.rows;
+    ensure_capacity t;
+    t.data.(t.n) <- row;
+    Query.Rowset.Tbl.replace t.index row t.n;
+    t.n <- t.n + 1;
     true
   end
 
 let remove_row t row =
-  let key = Array.to_list row in
-  if not (Hashtbl.mem t.index key) then false
-  else begin
-    Hashtbl.remove t.index key;
-    t.rows <- List.filter (fun r -> r <> row) t.rows;
+  match Query.Rowset.Tbl.find_opt t.index row with
+  | None -> false
+  | Some slot ->
+    Query.Rowset.Tbl.remove t.index row;
+    let last = t.n - 1 in
+    if slot < last then begin
+      let moved = t.data.(last) in
+      t.data.(slot) <- moved;
+      Query.Rowset.Tbl.replace t.index moved slot
+    end;
+    t.data.(last) <- [||];
+    t.n <- last;
     true
-  end
+
+let make ~name ~cols rows =
+  let t =
+    {
+      name;
+      cols;
+      data = Array.make (max 16 (List.length rows)) [||];
+      n = 0;
+      index = Query.Rowset.Tbl.create (max 64 (List.length rows));
+    }
+  in
+  List.iter (fun row -> ignore (add_row t row)) rows;
+  t
+
+let iter_rows f t =
+  for i = 0 to t.n - 1 do
+    f t.data.(i)
+  done
+
+let fold_rows f t init =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    acc := f t.data.(i) !acc
+  done;
+  !acc
+
+let rows t = List.rev (fold_rows (fun row acc -> row :: acc) t [])
 
 let project_indices t cols =
   List.map
@@ -54,12 +93,12 @@ let project_indices t cols =
     cols
 
 let size_bytes store t =
-  List.fold_left
-    (fun acc row ->
+  fold_rows
+    (fun row acc ->
       Array.fold_left
         (fun acc code -> acc + Rdf.Term.size (Rdf.Store.decode_term store code))
         acc row)
-    0 t.rows
+    t 0
 
 let to_term_rows store t =
-  List.map (Array.map (Rdf.Store.decode_term store)) t.rows
+  List.map (Array.map (Rdf.Store.decode_term store)) (rows t)

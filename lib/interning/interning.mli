@@ -1,0 +1,32 @@
+(** Hash-consing interner for canonical strings.
+
+    Maps each distinct canonical form to a dense non-negative integer
+    id, assigned on first sight and stable for the life of the process.
+    State identity ([Core.State.key]), fusion-candidate detection
+    ([Core.Transition]) and the compiled-plan cache ([Query.Plan])
+    compare these ids instead of the underlying strings.  The library
+    is dependency-free on purpose: both [core] (as [Core.Intern]) and
+    [query] sit on top of the same process-global table. *)
+
+type id = int
+
+val of_canonical : string -> id
+(** The id of a canonical string, allocating a fresh one on first
+    sight.  Total and idempotent: equal strings always map to equal
+    ids. *)
+
+val canonical_of : id -> string
+(** The canonical string behind an id.  Raises [Invalid_argument] on an
+    id never returned by {!of_canonical}. *)
+
+val mem : string -> bool
+(** Whether the string has already been interned (no allocation). *)
+
+val size : unit -> int
+(** Number of distinct canonical forms interned so far — exported as
+    the [intern.size] gauge at the end of every search run. *)
+
+val reset : unit -> unit
+(** Drop all ids and restart numbering from 0.  Only for reproducible
+    tests (alongside {!View.reset_counter}); never call while states
+    built against the old numbering are still alive. *)

@@ -1,4 +1,14 @@
-type t = { name : string; head : Qterm.t list; body : Atom.t list }
+type t = {
+  name : string;
+  head : Qterm.t list;
+  body : Atom.t list;
+  mutable canon_id : int;
+      (* memoized interned canonical form, -1 = not yet computed.
+         Canonical labeling is the expensive part of a plan-cache
+         lookup, and head/body are immutable after construction, so it
+         is computed at most once per query value.  Every derived query
+         below that changes head or body resets it. *)
+}
 
 module SMap = Map.Make (String)
 module SSet = Set.Make (String)
@@ -18,8 +28,9 @@ let make ~name ~head ~body =
         invalid_arg ("Cq.make: unsafe head variable " ^ x)
       | Qterm.Var _ | Qterm.Cst _ -> ())
     head;
-  { name; head; body }
+  { name; head; body; canon_id = -1 }
 
+(* the name does not enter the canonical form: keep the memo *)
 let rename q name = { q with name }
 
 let arity q = List.length q.head
@@ -59,7 +70,12 @@ let subst f q =
     | Qterm.Var x as v -> Option.value (f x) ~default:v
     | Qterm.Cst _ as c -> c
   in
-  { q with head = List.map apply_term q.head; body = List.map (Atom.subst f) q.body }
+  {
+    q with
+    head = List.map apply_term q.head;
+    body = List.map (Atom.subst f) q.body;
+    canon_id = -1;
+  }
 
 let subst_var x v q = subst (fun y -> if String.equal x y then Some v else None) q
 
@@ -138,7 +154,7 @@ let minimize q =
       in
       if not head_safe then None
       else
-        let candidate = { q with body = body' } in
+        let candidate = { q with body = body'; canon_id = -1 } in
         match homomorphism ~from:q ~into:candidate () with
         | Some _ -> Some candidate
         | None -> None
@@ -362,6 +378,14 @@ let canonical_generic ~head_mode q =
   if vars = [] then render ~head_mode q SMap.empty else solve initial
 
 let canonical_string q = canonical_generic ~head_mode:Ordered q
+
+let interned_canonical q =
+  if q.canon_id >= 0 then q.canon_id
+  else begin
+    let id = Interning.of_canonical (canonical_string q) in
+    q.canon_id <- id;
+    id
+  end
 
 let canonical_body_string q = canonical_generic ~head_mode:NoHead q
 

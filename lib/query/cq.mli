@@ -9,7 +9,12 @@
     labeling up to variable renaming, used to identify duplicate states
     during the view-selection search. *)
 
-type t = private { name : string; head : Qterm.t list; body : Atom.t list }
+type t = private {
+  name : string;
+  head : Qterm.t list;
+  body : Atom.t list;
+  mutable canon_id : int;  (** internal memo for {!interned_canonical} *)
+}
 
 val make : name:string -> head:Qterm.t list -> body:Atom.t list -> t
 (** Builds a query.  Raises [Invalid_argument] if a head variable does not
@@ -86,6 +91,12 @@ val canonical_string : t -> string
     two queries have the same canonical string iff one can be renamed
     into the other.  Computed by color refinement with individualization
     backtracking. *)
+
+val interned_canonical : t -> int
+(** {!canonical_string} pushed through the process-global [Interning]
+    table, memoized on the query value (head and body are immutable, so
+    the labeling runs at most once per value).  Two queries get the
+    same id iff they are isomorphic; the plan cache keys on it. *)
 
 val canonical_body_string : t -> string
 (** Like {!canonical_string} but ignoring the head entirely; equal on two

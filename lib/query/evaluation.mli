@@ -1,9 +1,14 @@
 (** Evaluation of conjunctive queries and UCQs over a triple store.
 
-    This is [evaluate] in the sense of Theorem 4.2: standard evaluation of
-    plain RDF basic graph patterns, with set semantics.  Joins are executed
-    by index nested loops with a most-bound-atom-first dynamic ordering,
-    exploiting the store's column-combination indexes. *)
+    This is [evaluate] in the sense of Theorem 4.2: standard evaluation
+    of plain RDF basic graph patterns, with set semantics.  Since the
+    compiled-plan rework, every entry point routes through
+    {!Plan.cached}: the join order is fixed at compile time, bindings
+    live in an int-slot frame, and isomorphic queries share one cached
+    plan per store.  The former interpretive joiner survives as
+    {!Reference}; with [RDFVIEWS_STRICT=1] in the environment, every
+    evaluated query is run through both engines and any answer-set
+    disagreement raises {!Differential_mismatch}. *)
 
 val eval_cq : Rdf.Store.t -> Cq.t -> Rdf.Term.t array list
 (** All distinct answer tuples of the query on the store.  Head constants
@@ -23,3 +28,20 @@ val count_ucq : Rdf.Store.t -> Ucq.t -> int
 
 val same_answers : Rdf.Term.t array list -> Rdf.Term.t array list -> bool
 (** Order-insensitive comparison of two answer sets. *)
+
+exception Differential_mismatch of string
+(** Raised under [RDFVIEWS_STRICT=1] when the compiled plan and
+    {!Reference} disagree on a query's answers. *)
+
+(** The pre-plan interpretive evaluator: index nested loops with a
+    most-bound-atom-first {e dynamic} ordering re-probed at every
+    binding step.  Kept as the semantic oracle for the differential
+    suite and the eval benchmark's before/after comparison. *)
+module Reference : sig
+  val eval_cq : Rdf.Store.t -> Cq.t -> Rdf.Term.t array list
+  val eval_ucq : Rdf.Store.t -> Ucq.t -> Rdf.Term.t array list
+  val eval_cq_codes : Rdf.Store.t -> Cq.t -> int array list
+  val eval_ucq_codes : Rdf.Store.t -> Ucq.t -> int array list
+  val count_cq : Rdf.Store.t -> Cq.t -> int
+  val count_ucq : Rdf.Store.t -> Ucq.t -> int
+end

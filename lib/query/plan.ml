@@ -1,0 +1,493 @@
+(* Compiled query plans.
+
+   The reference evaluator ([Evaluation.Reference]) re-plans at every
+   binding step: it re-costs every remaining atom (O(n²) probes per
+   complete binding), threads per-extension string-keyed maps, and
+   allocates a tuple per scanned triple.  This module compiles a CQ
+   once per (store, canonical form):
+
+   - variables are numbered into dense {e int slots}; execution runs
+     against one mutable [int array] frame, with no map and no closure
+     allocation on the per-triple path;
+   - the body becomes an ordered array of {e steps}; each step records,
+     per position, whether it is a constant (resolved to its code at
+     compile time), binds a slot first seen here, or tests a slot bound
+     by an earlier step — so the executor never checks boundness at
+     runtime;
+   - the join order is fixed at compile time, greedily most-selective
+     first from the store's O(1) pattern counts; a cheap guarded
+     re-order recompiles the plan only when a step's observed bucket
+     sizes are off its estimate by a large factor;
+   - plans are cached per store id, keyed by the interned canonical
+     form of the query (the same process-global [Interning] table
+     behind [Core.Intern]), so repeated evaluation — statistics
+     gathering, view materialization across search states, incremental
+     maintenance — compiles once. *)
+
+module SMap = Map.Make (String)
+
+let obs_cache_hits = Obs.cached_counter "eval.plan.cache_hits"
+let obs_cache_misses = Obs.cached_counter "eval.plan.cache_misses"
+let obs_reorders = Obs.cached_counter "eval.plan.reorders"
+let obs_compile_hist = Obs.cached_histogram "eval.plan.compile.ns"
+let obs_extensions = Obs.cached_counter "eval.frame.extensions"
+let obs_bindings = Obs.cached_counter "eval.bindings"
+
+(* A value known before the step's bucket is scanned: a code resolved at
+   compile time, or a slot bound by an earlier step. *)
+type src = Kconst of int | Kslot of int
+
+(* What to do with a scanned position that the access path did not
+   already constrain. *)
+type post = Skip | Bind of int | Test of int
+
+type access =
+  | All                                     (* full scan *)
+  | One of [ `S | `P | `O ] * src           (* one-column index *)
+  | Two of [ `SP | `SO | `PO ] * src * src  (* two-column index *)
+  | Mem of src * src * src                  (* membership test *)
+
+type step = {
+  access : access;
+  post_s : post;
+  post_p : post;
+  post_o : post;
+  est : float;  (* compile-time cardinality estimate *)
+  atom : int;   (* index into the source body, for feedback *)
+}
+
+type head_src = Hconst of int | Hslot of int
+
+type t = {
+  query : Cq.t;        (* retained for guarded recompilation *)
+  store_id : int;
+  steps : step array;
+  nslots : int;
+  head : head_src array;
+  impossible : bool;   (* a body constant is absent from the dictionary *)
+  dict_size : int;     (* dictionary size at compile time *)
+  generation : int;    (* guarded re-orders applied so far *)
+  obs_sum : float array;  (* per-step: summed observed bucket sizes *)
+  obs_cnt : int array;    (* per-step: number of observations *)
+  mutable result_hint : int;
+      (* cardinality of the last result set produced from this plan;
+         pre-sizes the next execution's row table so steady-state
+         re-evaluation never pays hash-table growth *)
+}
+
+let is_impossible t = t.impossible
+let generation t = t.generation
+let step_count t = Array.length t.steps
+let atom_order t = Array.map (fun st -> st.atom) t.steps
+
+(* ---------- compilation -------------------------------------------------- *)
+
+(* A body atom with its constants resolved against the dictionary. *)
+type rterm = Rconst of int | Rvar of string | Rabsent
+
+let resolve store = function
+  | Qterm.Cst c -> (
+    match Rdf.Store.find_term store c with
+    | Some code -> Rconst code
+    | None -> Rabsent)
+  | Qterm.Var x -> Rvar x
+
+(* Cardinality estimate of an atom given the compile-time constants and
+   the set of variables bound by the steps already ordered.  The store
+   can count any constant pattern in O(1); bound variables have unknown
+   values at compile time, so each bound-variable position divides the
+   count by the column's distinct-code population (uniformity
+   assumption). *)
+let estimate store slots (s, p, o) =
+  let const = function Rconst c -> Some c | Rvar _ | Rabsent -> None in
+  let base =
+    Rdf.Store.count_matching store
+      { Rdf.Store.ps = const s; pp = const p; po = const o }
+  in
+  let shrink est col term =
+    match term with
+    | Rvar x when SMap.mem x slots ->
+      let d = Rdf.Store.distinct_in_column store col in
+      if d > 1 then est /. float_of_int d else est
+    | Rvar _ | Rconst _ | Rabsent -> est
+  in
+  shrink (shrink (shrink (float_of_int base) `S s) `P p) `O o
+
+let compile_internal ?overrides ~generation store (q : Cq.t) =
+  let atoms =
+    Array.of_list
+      (List.map
+         (fun (a : Atom.t) ->
+           (resolve store a.s, resolve store a.p, resolve store a.o))
+         q.body)
+  in
+  let n = Array.length atoms in
+  let impossible =
+    Array.exists
+      (fun (s, p, o) -> s = Rabsent || p = Rabsent || o = Rabsent)
+      atoms
+  in
+  if impossible then
+    {
+      query = q;
+      store_id = Rdf.Store.id store;
+      steps = [||];
+      nslots = 0;
+      head = [||];
+      impossible = true;
+      dict_size = Rdf.Store.dict_size store;
+      generation;
+      obs_sum = [||];
+      obs_cnt = [||];
+      result_hint = 0;
+    }
+  else begin
+    let chosen = Array.make n (-1) in
+    let used = Array.make n false in
+    let slots = ref SMap.empty in
+    let nslots = ref 0 in
+    let slot_of x =
+      match SMap.find_opt x !slots with
+      | Some s -> s
+      | None ->
+        let s = !nslots in
+        slots := SMap.add x s !slots;
+        incr nslots;
+        s
+    in
+    let known_count (s, p, o) =
+      let k t =
+        match t with
+        | Rconst _ -> 1
+        | Rvar x -> if SMap.mem x !slots then 1 else 0
+        | Rabsent -> assert false
+      in
+      k s + k p + k o
+    in
+    let override i =
+      match overrides with
+      | Some arr when i < Array.length arr && arr.(i) >= 0. -> Some arr.(i)
+      | Some _ | None -> None
+    in
+    (* Greedy order: cheapest estimated atom next; ties prefer the atom
+       with more known positions, then source order (determinism). *)
+    let steps = ref [] in
+    for d = 0 to n - 1 do
+      let best = ref (-1) in
+      let best_est = ref infinity in
+      let best_known = ref (-1) in
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let est =
+            match override i with
+            | Some fb -> fb
+            | None -> estimate store !slots atoms.(i)
+          in
+          let known = known_count atoms.(i) in
+          if
+            est < !best_est
+            || (est = !best_est && known > !best_known)
+          then begin
+            best := i;
+            best_est := est;
+            best_known := known
+          end
+        end
+      done;
+      let i = !best in
+      used.(i) <- true;
+      chosen.(d) <- i;
+      let (s, p, o) = atoms.(i) in
+      (* Known positions feed the access path; the rest become binds
+         (first occurrence) or tests (repeats), assigned in s, p, o
+         order so a test always follows its bind. *)
+      let src_opt t =
+        match t with
+        | Rconst c -> Some (Kconst c)
+        | Rvar x -> (
+          match SMap.find_opt x !slots with
+          | Some sl -> Some (Kslot sl)
+          | None -> None)
+        | Rabsent -> assert false
+      in
+      let ks = src_opt s and kp = src_opt p and ko = src_opt o in
+      let access =
+        match (ks, kp, ko) with
+        | Some a, Some b, Some c -> Mem (a, b, c)
+        | Some a, Some b, None -> Two (`SP, a, b)
+        | Some a, None, Some c -> Two (`SO, a, c)
+        | None, Some b, Some c -> Two (`PO, b, c)
+        | Some a, None, None -> One (`S, a)
+        | None, Some b, None -> One (`P, b)
+        | None, None, Some c -> One (`O, c)
+        | None, None, None -> All
+      in
+      (* Residual roles, allocated after the access decision so a slot
+         first seen here binds on its first unconstrained position. *)
+      let post known t =
+        match (known, t) with
+        | Some _, _ -> Skip
+        | None, Rvar x -> (
+          match SMap.find_opt x !slots with
+          | Some sl -> Test sl
+          | None -> Bind (slot_of x))
+        | None, (Rconst _ | Rabsent) -> assert false
+      in
+      let post_s = post ks s in
+      let post_p = post kp p in
+      let post_o = post ko o in
+      steps :=
+        { access; post_s; post_p; post_o; est = !best_est; atom = i } :: !steps
+    done;
+    let head =
+      Array.of_list
+        (List.map
+           (function
+             | Qterm.Cst c -> Hconst (Rdf.Store.encode_term store c)
+             | Qterm.Var x -> (
+               match SMap.find_opt x !slots with
+               | Some sl -> Hslot sl
+               | None -> invalid_arg "Plan.compile: unsafe head variable"))
+           q.head)
+    in
+    {
+      query = q;
+      store_id = Rdf.Store.id store;
+      steps = Array.of_list (List.rev !steps);
+      nslots = !nslots;
+      head;
+      impossible = false;
+      dict_size = Rdf.Store.dict_size store;
+      generation;
+      obs_sum = Array.make n 0.;
+      obs_cnt = Array.make n 0;
+      result_hint = 0;
+    }
+  end
+
+let compile ?overrides ?(generation = 0) store q =
+  let h = obs_compile_hist () in
+  if Obs.histogram_live h then begin
+    let t0 = Obs.now_ns () in
+    let plan = compile_internal ?overrides ~generation store q in
+    Obs.observe h (Obs.now_ns () - t0);
+    plan
+  end
+  else compile_internal ?overrides ~generation store q
+
+(* ---------- execution ---------------------------------------------------- *)
+
+(* [exec plan store emit] streams every complete binding's projected
+   row to [emit] (duplicates included — set semantics is the caller's,
+   via {!Rowset}).  The frame is one [int array]; the per-triple path
+   reads packed bucket cells and mutates the frame, allocating
+   nothing.  The store must not be mutated during execution: buckets
+   are walked in place. *)
+let exec plan store emit =
+  if plan.store_id <> Rdf.Store.id store then
+    invalid_arg "Plan.exec: plan compiled against a different store";
+  if not plan.impossible then begin
+    let frame = Array.make (max plan.nslots 1) (-1) in
+    let steps = plan.steps in
+    let nsteps = Array.length steps in
+    let head = plan.head in
+    let arity = Array.length head in
+    (* extension / binding counts are accumulated locally and flushed
+       with two [Obs.add]s on completion: the per-triple path must not
+       pay a cross-module call per event *)
+    let n_ext = ref 0 in
+    let n_bind = ref 0 in
+    (* one scratch row reused for every emission; exec_into snapshots it
+       only when the row enters the result set *)
+    let row = Array.make arity 0 in
+    let value = function Kconst c -> c | Kslot s -> frame.(s) in
+    (* the inner loop reads buckets and the frame unchecked: [base + 2]
+       is within the scan's [3 * n] cells and slots are dense by
+       construction, so the bounds checks would be pure overhead *)
+    let rec run d =
+      if d = nsteps then begin
+        incr n_bind;
+        for i = 0 to arity - 1 do
+          Array.unsafe_set row i
+            (match Array.unsafe_get head i with
+            | Hconst c -> c
+            | Hslot s -> Array.unsafe_get frame s)
+        done;
+        emit row
+      end
+      else begin
+        let st = Array.unsafe_get steps d in
+        match st.access with
+        | Mem (a, b, c) ->
+          if Rdf.Store.mem_encoded store (value a, value b, value c) then begin
+            incr n_ext;
+            run (d + 1)
+          end
+        | _ ->
+          let data, n =
+            match st.access with
+            | All -> Rdf.Store.scan_all store
+            | One (col, a) -> Rdf.Store.scan1 store col (value a)
+            | Two (cols, a, b) -> Rdf.Store.scan2 store cols (value a) (value b)
+            | Mem _ -> assert false
+          in
+          (* feedback for the guarded re-order *)
+          plan.obs_sum.(d) <- plan.obs_sum.(d) +. float_of_int n;
+          plan.obs_cnt.(d) <- plan.obs_cnt.(d) + 1;
+          let post_s = st.post_s and post_p = st.post_p and post_o = st.post_o in
+          for i = 0 to n - 1 do
+            let base = 3 * i in
+            if
+              (match post_s with
+              | Skip -> true
+              | Bind s ->
+                Array.unsafe_set frame s (Array.unsafe_get data base);
+                true
+              | Test s ->
+                Array.unsafe_get frame s = Array.unsafe_get data base)
+              && (match post_p with
+                 | Skip -> true
+                 | Bind s ->
+                   Array.unsafe_set frame s (Array.unsafe_get data (base + 1));
+                   true
+                 | Test s ->
+                   Array.unsafe_get frame s = Array.unsafe_get data (base + 1))
+              && (match post_o with
+                 | Skip -> true
+                 | Bind s ->
+                   Array.unsafe_set frame s (Array.unsafe_get data (base + 2));
+                   true
+                 | Test s ->
+                   Array.unsafe_get frame s = Array.unsafe_get data (base + 2))
+            then begin
+              incr n_ext;
+              run (d + 1)
+            end
+          done
+      end
+    in
+    run 0;
+    Obs.add (obs_extensions ()) !n_ext;
+    Obs.add (obs_bindings ()) !n_bind
+  end
+
+(* The hint is the plan's own contribution (cardinality delta), so
+   disjuncts accumulating into a shared table don't inflate each
+   other's estimates. *)
+let exec_into plan store rows =
+  let before = Rowset.cardinal rows in
+  exec plan store (fun row -> ignore (Rowset.add_copy rows row));
+  plan.result_hint <- Rowset.cardinal rows - before
+
+let size_hint plan = plan.result_hint
+
+(* ---------- guarded re-order --------------------------------------------- *)
+
+(* A plan's order is only as good as its estimates.  When a step's
+   observed bucket sizes average a large factor above what compilation
+   predicted (the uniformity assumption failed, or the store has
+   drifted since), the next cache fetch recompiles with the observed
+   averages overriding the estimates for the misjudged atoms.  The
+   generation cap keeps a pathological workload from recompiling
+   forever. *)
+
+let reorder_factor = 32.
+let reorder_floor = 64.
+let max_generation = 3
+
+let needs_reorder plan =
+  (not plan.impossible)
+  && plan.generation < max_generation
+  &&
+  let n = Array.length plan.steps in
+  let rec check d =
+    d < n
+    &&
+    let st = plan.steps.(d) in
+    let cnt = plan.obs_cnt.(d) in
+    (cnt > 0
+     &&
+     let avg = plan.obs_sum.(d) /. float_of_int cnt in
+     avg > reorder_floor && avg > reorder_factor *. Float.max st.est 1.)
+    || check (d + 1)
+  in
+  check 0
+
+let reordered plan store =
+  let overrides = Array.make (List.length plan.query.Cq.body) (-1.) in
+  Array.iteri
+    (fun d st ->
+      if plan.obs_cnt.(d) > 0 then
+        overrides.(st.atom) <- plan.obs_sum.(d) /. float_of_int plan.obs_cnt.(d))
+    plan.steps;
+  Obs.incr (obs_reorders ());
+  let fresh =
+    compile ~overrides ~generation:(plan.generation + 1) store plan.query
+  in
+  (* the result cardinality is order-independent: keep the hint *)
+  fresh.result_hint <- plan.result_hint;
+  fresh
+
+(* ---------- the plan cache ----------------------------------------------- *)
+
+(* Two-level: store id → (interned canonical form → plan).  Keying by
+   the canonical form lets every isomorphic spelling of a query — the
+   same view freshened across search states, the same relaxation
+   re-derived during statistics gathering — share one compiled plan.
+   The interner is the process-global [Interning] table also backing
+   [Core.Intern], so ids stay dense and comparisons stay int-sized. *)
+
+module ITbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash i = i land max_int
+end)
+
+let caches : t ITbl.t ITbl.t = ITbl.create 8
+
+(* Tests churn through many short-lived stores; cap the number of
+   per-store tables so abandoned stores do not accumulate plans. *)
+let max_store_tables = 64
+
+let store_table sid =
+  match ITbl.find_opt caches sid with
+  | Some tbl -> tbl
+  | None ->
+    if ITbl.length caches >= max_store_tables then ITbl.reset caches;
+    let tbl = ITbl.create 64 in
+    ITbl.add caches sid tbl;
+    tbl
+
+let cache_key q = Cq.interned_canonical q
+
+let cached store q =
+  let tbl = store_table (Rdf.Store.id store) in
+  let key = cache_key q in
+  match ITbl.find_opt tbl key with
+  | Some plan
+    when (not (plan.impossible && Rdf.Store.dict_size store <> plan.dict_size))
+         && not (needs_reorder plan) ->
+    Obs.incr (obs_cache_hits ());
+    plan
+  | Some plan ->
+    (* stale: an absent constant may now exist, or the observed
+       selectivities disagree with the estimates *)
+    Obs.incr (obs_cache_misses ());
+    let fresh =
+      if plan.impossible then compile store q else reordered plan store
+    in
+    ITbl.replace tbl key fresh;
+    fresh
+  | None ->
+    Obs.incr (obs_cache_misses ());
+    let plan = compile store q in
+    ITbl.add tbl key plan;
+    plan
+
+let reset_cache () = ITbl.reset caches
+
+let cached_plan_count store =
+  match ITbl.find_opt caches (Rdf.Store.id store) with
+  | Some tbl -> ITbl.length tbl
+  | None -> 0

@@ -1,0 +1,75 @@
+(** Compiled query plans: int-slot binding frames over array buckets,
+    with a per-store plan cache.
+
+    A plan fixes, at compile time, the join order (greedy
+    most-selective-first from the store's O(1) pattern counts), the
+    dense slot number of every variable, and — per body atom — which
+    positions are constants (resolved to dictionary codes), which bind
+    a slot first seen there, and which test a slot bound earlier.
+    Execution walks the store's packed [int array] buckets against one
+    mutable frame: no maps, no closures and no per-triple allocation.
+
+    Plans are cached per store id, keyed by the interned canonical form
+    of the query ({!Cq.canonical_string} through the process-global
+    [Interning] table shared with [Core.Intern]); isomorphic queries
+    share one plan.  A cached plan is transparently recompiled when a
+    constant it proved absent may have appeared (dictionary growth), or
+    when observed bucket sizes are off the compile-time estimates by a
+    large factor (the guarded re-order; capped per plan).
+
+    Instruments: [eval.plan.cache_hits] / [eval.plan.cache_misses] /
+    [eval.plan.reorders] counters, [eval.plan.compile.ns] histogram,
+    [eval.frame.extensions] counter (successful per-step frame
+    extensions), and the pre-existing [eval.bindings] (complete
+    assignments). *)
+
+type t
+
+val compile :
+  ?overrides:float array -> ?generation:int -> Rdf.Store.t -> Cq.t -> t
+(** Compile a plan against the store's current dictionary, counts and
+    indexes, bypassing the cache.  [overrides.(i) >= 0.] replaces the
+    cardinality estimate of body atom [i] (used by the guarded
+    re-order). *)
+
+val cached : Rdf.Store.t -> Cq.t -> t
+(** The cached plan for the query's canonical form on this store,
+    compiling (or transparently recompiling, see above) on miss. *)
+
+val exec : t -> Rdf.Store.t -> (int array -> unit) -> unit
+(** Stream every complete binding's projected row (duplicates
+    included; set semantics is the caller's).  The store must be the
+    one the plan was compiled against ([Invalid_argument] otherwise)
+    and must not be mutated during execution.  The emitted array is ONE
+    scratch buffer reused across emissions — copy it (or use
+    {!Rowset.add_copy}) to retain a row past the callback. *)
+
+val exec_into : t -> Rdf.Store.t -> Rowset.t -> unit
+(** {!exec} with set-semantics accumulation into a row table.  Records
+    the table's final cardinality on the plan as its {!size_hint}. *)
+
+val size_hint : t -> int
+(** Cardinality of the result set last produced via {!exec_into} (0
+    before the first execution; carried across guarded re-orders).
+    Callers use it to pre-size the next execution's row table, so
+    steady-state re-evaluation of a cached plan never pays hash-table
+    growth. *)
+
+val is_impossible : t -> bool
+(** The plan proved the query empty at compile time: some body
+    constant was absent from the store's dictionary. *)
+
+val generation : t -> int
+(** Guarded re-orders applied so far (0 for a fresh plan). *)
+
+val step_count : t -> int
+
+val atom_order : t -> int array
+(** The chosen execution order as indices into the source body; empty
+    for impossible plans. *)
+
+val reset_cache : unit -> unit
+(** Drop every cached plan (all stores).  For tests and benchmarks. *)
+
+val cached_plan_count : Rdf.Store.t -> int
+(** Number of plans currently cached for this store. *)

@@ -9,16 +9,66 @@ let obs_count_probes = Obs.cached_counter "store.count_probes"
 let obs_scans = Obs.cached_counter "store.scans"
 let obs_scanned = Obs.cached_counter "store.scanned_triples"
 
-(* Index buckets keep an explicit length so that [count_matching] is O(1),
-   matching the paper's assumption that counts for 1- and 2-constant
-   patterns are available exactly (§3.3). *)
-type bucket = { mutable items : encoded list; mutable n : int }
+(* Index buckets are growable arrays of packed [s; p; o] triples: cell
+   [3i .. 3i+2] holds the i-th triple, [n] triples are live.  Compared
+   to the previous [encoded list] buckets this keeps [count_matching]
+   O(1) (the paper's §3.3 exact-count assumption) while letting the
+   compiled query executor (Query.Plan) walk a bucket by direct int
+   reads with no per-triple allocation, and makes deletion a single
+   swap-remove pass instead of a structural [List.filter] followed by a
+   [List.length] recount. *)
+type bucket = { mutable data : int array; mutable n : int }
+
+let empty_scan = ([||] : int array)
+
+let bucket_create s p o =
+  let data = Array.make 12 0 in
+  data.(0) <- s;
+  data.(1) <- p;
+  data.(2) <- o;
+  { data; n = 1 }
+
+let bucket_push b s p o =
+  let base = 3 * b.n in
+  if base = Array.length b.data then begin
+    let bigger = Array.make (2 * base) 0 in
+    Array.blit b.data 0 bigger 0 base;
+    b.data <- bigger
+  end;
+  b.data.(base) <- s;
+  b.data.(base + 1) <- p;
+  b.data.(base + 2) <- o;
+  b.n <- b.n + 1
+
+(* Swap-remove: overwrite the victim with the last triple.  One scan,
+   no allocation, no recount. *)
+let bucket_delete b s p o =
+  let n = b.n in
+  let data = b.data in
+  let rec find i =
+    if i >= n then ()
+    else if data.(3 * i) = s && data.((3 * i) + 1) = p && data.((3 * i) + 2) = o
+    then begin
+      let last = 3 * (n - 1) in
+      data.(3 * i) <- data.(last);
+      data.((3 * i) + 1) <- data.(last + 1);
+      data.((3 * i) + 2) <- data.(last + 2);
+      b.n <- n - 1
+    end
+    else find (i + 1)
+  in
+  find 0
 
 type index = (int, bucket) Hashtbl.t
 
 type t = {
+  id : int;
   dict : Dictionary.t;
   all : (encoded, unit) Hashtbl.t;
+  mutable version : int;
+      (* bumped on every successful add/remove; lets cached query plans
+         detect store mutation cheaply *)
+  triples : bucket;  (* every triple, for all-wildcard scans *)
   idx_s : index;
   idx_p : index;
   idx_o : index;
@@ -27,10 +77,17 @@ type t = {
   idx_po : index;
 }
 
+let next_id = ref 0
+
 let create () =
+  let id = !next_id in
+  incr next_id;
   {
+    id;
     dict = Dictionary.create ();
     all = Hashtbl.create 4096;
+    version = 0;
+    triples = { data = Array.make 12 0; n = 0 };
     idx_s = Hashtbl.create 1024;
     idx_p = Hashtbl.create 64;
     idx_o = Hashtbl.create 1024;
@@ -39,7 +96,10 @@ let create () =
     idx_po = Hashtbl.create 1024;
   }
 
+let id t = t.id
+let version t = t.version
 let dictionary t = t.dict
+let dict_size t = Dictionary.size t.dict
 let encode_term t term = Dictionary.encode t.dict term
 let find_term t term = Dictionary.find t.dict term
 let decode_term t code = Dictionary.decode t.dict code
@@ -48,19 +108,16 @@ let decode_term t code = Dictionary.decode t.dict code
    single int key. *)
 let pair_key a b = (a lsl 31) lor b
 
-let bucket_add idx key triple =
+let bucket_add idx key s p o =
   match Hashtbl.find_opt idx key with
-  | Some b ->
-    b.items <- triple :: b.items;
-    b.n <- b.n + 1
-  | None -> Hashtbl.add idx key { items = [ triple ]; n = 1 }
+  | Some b -> bucket_push b s p o
+  | None -> Hashtbl.add idx key (bucket_create s p o)
 
-let bucket_remove idx key triple =
+let bucket_remove idx key s p o =
   match Hashtbl.find_opt idx key with
   | None -> ()
   | Some b ->
-    b.items <- List.filter (fun x -> x <> triple) b.items;
-    b.n <- List.length b.items;
+    bucket_delete b s p o;
     if b.n = 0 then Hashtbl.remove idx key
 
 let add_encoded t ((s, p, o) as triple) =
@@ -68,12 +125,14 @@ let add_encoded t ((s, p, o) as triple) =
   else begin
     Obs.incr (obs_inserts ());
     Hashtbl.add t.all triple ();
-    bucket_add t.idx_s s triple;
-    bucket_add t.idx_p p triple;
-    bucket_add t.idx_o o triple;
-    bucket_add t.idx_sp (pair_key s p) triple;
-    bucket_add t.idx_so (pair_key s o) triple;
-    bucket_add t.idx_po (pair_key p o) triple;
+    t.version <- t.version + 1;
+    bucket_push t.triples s p o;
+    bucket_add t.idx_s s s p o;
+    bucket_add t.idx_p p s p o;
+    bucket_add t.idx_o o s p o;
+    bucket_add t.idx_sp (pair_key s p) s p o;
+    bucket_add t.idx_so (pair_key s o) s p o;
+    bucket_add t.idx_po (pair_key p o) s p o;
     true
   end
 
@@ -86,12 +145,14 @@ let remove_encoded t ((s, p, o) as triple) =
   if not (Hashtbl.mem t.all triple) then false
   else begin
     Hashtbl.remove t.all triple;
-    bucket_remove t.idx_s s triple;
-    bucket_remove t.idx_p p triple;
-    bucket_remove t.idx_o o triple;
-    bucket_remove t.idx_sp (pair_key s p) triple;
-    bucket_remove t.idx_so (pair_key s o) triple;
-    bucket_remove t.idx_po (pair_key p o) triple;
+    t.version <- t.version + 1;
+    bucket_delete t.triples s p o;
+    bucket_remove t.idx_s s s p o;
+    bucket_remove t.idx_p p s p o;
+    bucket_remove t.idx_o o s p o;
+    bucket_remove t.idx_sp (pair_key s p) s p o;
+    bucket_remove t.idx_so (pair_key s o) s p o;
+    bucket_remove t.idx_po (pair_key p o) s p o;
     true
   end
 
@@ -107,7 +168,7 @@ let mem t (tr : Triple.t) =
   | Some s, Some p, Some o -> mem_encoded t (s, p, o)
   | _ -> false
 
-let size t = Hashtbl.length t.all
+let size t = t.triples.n
 
 let pattern_all = { ps = None; pp = None; po = None }
 
@@ -125,6 +186,17 @@ let bucket_of t pat =
   | { ps = None; pp = None; po = None } | { ps = Some _; pp = Some _; po = Some _ }
     -> None
 
+(* Newest-first enumeration preserves the order of the former cons-list
+   buckets, which downstream consumers (workload generation in
+   particular) rely on for reproducibility. *)
+let fold_bucket b f init =
+  let data = b.data in
+  let acc = ref init in
+  for i = b.n - 1 downto 0 do
+    acc := f (data.(3 * i), data.((3 * i) + 1), data.((3 * i) + 2)) !acc
+  done;
+  !acc
+
 let fold_all t f init = Hashtbl.fold (fun triple () acc -> f triple acc) t.all init
 
 let fold_matching t pat f init =
@@ -140,7 +212,7 @@ let fold_matching t pat f init =
     match bucket_of t pat with
     | Some (Some b) ->
       Obs.add (obs_scanned ()) b.n;
-      List.fold_left (fun acc tr -> f tr acc) init b.items
+      fold_bucket b f init
     | Some None -> init
     | None -> assert false)
 
@@ -173,6 +245,39 @@ let count_matching t pat =
   else count_of_pattern t pat
 
 let matching t pat = fold_matching t pat (fun tr acc -> tr :: acc) []
+
+(* ---------- raw bucket access for the compiled executor ------------------ *)
+
+(* The executor (Query.Plan) walks buckets by direct [int array] reads:
+   no tuple per triple, no closure per step.  The returned array is the
+   live bucket storage — callers must treat it as read-only and must
+   not mutate the store while holding it. *)
+
+let scan_all t =
+  Obs.incr (obs_scans ());
+  Obs.add (obs_scanned ()) t.triples.n;
+  (t.triples.data, t.triples.n)
+
+let scan_bucket = function
+  | Some b ->
+    Obs.incr (obs_scans ());
+    Obs.add (obs_scanned ()) b.n;
+    (b.data, b.n)
+  | None ->
+    Obs.incr (obs_scans ());
+    (empty_scan, 0)
+
+let scan1 t col code =
+  scan_bucket
+    (Hashtbl.find_opt
+       (match col with `S -> t.idx_s | `P -> t.idx_p | `O -> t.idx_o)
+       code)
+
+let scan2 t cols a b =
+  scan_bucket
+    (Hashtbl.find_opt
+       (match cols with `SP -> t.idx_sp | `SO -> t.idx_so | `PO -> t.idx_po)
+       (pair_key a b))
 
 let index_of_column t = function
   | `S -> t.idx_s

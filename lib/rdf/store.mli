@@ -16,8 +16,24 @@ type pattern = { ps : int option; pp : int option; po : int option }
 
 val create : unit -> t
 
+val id : t -> int
+(** A process-unique stamp, assigned at creation.  Compiled query plans
+    ({!Query.Plan}) are cached per store id: codes are only meaningful
+    against the dictionary that produced them. *)
+
+val version : t -> int
+(** Mutation counter: bumped on every successful {!add}/{!remove}.
+    Cached plans use it to cheaply detect that compile-time cardinality
+    estimates may have drifted. *)
+
 val dictionary : t -> Dictionary.t
 (** The shared dictionary of the store. *)
+
+val dict_size : t -> int
+(** Number of distinct encoded terms ([Dictionary.size]).  A compiled
+    plan that proved an atom unsatisfiable because a constant was
+    absent from the dictionary is only valid while the dictionary has
+    not grown. *)
 
 val encode_term : t -> Term.t -> int
 (** Encode a term, assigning a fresh code if needed. *)
@@ -57,6 +73,24 @@ val count_matching : t -> pattern -> int
     at most two constants thanks to the indexes (§3.3's statistics). *)
 
 val matching : t -> pattern -> encoded list
+
+(** {2 Raw bucket access}
+
+    Zero-allocation scans for the compiled query executor
+    ({!Query.Plan}): each call returns [(data, n)] where the first
+    [3*n] cells of [data] hold the matching triples packed as
+    [s; p; o].  The array is the {e live} bucket storage — treat it as
+    read-only, and do not mutate the store while iterating. *)
+
+val scan_all : t -> int array * int
+(** Every triple in the store. *)
+
+val scan1 : t -> [ `S | `P | `O ] -> int -> int array * int
+(** Triples with the given code in one column. *)
+
+val scan2 : t -> [ `SP | `SO | `PO ] -> int -> int -> int array * int
+(** Triples with the given codes in two columns (arguments in the
+    order named by the variant). *)
 
 val distinct_in_column : t -> [ `S | `P | `O ] -> int
 (** Number of distinct codes in a column, as gathered for the cost model. *)

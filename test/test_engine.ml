@@ -42,7 +42,7 @@ let test_materialize_single_atom () =
   in
   let rel = Engine.Materialize.materialize_cq museum_store view in
   check_int "three painters" 3 (Engine.Relation.cardinality rel);
-  check_bool "cols" true (rel.Engine.Relation.cols = [ "X"; "Y" ])
+  check_bool "cols" true (Engine.Relation.cols rel = [ "X"; "Y" ])
 
 let test_materialize_join_view () =
   let view =
@@ -73,7 +73,7 @@ let test_size_bytes_positive () =
 
 let env_of_rels rels =
   let env = Hashtbl.create 8 in
-  List.iter (fun (r : Engine.Relation.t) -> Hashtbl.replace env r.name r) rels;
+  List.iter (fun (r : Engine.Relation.t) -> Hashtbl.replace env (Engine.Relation.name r) r) rels;
   env
 
 let test_executor_select () =
@@ -119,7 +119,7 @@ let test_executor_join_natural () =
       (Core.Rewriting.Join ([], Core.Rewriting.Scan "r1", Core.Rewriting.Scan "r2"))
   in
   check_int "two joined rows" 2 (Engine.Relation.cardinality result);
-  check_bool "columns" true (result.Engine.Relation.cols = [ "X"; "Y"; "Z" ])
+  check_bool "columns" true (Engine.Relation.cols result = [ "X"; "Y"; "Z" ])
 
 let test_executor_project_dedups () =
   let r =

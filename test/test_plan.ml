@@ -1,0 +1,278 @@
+(* Compiled query plans (Query.Plan): differential testing against the
+   interpretive Reference evaluator on adversarial random queries —
+   repeated variables, constants absent from the store, genuine
+   cross-products — plus the plan cache's hit/staleness behaviour. *)
+
+open Support
+
+let sort_rows rows = List.sort compare (List.map Array.to_list rows)
+
+let agree store q =
+  sort_rows (Query.Evaluation.eval_cq_codes store q)
+  = sort_rows (Query.Evaluation.Reference.eval_cq_codes store q)
+
+(* ---------- adversarial CQ generator ------------------------------------- *)
+
+(* Unlike Support.gen_cq (always connected, constants drawn from the
+   store's vocabulary), positions here are independent: a tiny variable
+   pool forces repeated variables, unconnected atoms force
+   cross-products, and a reserved URI exercises the absent-constant
+   (impossible-plan) path. *)
+let gen_plan_cq =
+  let open QCheck.Gen in
+  let absent = Query.Qterm.Cst (uri "absent:z") in
+  let gen_var = map (fun i -> v (Printf.sprintf "V%d" i)) (int_range 0 3) in
+  let gen_subject =
+    frequency
+      [ (5, gen_var); (3, map (fun t -> Query.Qterm.Cst t) gen_entity); (1, return absent) ]
+  in
+  let gen_pred =
+    frequency
+      [
+        (1, gen_var);
+        (5, map (fun t -> Query.Qterm.Cst t) gen_prop);
+        (1, return (Query.Qterm.Cst rdf_type));
+        (1, return absent);
+      ]
+  in
+  let gen_obj =
+    frequency
+      [ (5, gen_var); (3, map (fun t -> Query.Qterm.Cst t) gen_object); (1, return absent) ]
+  in
+  let gen_atom =
+    map3 (fun s p o -> atom s p o) gen_subject gen_pred gen_obj
+  in
+  let* body = list_size (int_range 1 3) gen_atom in
+  let vars =
+    List.sort_uniq String.compare (List.concat_map Query.Atom.var_set body)
+  in
+  let* head =
+    if vars = [] then return [ Query.Qterm.Cst (uri "u0") ]
+    else
+      let* k = int_range 1 (min 2 (List.length vars)) in
+      let* shuffled = shuffle_l vars in
+      let head = List.map v (List.filteri (fun i _ -> i < k) shuffled) in
+      let* with_cst = bool in
+      return (if with_cst then head @ [ Query.Qterm.Cst (uri "u1") ] else head)
+  in
+  return (cq head body)
+
+let arb_plan_cq = QCheck.make ~print:Query.Cq.to_string gen_plan_cq
+
+let gen_plan_ucq =
+  let open QCheck.Gen in
+  let unary q =
+    Query.Cq.make ~name:q.Query.Cq.name
+      ~head:[ List.hd q.Query.Cq.head ]
+      ~body:q.Query.Cq.body
+  in
+  map
+    (fun qs -> Query.Ucq.make ~name:"u" (List.map unary qs))
+    (list_size (int_range 1 3) gen_plan_cq)
+
+let arb_plan_ucq = QCheck.make ~print:Query.Ucq.to_string gen_plan_ucq
+
+(* ---------- differential properties -------------------------------------- *)
+
+let prop_cq_differential =
+  QCheck.Test.make ~name:"compiled CQ evaluation = Reference" ~count:400
+    (QCheck.pair arb_store arb_plan_cq)
+    (fun (store, q) ->
+      Query.Plan.reset_cache ();
+      agree store q)
+
+let prop_cq_cached_differential =
+  QCheck.Test.make ~name:"cached plan stays correct across re-evaluation"
+    ~count:200
+    (QCheck.pair arb_store arb_plan_cq)
+    (fun (store, q) ->
+      Query.Plan.reset_cache ();
+      (* first call compiles, second must reuse the cached plan *)
+      agree store q && agree store q)
+
+let prop_ucq_differential =
+  QCheck.Test.make ~name:"compiled UCQ evaluation = Reference" ~count:200
+    (QCheck.pair arb_store arb_plan_ucq)
+    (fun (store, u) ->
+      Query.Plan.reset_cache ();
+      sort_rows (Query.Evaluation.eval_ucq_codes store u)
+      = sort_rows (Query.Evaluation.Reference.eval_ucq_codes store u))
+
+let prop_counts_agree =
+  QCheck.Test.make ~name:"compiled counts = Reference counts" ~count:200
+    (QCheck.pair arb_store arb_plan_cq)
+    (fun (store, q) ->
+      Query.Plan.reset_cache ();
+      Query.Evaluation.count_cq store q
+      = Query.Evaluation.Reference.count_cq store q)
+
+let prop_mutation_differential =
+  QCheck.Test.make
+    ~name:"cached plan correct after store mutation (incl. new constants)"
+    ~count:200
+    (QCheck.triple arb_store arb_plan_cq (QCheck.make Support.gen_data_triple))
+    (fun (store, q, extra) ->
+      Query.Plan.reset_cache ();
+      let before = agree store q in
+      (* growing the store (and possibly its dictionary — [extra] or the
+         reserved absent constant may introduce fresh terms) must not
+         leave a stale plan behind *)
+      ignore (Rdf.Store.add store extra);
+      ignore
+        (Rdf.Store.add store
+           (triple (uri "absent:z") (uri "absent:z") (uri "absent:z")));
+      before && agree store q)
+
+(* ---------- directed plan tests ------------------------------------------ *)
+
+let small_store () =
+  store_of
+    [
+      triple (uri "e1") (uri "P0") (uri "e2");
+      triple (uri "e2") (uri "P0") (uri "e3");
+      triple (uri "e1") (uri "P1") (uri "e1");
+      triple (uri "e3") rdf_type (uri "C0");
+    ]
+
+let test_impossible_constant () =
+  Query.Plan.reset_cache ();
+  let store = small_store () in
+  let q =
+    cq [ v "X" ] [ atom (v "X") (c "nope:p") (v "Y") ]
+  in
+  let plan = Query.Plan.cached store q in
+  check_bool "impossible" true (Query.Plan.is_impossible plan);
+  check_bool "no rows" true (Query.Evaluation.eval_cq_codes store q = [])
+
+let test_impossible_plan_invalidated () =
+  Query.Plan.reset_cache ();
+  let store = small_store () in
+  let q = cq [ v "X" ] [ atom (v "X") (c "late:p") (v "Y") ] in
+  check_bool "empty before" true (Query.Evaluation.eval_cq_codes store q = []);
+  ignore (Rdf.Store.add store (triple (uri "e1") (uri "late:p") (uri "e2")));
+  check_int "one row after the constant appears" 1
+    (List.length (Query.Evaluation.eval_cq_codes store q));
+  check_bool "agrees with reference" true (agree store q)
+
+let test_repeated_variable () =
+  Query.Plan.reset_cache ();
+  let store = small_store () in
+  (* self-loop: X appears twice in one atom *)
+  let q = cq [ v "X" ] [ atom (v "X") (c "P1") (v "X") ] in
+  check_int "only the self-loop" 1
+    (List.length (Query.Evaluation.eval_cq_codes store q));
+  check_bool "agrees with reference" true (agree store q)
+
+let test_cross_product () =
+  Query.Plan.reset_cache ();
+  let store = small_store () in
+  let q =
+    cq
+      [ v "X"; v "Z" ]
+      [
+        atom (v "X") (c "P0") (v "Y");
+        atom (v "Z") (Query.Qterm.Cst rdf_type) (c "C0");
+      ]
+  in
+  check_int "2 x 1 product" 2
+    (List.length (Query.Evaluation.eval_cq_codes store q));
+  check_bool "agrees with reference" true (agree store q)
+
+let test_exec_wrong_store_raises () =
+  Query.Plan.reset_cache ();
+  let store = small_store () in
+  let other = small_store () in
+  let q = cq [ v "X" ] [ atom (v "X") (c "P0") (v "Y") ] in
+  let plan = Query.Plan.cached store q in
+  check_bool "raises on foreign store" true
+    (try
+       Query.Plan.exec plan other (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- plan cache --------------------------------------------------- *)
+
+let with_registry f =
+  let reg = Obs.create () in
+  Obs.set_global reg;
+  Fun.protect ~finally:(fun () -> Obs.set_global Obs.disabled) (fun () -> f reg)
+
+let counter_value reg name =
+  match Obs.find_counter reg name with Some n -> n | None -> 0
+
+let test_cache_hits_on_reuse () =
+  with_registry (fun reg ->
+      Query.Plan.reset_cache ();
+      let store = small_store () in
+      let q = cq [ v "X" ] [ atom (v "X") (c "P0") (v "Y") ] in
+      ignore (Query.Evaluation.eval_cq_codes store q);
+      let misses = counter_value reg "eval.plan.cache_misses" in
+      check_bool "first evaluation compiles" true (misses >= 1);
+      ignore (Query.Evaluation.eval_cq_codes store q);
+      check_int "second evaluation does not recompile" misses
+        (counter_value reg "eval.plan.cache_misses");
+      check_bool "and hits the cache" true
+        (counter_value reg "eval.plan.cache_hits" >= 1);
+      check_int "one plan cached" 1 (Query.Plan.cached_plan_count store))
+
+let test_isomorphic_queries_share_plan () =
+  Query.Plan.reset_cache ();
+  let store = small_store () in
+  let q1 = cq ~name:"a" [ v "X" ] [ atom (v "X") (c "P0") (v "Y") ] in
+  let q2 = cq ~name:"b" [ v "U" ] [ atom (v "U") (c "P0") (v "W") ] in
+  ignore (Query.Evaluation.eval_cq_codes store q1);
+  ignore (Query.Evaluation.eval_cq_codes store q2);
+  check_int "isomorphic queries share one plan" 1
+    (Query.Plan.cached_plan_count store)
+
+let test_stats_gathering_hits_cache () =
+  with_registry (fun reg ->
+      Query.Plan.reset_cache ();
+      let store = small_store () in
+      let prop = uri "P0" in
+      let st1 = Stats.Statistics.create store in
+      ignore (Stats.Statistics.property_distinct st1 prop `S);
+      ignore (Stats.Statistics.property_distinct st1 prop `O);
+      let misses = counter_value reg "eval.plan.cache_misses" in
+      (* a second Statistics instance re-evaluates the same distinct-count
+         CQs; the plans must come from the cache *)
+      let st2 = Stats.Statistics.create store in
+      ignore (Stats.Statistics.property_distinct st2 prop `S);
+      ignore (Stats.Statistics.property_distinct st2 prop `O);
+      check_int "repeated stats gathering compiles nothing new" misses
+        (counter_value reg "eval.plan.cache_misses");
+      check_bool "and hits the plan cache" true
+        (counter_value reg "eval.plan.cache_hits" >= 1))
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "differential",
+        [
+          to_alcotest prop_cq_differential;
+          to_alcotest prop_cq_cached_differential;
+          to_alcotest prop_ucq_differential;
+          to_alcotest prop_counts_agree;
+          to_alcotest prop_mutation_differential;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "impossible constant" `Quick
+            test_impossible_constant;
+          Alcotest.test_case "impossible plan invalidated by dict growth"
+            `Quick test_impossible_plan_invalidated;
+          Alcotest.test_case "repeated variable in one atom" `Quick
+            test_repeated_variable;
+          Alcotest.test_case "cross product" `Quick test_cross_product;
+          Alcotest.test_case "exec on foreign store raises" `Quick
+            test_exec_wrong_store_raises;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hits on reuse" `Quick test_cache_hits_on_reuse;
+          Alcotest.test_case "isomorphic queries share a plan" `Quick
+            test_isomorphic_queries_share_plan;
+          Alcotest.test_case "stats gathering hits the cache" `Quick
+            test_stats_gathering_hits_cache;
+        ] );
+    ]

@@ -112,6 +112,10 @@ let domain_producers =
     ("Atom", "make"); ("Triple", "make");
     ("View", "make");
     ("Cq", "make"); ("Cq", "freshen"); ("Cq", "minimize"); ("Cq", "rename");
+    (* a listified row is a domain value: keying a generic Hashtbl by
+       [Array.to_list row] means polymorphic hashing of the row — use
+       Query.Rowset (or its Tbl) instead *)
+    ("Array", "to_list");
   ]
 
 (* Qualified domain constants (values, not functions). *)
