@@ -125,6 +125,14 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Experiment-specific extras appended to the BENCH json — e.g. the
+   parallel experiment's scaling section.  Cleared by [toplevel] before
+   each experiment so extras never leak across BENCH files. *)
+let extra_bench_fields : (string * Obs.Json.t) list ref = ref []
+
+let add_bench_field key json =
+  extra_bench_fields := (key, json) :: !extra_bench_fields
+
 (* Query-evaluation section, present only when the experiment drove the
    evaluator under the "eval.run" timer (the eval experiment).  The
    count fields (queries, answers, bindings, probes) are deterministic
@@ -212,10 +220,10 @@ let bench_json name registry =
       ("interned_views", gauge "intern.size");
       ("peak_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
     ]
-    @
-    match eval_json registry with
-    | Some section -> [ ("eval", section) ]
-    | None -> [])
+    @ (match eval_json registry with
+      | Some section -> [ ("eval", section) ]
+      | None -> [])
+    @ List.rev !extra_bench_fields)
 
 (* Numeric lookup along a dotted path ("expand_ns.p50"). *)
 let bench_number path json =
@@ -265,6 +273,10 @@ let compare_to_baseline name current =
           (* eval-experiment determinism: answer/binding/probe counts of
              the fixed workload (absent, hence skipped, elsewhere) *)
           "eval.queries"; "eval.answers"; "eval.bindings"; "eval.probes";
+          (* parallel-experiment determinism flags: deterministic mode
+             must reproduce the sequential report, free mode the best
+             cost (absent, hence skipped, elsewhere) *)
+          "parallel.det_matches_sequential"; "parallel.free_best_cost_matches";
         ];
       let rate key =
         match (bench_number key base, bench_number key current) with
@@ -281,7 +293,9 @@ let compare_to_baseline name current =
         | _ -> Printf.printf "  skip %s (absent)\n" key
       in
       rate "states_per_sec";
-      rate "eval.bindings_per_sec"
+      rate "eval.bindings_per_sec";
+      rate "parallel.det_4.states_per_sec";
+      rate "parallel.free_4.states_per_sec"
     end
 
 (* Exit status for main: 0 unless --fail-over turned regressions
@@ -301,6 +315,7 @@ let toplevel name f =
   match (!metrics_sink, !bench_dir) with
   | Some _, _ | None, None -> experiment name f
   | None, Some dir ->
+    extra_bench_fields := [];
     let registry = Obs.create () in
     Obs.set_global registry;
     Fun.protect

@@ -10,7 +10,7 @@
        --baseline BENCH_baseline.json --fail-over 20   # regression gate
 
    Experiments: baseline, eval, table2, table3, fig4, fig5, fig6, fig7, fig8,
-   ablation.
+   ablation, parallel.
 
    Each top-level experiment writes BENCH_<experiment>.json (states/sec,
    expand-latency percentiles, best cost, peak heap words) unless
@@ -36,6 +36,7 @@ let experiments =
     ("fig7", Fig7.run);
     ("fig8", Fig8.run);
     ("ablation", Ablation.run);
+    ("parallel", Parallel.run);
   ]
 
 let usage () =

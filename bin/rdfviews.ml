@@ -225,8 +225,34 @@ let select_cmd =
              progress heartbeats) as JSONL to $(docv), for offline analysis \
              with $(b,rdfviews report).")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Search with $(docv) parallel domains (requires an OCaml 5 \
+             build; 0 means the runtime's recommended domain count). The \
+             default 1 is the sequential engine. See CONCURRENCY.md.")
+  in
+  let par_mode_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("det", Core.Parallel_search.Deterministic);
+               ("deterministic", Core.Parallel_search.Deterministic);
+               ("free", Core.Parallel_search.Free);
+             ])
+          Core.Parallel_search.Deterministic
+      & info [ "par-mode"; "parallel-mode" ] ~docv:"MODE"
+          ~doc:
+            "Parallel mode with --jobs > 1: $(b,det) reproduces the \
+             sequential result exactly; $(b,free) is faster but \
+             schedule-dependent in its counters.")
+  in
   let run data workload schema reasoning strategy budget no_avf no_stv materialize sql
-      state_out trace_states trace metrics =
+      state_out trace_states trace metrics jobs par_mode =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     with_trace trace @@ fun () ->
@@ -242,7 +268,12 @@ let select_cmd =
       | (`Saturation | `Pre | `Post), None ->
         failwith "this reasoning mode requires --schema"
     in
+    let jobs = if jobs = 0 then Multicore.recommended_domain_count () else jobs in
+    if jobs > 1 && not Multicore.available then
+      failwith "--jobs > 1 requires an OCaml 5 build (this one is sequential)";
     let traced = ref [] in
+    (* under --jobs with the free mode the hook runs on any domain *)
+    let traced_lock = Multicore.Spinlock.create () in
     let options =
       {
         Core.Search.default_options with
@@ -253,18 +284,32 @@ let select_cmd =
         on_accept =
           (match trace_states with
           | None -> None
-          | Some _ -> Some (fun s -> traced := s :: !traced));
+          | Some _ ->
+            Some
+              (fun s ->
+                Multicore.Spinlock.with_lock traced_lock (fun () ->
+                    traced := s :: !traced)));
       }
     in
     let result =
       Obs.span (Obs.global ()) "select" (fun () ->
-          Core.Selector.select ~store ~reasoning ~options queries)
+          Core.Selector.select ~jobs ~parallel_mode:par_mode ~store ~reasoning
+            ~options queries)
     in
     let report = result.Core.Selector.report in
     Printf.printf
-      "search (%s, %s): explored %d states in %.2fs; cost %.4g -> %.4g (rcr %.3f)%s\n"
+      "search (%s, %s%s): explored %d states in %.2fs; cost %.4g -> %.4g (rcr %.3f)%s\n"
       (Core.Search.strategy_name strategy)
       (Core.Selector.reasoning_name reasoning)
+      (match strategy with
+      | Core.Search.Gstr when jobs > 1 ->
+        (* greedy picks are inherently sequential; Parallel_search falls
+           back, so do not claim a parallel run in the banner *)
+        ", jobs ignored (gstr is sequential)"
+      | _ when jobs > 1 ->
+        Printf.sprintf ", %d jobs %s" jobs
+          (Core.Parallel_search.mode_name par_mode)
+      | _ -> "")
       report.Core.Search.explored report.Core.Search.elapsed
       report.Core.Search.initial_cost report.Core.Search.best_cost
       (Core.Search.rcr report)
@@ -323,7 +368,8 @@ let select_cmd =
     Term.(
       const run $ data_arg $ workload_arg $ schema_opt_arg $ reasoning_arg
       $ strategy_arg $ budget_arg $ no_avf_arg $ no_stv_arg $ materialize_arg
-      $ sql_arg $ state_out_arg $ trace_states_arg $ trace_arg $ metrics_arg)
+      $ sql_arg $ state_out_arg $ trace_states_arg $ trace_arg $ metrics_arg
+      $ jobs_arg $ par_mode_arg)
 
 (* ---------- check ----------------------------------------------------------- *)
 

@@ -23,6 +23,7 @@
 type which = Pruning | Greedy | Heuristic
 
 val name : which -> string
+(** Display name of the competitor ("pruning", "greedy", "heuristic"). *)
 
 val run : Cost.t -> Search.options -> which -> Query.Cq.t list -> Search.report
 (** Runs the competitor.  When the strategy fails (memory cap or time

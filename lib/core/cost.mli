@@ -27,10 +27,16 @@ type t
 (** A cost estimator: statistics plus weights plus memo tables. *)
 
 val create : Stats.Statistics.t -> weights -> t
+(** A fresh estimator with empty memo tables.  Memoization keys on
+    interned view identity, so one estimator must only be used with one
+    interner epoch (see {!Intern.reset}). *)
 
 val weights : t -> weights
+(** The weights the estimator was created with. *)
 
 val stats : t -> Stats.Statistics.t
+(** The statistics the estimator was created with — exposed so a
+    per-domain clone can be built ({!Parallel_search}). *)
 
 val view_cardinality : t -> View.t -> float
 (** [|v|ε] (memoized). *)
@@ -40,8 +46,13 @@ val view_size : t -> View.t -> float
     summed average size of its head columns. *)
 
 val vso : t -> State.t -> float
+(** [VSOε(S)]: summed space occupancy of the state's views. *)
+
 val vmc : t -> State.t -> float
+(** [VMCε(S)]: summed maintenance cost, [f^len(v)] per view. *)
+
 val rec_cost : t -> State.t -> float
+(** [RECε(S)]: summed evaluation cost of the state's rewritings. *)
 
 val rewriting_cost : t -> State.t -> Rewriting.t -> float * float
 (** [(io, cpu)] estimation for one rewriting in the given state. *)

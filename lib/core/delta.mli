@@ -16,6 +16,7 @@ type t = {
 }
 
 val empty : t
+(** The identity delta: nothing added, removed or rewritten. *)
 
 val compose : t -> t -> t
 (** [compose a b]: the delta of applying [a] then [b] (used to fold the

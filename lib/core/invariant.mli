@@ -51,8 +51,11 @@ type reference = (string * Query.Cq.t list) list
     pre-reformulation (§4.3). *)
 
 val reference_of_workload : Query.Cq.t list -> reference
+(** One singleton disjunct group per query — the plain (§3) scenario. *)
 
 val reference_of_groups : (string * Query.Cq.t list) list -> reference
+(** One group per query with the given disjuncts — the
+    pre-reformulation (§4.3) scenario. *)
 
 val reference_of_state : State.t -> (reference, string) result
 (** Recover the reference from a valid state by unfolding its own

@@ -63,4 +63,7 @@ val well_formed : env -> t -> bool
     compatible. *)
 
 val to_string : t -> string
+(** Single-line rendering of the plan, innermost operator first. *)
+
 val pp : Format.formatter -> t -> unit
+(** Formatter version of {!to_string}. *)

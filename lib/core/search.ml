@@ -158,30 +158,33 @@ let heartbeat engine =
       ~explored:engine.explored ~best_cost:engine.best_cost
       ~elapsed_ns:(int_of_float (elapsed engine *. 1e9))
 
-(* Register a freshly produced state.  Returns [Some (state, rank)] when
-   the state is new (or re-opened at a lower stratum) and should be
-   expanded further.  [parent] is the state the transition was applied
-   to and [delta] the transition's own change; the AVF collapse composes
-   its fusion deltas on top, so the pair handed to
-   {!Cost.state_cost_delta} always describes parent → accepted state. *)
-let consider engine ~rank ~parent ~delta state =
+(* The pure half of successor admission: the AVF collapse, composing
+   its fusion deltas on top of the transition's own change so the pair
+   handed to {!Cost.state_cost_delta} always describes parent →
+   collapsed state.  Touches no engine state — parallel workers run it
+   speculatively off the coordinating domain. *)
+let collapse options ~delta state =
+  if options.avf then begin
+    match Transition.fusion_closure_delta state with
+    (* no fusion fired (the common case): skip the compose allocation *)
+    | state', { Delta.views_removed = []; views_added = []; rewritings_touched = [] }
+      ->
+      (state', delta)
+    | state', fused -> (state', Delta.compose delta fused)
+  end
+  else (state, delta)
+
+(* The mutating half: account, dedup against the seen-table, cost,
+   strict-check, trace.  Expects an already-{!collapse}d state.  Returns
+   [Some (state, rank)] when the state is new (or re-opened at a lower
+   stratum) and should be expanded further. *)
+let register engine ~rank ~parent ~delta state =
   engine.created <- engine.created + 1;
   Obs.incr (obs_created ());
   Obs.incr (obs_stratum_created.(rank) ());
   heartbeat engine;
   (* the trace names states by their creation index; 0 is the initial state *)
   let id = engine.created in
-  let state, delta =
-    if engine.options.avf then begin
-      match Transition.fusion_closure_delta state with
-      (* no fusion fired (the common case): skip the compose allocation *)
-      | state', { Delta.views_removed = []; views_added = []; rewritings_touched = [] }
-        ->
-        (state', delta)
-      | state', fused -> (state', Delta.compose delta fused)
-    end
-    else (state, delta)
-  in
   if violates_stop engine.options state then begin
     engine.discarded <- engine.discarded + 1;
     Obs.incr (obs_discarded ());
@@ -229,28 +232,39 @@ let consider engine ~rank ~parent ~delta state =
       Some (state, rank)
   end
 
+let consider engine ~rank ~parent ~delta state =
+  let state, delta = collapse engine.options ~delta state in
+  register engine ~rank ~parent ~delta state
+
 let allowed_kinds options rank =
   match options.strategy with
   | Exnaive -> Transition.all_kinds
   | Exstr | Dfs | Gstr ->
     List.filter (fun k -> Transition.kind_rank k >= rank) Transition.all_kinds
 
-let expand engine state rank =
+(* EXNAIVE is unstratified: every revisit is a plain duplicate *)
+let rank_of options kind =
+  match options.strategy with
+  | Exnaive -> 0
+  | Exstr | Dfs | Gstr -> Transition.kind_rank kind
+
+let note_explored engine =
   engine.explored <- engine.explored + 1;
-  Obs.incr (obs_explored ());
-  let rank_of kind =
-    (* EXNAIVE is unstratified: every revisit is a plain duplicate *)
-    match engine.options.strategy with
-    | Exnaive -> 0
-    | Exstr | Dfs | Gstr -> Transition.kind_rank kind
-  in
+  Obs.incr (obs_explored ())
+
+let with_expand_metrics rank f =
   Obs.time_with (obs_expand_time ()) (obs_expand_hist ()) @@ fun () ->
-  Obs.time (obs_stratum_expand.(rank) ()) @@ fun () ->
+  Obs.time (obs_stratum_expand.(rank) ()) f
+
+let expand engine state rank =
+  note_explored engine;
+  with_expand_metrics rank @@ fun () ->
   List.concat_map
     (fun kind ->
       List.filter_map
         (fun (succ, delta) ->
-          consider engine ~rank:(rank_of kind) ~parent:state ~delta succ)
+          consider engine ~rank:(rank_of engine.options kind) ~parent:state
+            ~delta succ)
         (Transition.successors_with_delta state kind))
     (allowed_kinds engine.options rank)
 
@@ -302,8 +316,7 @@ let gstr_search engine initial =
       | state :: rest ->
         if timed_out engine || memory_exceeded engine then completed := false
         else begin
-          engine.explored <- engine.explored + 1;
-          Obs.incr (obs_explored ());
+          note_explored engine;
           let fresh =
             List.filter_map
               (fun (succ, delta) ->
@@ -335,9 +348,22 @@ let gstr_search engine initial =
   note_best engine final (Cost.state_cost engine.estimator final);
   !completed
 
-let run_from estimator options initial =
+let with_run_metrics f =
   Obs.incr (obs_runs ());
-  Obs.time (obs_run_time ()) @@ fun () ->
+  Obs.time (obs_run_time ()) f
+
+(* Everything a run does before the strategy loop starts: compute the
+   initial cost, recover the strict reference, close the initial state
+   under AVF, open the trace, build the engine and seed the seen-table.
+   Split out so {!Parallel_search} shares the exact same entry
+   sequence. *)
+type prologue = {
+  p_engine : engine;
+  p_initial : State.t;  (* after the AVF closure *)
+  p_initial_cost : float;
+}
+
+let prologue estimator options initial =
   (* S0's cost is that of the raw query set (§5.1); the AVF collapse of
      the initial state, when enabled, counts as the first search gain *)
   let initial_cost = Cost.state_cost estimator initial in
@@ -396,16 +422,14 @@ let run_from estimator options initial =
   State.Tbl.replace engine.seen (State.key initial) 0;
   Obs.Trace.state trace ~cls:Obs.Trace.Accepted ~id:0 ~stratum:0
     ~cost:engine.best_cost;
-  let completed =
-    match options.strategy with
-    | Exnaive | Exstr -> worklist_search engine ~lifo:false initial
-    | Dfs -> worklist_search engine ~lifo:true initial
-    | Gstr -> gstr_search engine initial
-  in
+  { p_engine = engine; p_initial = initial; p_initial_cost = initial_cost }
+
+let epilogue { p_engine = engine; p_initial_cost = initial_cost; _ } ~completed
+    =
   let completed = completed && not engine.oom in
-  Obs.Trace.run_end trace ~best_cost:engine.best_cost ~created:engine.created
-    ~explored:engine.explored ~duplicates:engine.duplicates
-    ~discarded:engine.discarded ~completed;
+  Obs.Trace.run_end engine.trace ~best_cost:engine.best_cost
+    ~created:engine.created ~explored:engine.explored
+    ~duplicates:engine.duplicates ~discarded:engine.discarded ~completed;
   Obs.set_gauge (obs_initial_cost ()) initial_cost;
   Obs.set_gauge (obs_best_cost ()) engine.best_cost;
   Obs.set_gauge (obs_intern_size ()) (float_of_int (Intern.size ()));
@@ -423,6 +447,59 @@ let run_from estimator options initial =
     out_of_memory = engine.oom;
   }
 
+let run_from estimator options initial =
+  with_run_metrics @@ fun () ->
+  let p = prologue estimator options initial in
+  let engine = p.p_engine in
+  let completed =
+    match options.strategy with
+    | Exnaive | Exstr -> worklist_search engine ~lifo:false p.p_initial
+    | Dfs -> worklist_search engine ~lifo:true p.p_initial
+    | Gstr -> gstr_search engine p.p_initial
+  in
+  epilogue p ~completed
+
 let run stats options workload =
   let estimator = Cost.create stats options.weights in
   run_from estimator options (State.initial workload)
+
+(* Shared machinery for {!Parallel_search}.  Mirrored (with the engine
+   record concrete) under [Internal] in the interface; not part of the
+   stable API. *)
+module Internal = struct
+  type nonrec engine = engine
+
+  type nonrec prologue = prologue = {
+    p_engine : engine;
+    p_initial : State.t;
+    p_initial_cost : float;
+  }
+
+  let prologue = prologue
+  let epilogue = epilogue
+  let with_run_metrics = with_run_metrics
+  let collapse = collapse
+  let register = register
+  let note_explored = note_explored
+  let with_expand_metrics = with_expand_metrics
+  let allowed_kinds = allowed_kinds
+  let rank_of = rank_of
+  let should_stop engine = timed_out engine || memory_exceeded engine
+  let engine_options engine = engine.options
+  let engine_estimator engine = engine.estimator
+  let engine_strict_reference engine = engine.strict_reference
+  let engine_elapsed = elapsed
+  let engine_best engine = (engine.best, engine.best_cost)
+
+  let absorb_totals engine ~created ~duplicates ~discarded ~explored =
+    engine.created <- engine.created + created;
+    engine.duplicates <- engine.duplicates + duplicates;
+    engine.discarded <- engine.discarded + discarded;
+    engine.explored <- engine.explored + explored
+
+  let offer_best engine state cost = note_best engine state cost
+
+  let set_trajectory engine trajectory = engine.trajectory <- trajectory
+  let engine_trajectory engine = engine.trajectory
+  let mark_oom engine = engine.oom <- true
+end

@@ -36,15 +36,21 @@ type result = {
 }
 
 val reasoning_name : reasoning -> string
+(** Display name of the scenario ("none", "saturation", ...). *)
 
 val select :
+  ?jobs:int ->
+  ?parallel_mode:Parallel_search.mode ->
   store:Rdf.Store.t ->
   reasoning:reasoning ->
   options:Search.options ->
   Query.Cq.t list ->
   result
 (** Run view selection for the workload.  Query names must be
-    distinct. *)
+    distinct.  [jobs] (default 1) spreads the search over that many
+    domains via {!Parallel_search} — with the default
+    [parallel_mode = Deterministic] the result is identical to the
+    sequential one. *)
 
 val initial_state : reasoning -> Query.Cq.t list -> State.t
 (** The standard initial state for a workload in the given mode: one
@@ -52,6 +58,8 @@ val initial_state : reasoning -> Query.Cq.t list -> State.t
     pre-reformulation (§4.3). *)
 
 val run_from_state :
+  ?jobs:int ->
+  ?parallel_mode:Parallel_search.mode ->
   store:Rdf.Store.t ->
   reasoning:reasoning ->
   options:Search.options ->

@@ -21,6 +21,7 @@ type config = {
 }
 
 val default_config : config
+(** [{ triple_table = "triples"; materialized = true }]. *)
 
 val view_ddl : ?config:config -> Query.Ucq.t -> string
 (** [CREATE [MATERIALIZED] VIEW <name>(<cols>) AS <select> [UNION …];]. *)

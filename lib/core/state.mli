@@ -48,8 +48,11 @@ val key : t -> key
 (** The state's identity key, computed once and cached on the state. *)
 
 val equal_key : key -> key -> bool
+(** Structural key equality — the identity used by {!Tbl}. *)
 
 val hash_key : key -> int
+(** Hash consistent with {!equal_key}; also used to pick a
+    {!Shard_tbl} shard, so it must not depend on visit order. *)
 
 val key_to_string : key -> string
 (** Diagnostic rendering of a key: the sorted interned ids, dot
@@ -87,4 +90,7 @@ val invariants_hold : t -> bool
     has a Cartesian product. *)
 
 val to_string : t -> string
+(** Multi-line rendering: the views, then the rewritings. *)
+
 val pp : Format.formatter -> t -> unit
+(** Formatter version of {!to_string}. *)

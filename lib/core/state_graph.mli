@@ -15,6 +15,8 @@ type join_edge = {
   var : string;
 }
 
+(** A constant occurrence: atom index, position within it, and the
+    constant found there — a selection-cut candidate (SC). *)
 type selection_edge = {
   atom : int;
   pos : Query.Atom.position;
@@ -50,4 +52,7 @@ val components_without_occurrence :
     from replacing that occurrence with a fresh variable (JC case 1). *)
 
 val edge_to_string : join_edge -> string
+(** Diagnostic rendering, e.g. ["0.s=1.o (?x)"]. *)
+
 val selection_to_string : selection_edge -> string
+(** Diagnostic rendering, e.g. ["2.p=<ex:hasPainted>"]. *)

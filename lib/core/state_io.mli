@@ -21,13 +21,18 @@
 exception Syntax_error of string
 
 val expr_to_text : Rewriting.t -> string
+(** Render one plan in the textual grammar accepted by
+    {!parse_expr}. *)
 
 val parse_expr : string -> Rewriting.t
 (** @raise Syntax_error on malformed input. *)
 
 val state_to_text : State.t -> string
+(** Render one state (views then rewritings) in the file grammar. *)
 
 val states_to_text : State.t list -> string
+(** {!state_to_text} for each state, ["---"]-separated — the on-disk
+    format of [--state-out] / [--trace-states]. *)
 
 val parse_states : string -> State.t list
 (** Parse a whole file's contents.
@@ -36,5 +41,8 @@ val parse_states : string -> State.t list
     {!View.of_cq} (disconnected body, duplicate head variables). *)
 
 val write_file : string -> State.t list -> unit
+(** {!states_to_text} to the named file (truncating). *)
 
 val read_file : string -> State.t list
+(** {!parse_states} on the named file's contents; raises the same
+    exceptions plus [Sys_error] on I/O failure. *)

@@ -32,12 +32,14 @@ let obs_avf_fused = Obs.cached_counter "transition.AVF.fused"
 
 (* Plain cumulative tally next to the Obs counter so [successors] can
    report a per-call rejected delta to the trace without depending on a
-   registry being installed. *)
-let rejected_tally = Array.make (List.length all_kinds) 0
+   registry being installed.  Atomic: parallel search domains derive
+   actions concurrently, and a plain int array would lose updates. *)
+let rejected_tally =
+  Array.init (List.length all_kinds) (fun _ -> Atomic.make 0)
 
 let reject kind =
   let i = kind_rank kind in
-  rejected_tally.(i) <- rejected_tally.(i) + 1;
+  Atomic.incr rejected_tally.(i);
   Obs.incr (obs_rejected.(i) ())
 
 let dedup_head terms =
@@ -79,13 +81,35 @@ let replace_atom body i atom =
 
 type action = View.t list * Rewriting.t
 
-let cached (cache : (int, action list) Hashtbl.t) (v : View.t) derive =
-  match Hashtbl.find_opt cache v.View.id with
+(* Each cache is guarded by a spinlock held only for the table probe,
+   never for the derivation: two domains racing on an uncached view may
+   both derive (the replacement views differ only in their fresh names,
+   never in canonical form), and the second insert discards its copy so
+   every domain sees one canonical action list per view id.  This is the
+   locking discipline the `unguarded-shared-table` lint rule enforces
+   for the interner and the parallel dedup table. *)
+type guarded_cache = {
+  c_lock : Multicore.Spinlock.t;
+  c_tbl : (int, action list) Hashtbl.t;
+}
+
+let guarded_cache () =
+  { c_lock = Multicore.Spinlock.create (); c_tbl = Hashtbl.create 1024 }
+
+let cached cache (v : View.t) derive =
+  match
+    Multicore.Spinlock.with_lock cache.c_lock (fun () ->
+        Hashtbl.find_opt cache.c_tbl v.View.id)
+  with
   | Some actions -> actions
   | None ->
     let actions = derive v in
-    Hashtbl.add cache v.View.id actions;
-    actions
+    Multicore.Spinlock.with_lock cache.c_lock (fun () ->
+        match Hashtbl.find_opt cache.c_tbl v.View.id with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.add cache.c_tbl v.View.id actions;
+          actions)
 
 let apply_actions state kind_cache derive =
   List.concat_map
@@ -98,7 +122,7 @@ let apply_actions state kind_cache derive =
 
 (* ---------------- Selection cut ---------------------------------------- *)
 
-let sc_cache : (int, action list) Hashtbl.t = Hashtbl.create 1024
+let sc_cache = guarded_cache ()
 
 let sc_actions (v : View.t) : action list =
   List.map
@@ -177,7 +201,7 @@ let join_cut_split v (edge : State_graph.join_edge) comp_a comp_b : action =
   in
   ([ va; vb ], expr)
 
-let jc_cache : (int, action list) Hashtbl.t = Hashtbl.create 1024
+let jc_cache = guarded_cache ()
 
 let jc_actions (v : View.t) : action list =
   let cq = v.View.cq in
@@ -251,7 +275,7 @@ let split_candidates (v : View.t) =
     in
     splits
 
-let vb_cache : (int, action list) Hashtbl.t = Hashtbl.create 1024
+let vb_cache = guarded_cache ()
 
 let vb_actions (v : View.t) : action list =
   let body = Array.of_list (body_of v) in
@@ -388,11 +412,22 @@ let view_fusions state =
    pinpoints the faulty transition kind instead of the accepting
    search step.  The environment is read directly to keep this module
    below Invariant in the dependency order. *)
-let strict =
-  lazy
-    (match Sys.getenv_opt "RDFVIEWS_STRICT" with
-    | None | Some "" | Some "0" | Some "false" -> false
-    | Some _ -> true)
+(* Memoized in a race-tolerant option cell rather than a lazy: worker
+   domains may hit this concurrently, and the environment answer is the
+   same for all of them. *)
+let strict_memo = ref None
+
+let strict () =
+  match !strict_memo with
+  | Some b -> b
+  | None ->
+    let b =
+      match Sys.getenv_opt "RDFVIEWS_STRICT" with
+      | None | Some "" | Some "0" | Some "false" -> false
+      | Some _ -> true
+    in
+    strict_memo := Some b;
+    b
 
 let generate state kind =
   match kind with
@@ -405,10 +440,10 @@ let successors_with_delta state kind =
   let i = kind_rank kind in
   let trace = Obs.Trace.global () in
   let traced = Obs.Trace.is_enabled trace in
-  let rejected0 = rejected_tally.(i) in
+  let rejected0 = Atomic.get rejected_tally.(i) in
   let t0 = if traced then Obs.now_ns () else 0 in
   let produced = Obs.time (obs_time.(i) ()) (fun () -> generate state kind) in
-  if Lazy.force strict then
+  if strict () then
     List.iter
       (fun (succ, _) ->
         match State.structural_violations succ with
@@ -422,7 +457,7 @@ let successors_with_delta state kind =
   if traced then
     Obs.Trace.transition trace ~kind:(kind_name kind)
       ~applied:(List.length produced)
-      ~rejected:(rejected_tally.(i) - rejected0)
+      ~rejected:(Atomic.get rejected_tally.(i) - rejected0)
       ~elapsed_ns:(Obs.now_ns () - t0);
   produced
 

@@ -1,13 +1,20 @@
+(* Derived identity data (canonical strings, interned ids) is memoized
+   in plain mutable option fields rather than Lazy.t: parallel search
+   domains share view objects across sibling states, and concurrently
+   forcing a lazy from two domains raises Lazy.Undefined.  The
+   computations are deterministic and Intern.of_canonical is idempotent,
+   so a racy duplicate computation writes the same value twice — benign
+   — while a lazy would crash. *)
 type t = {
   id : int;
   cq : Query.Cq.t;
-  canon : string Lazy.t;
-  canon_body : string Lazy.t;
-  iid : Intern.id Lazy.t;
-  body_iid : Intern.id Lazy.t;
+  mutable canon : string option;
+  mutable canon_body : string option;
+  mutable iid : Intern.id option;
+  mutable body_iid : Intern.id option;
 }
 
-let counter = ref 0
+let counter = Atomic.make 0
 
 let validate who cq =
   if not (Query.Cq.is_connected cq) then
@@ -21,27 +28,18 @@ let validate who cq =
       ("View." ^ who ^ ": duplicate head variable: " ^ Query.Cq.to_string cq)
 
 let wrap id cq =
-  let canon = lazy (Query.Cq.canonical_head_set_string cq) in
-  let canon_body = lazy (Query.Cq.canonical_body_string cq) in
-  {
-    id;
-    cq;
-    canon;
-    canon_body;
-    iid = lazy (Intern.of_canonical (Lazy.force canon));
-    body_iid = lazy (Intern.of_canonical (Lazy.force canon_body));
-  }
+  { id; cq; canon = None; canon_body = None; iid = None; body_iid = None }
+
+let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
 let make cq =
   validate "make" cq;
-  incr counter;
-  let id = !counter in
+  let id = fresh_id () in
   wrap id (Query.Cq.rename cq (Printf.sprintf "v%d" id))
 
 let of_cq cq =
   validate "of_cq" cq;
-  incr counter;
-  wrap !counter cq
+  wrap (fresh_id ()) cq
 
 let name v = v.cq.Query.Cq.name
 
@@ -52,15 +50,39 @@ let columns v =
 
 let atom_count v = Query.Cq.atom_count v.cq
 
-let canonical v = Lazy.force v.canon
+let canonical v =
+  match v.canon with
+  | Some s -> s
+  | None ->
+    let s = Query.Cq.canonical_head_set_string v.cq in
+    v.canon <- Some s;
+    s
 
-let canonical_body v = Lazy.force v.canon_body
+let canonical_body v =
+  match v.canon_body with
+  | Some s -> s
+  | None ->
+    let s = Query.Cq.canonical_body_string v.cq in
+    v.canon_body <- Some s;
+    s
 
-let intern_id v = Lazy.force v.iid
+let intern_id v =
+  match v.iid with
+  | Some i -> i
+  | None ->
+    let i = Intern.of_canonical (canonical v) in
+    v.iid <- Some i;
+    i
 
-let body_intern_id v = Lazy.force v.body_iid
+let body_intern_id v =
+  match v.body_iid with
+  | Some i -> i
+  | None ->
+    let i = Intern.of_canonical (canonical_body v) in
+    v.body_iid <- Some i;
+    i
 
-let reset_counter () = counter := 0
+let reset_counter () = Atomic.set counter 0
 
 let to_string v = Query.Cq.to_string v.cq
 

@@ -7,10 +7,15 @@
 type t = private {
   id : int;
   cq : Query.Cq.t;
-  canon : string Lazy.t;
-  canon_body : string Lazy.t;
-  iid : Intern.id Lazy.t;       (** interned id of [canon] *)
-  body_iid : Intern.id Lazy.t;  (** interned id of [canon_body] *)
+  mutable canon : string option;      (** memoized {!canonical} *)
+  mutable canon_body : string option; (** memoized {!canonical_body} *)
+  mutable iid : Intern.id option;     (** memoized interned id of [canon] *)
+  mutable body_iid : Intern.id option;
+      (** memoized interned id of [canon_body].  The memo fields are
+          plain options, not lazies: view objects are shared across the
+          states of a parallel search, and the accessors tolerate a racy
+          duplicate computation (deterministic result) where concurrent
+          [Lazy.force] would raise. *)
 }
 
 val make : Query.Cq.t -> t
@@ -25,8 +30,11 @@ val of_cq : Query.Cq.t -> t
     rewritings that reference them).  Same validation as {!make}. *)
 
 val name : t -> string
+(** The view's name — unique per canonical body within one interner
+    epoch. *)
 
 val head : t -> Query.Qterm.t list
+(** The head terms (all variables) in declaration order. *)
 
 val columns : t -> string list
 (** The head variable names, in head order — the schema of the
@@ -55,4 +63,7 @@ val reset_counter : unit -> unit
 (** Reset the id counter; only for reproducible tests. *)
 
 val to_string : t -> string
+(** Datalog-style rendering, ["v3(?x) :- t(?x, <p>, ?y)."]. *)
+
 val pp : Format.formatter -> t -> unit
+(** Formatter version of {!to_string}. *)

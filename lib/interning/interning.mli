@@ -6,7 +6,13 @@
     ([Core.Transition]) and the compiled-plan cache ([Query.Plan])
     compare these ids instead of the underlying strings.  The library
     is dependency-free on purpose: both [core] (as [Core.Intern]) and
-    [query] sit on top of the same process-global table. *)
+    [query] sit on top of the same process-global table.
+
+    All operations are domain-safe: the string → id map is sharded
+    under per-shard spinlocks and id allocation is serialized, so
+    parallel search domains ([Core.Parallel_search]) intern
+    concurrently while ids stay dense, unique and stable.  Only
+    {!reset} assumes a single domain. *)
 
 type id = int
 

@@ -322,59 +322,122 @@ let find_gauge t name =
   | Disabled -> None
   | Enabled r -> Option.bind (Hashtbl.find_opt r.gs name) gauge_value
 
+(* ---------- merging ------------------------------------------------------ *)
+
+(* Fold one registry into another — how per-domain registries from a
+   parallel search are combined after the workers have been joined.
+   Sums are summed (counters, timer totals and call counts, histogram
+   buckets); a gauge travels only into a destination that has not set
+   it (the coordinating domain's value is authoritative); spans are
+   appended with their start offsets rebased onto the destination's
+   clock origin.  Both registries must be quiescent: this runs on the
+   joining domain, after the source's owner has terminated. *)
+let merge_into ~into src =
+  match (into, src) with
+  | Disabled, _ | _, Disabled -> ()
+  | (Enabled dst_r as dst), Enabled src_r ->
+    Hashtbl.iter
+      (fun name (c : counter) ->
+        let d = counter dst name in
+        d.n <- d.n + c.n)
+      src_r.cs;
+    Hashtbl.iter
+      (fun name (tm : timer) ->
+        let d = timer dst name in
+        d.total_ns <- d.total_ns + tm.total_ns;
+        d.calls <- d.calls + tm.calls)
+      src_r.ts;
+    Hashtbl.iter
+      (fun name (h : histogram) ->
+        let d = histogram dst name in
+        Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) h.buckets;
+        d.events <- d.events + h.events;
+        d.sum <- d.sum + h.sum)
+      src_r.hs;
+    Hashtbl.iter
+      (fun name (g : gauge) ->
+        if g.g_set then begin
+          let d = gauge dst name in
+          if not d.g_set then set_gauge d g.g_value
+        end)
+      src_r.gs;
+    let shift = src_r.born_ns - dst_r.born_ns in
+    dst_r.trace <-
+      List.map
+        (fun s -> { s with start_ns = s.start_ns + shift })
+        src_r.trace
+      @ dst_r.trace
+
 (* ---------- the global sink ---------------------------------------------- *)
 
-let global_sink = ref Disabled
+(* The ambient sink and the caches of the [cached_*] handles are
+   domain-local: each parallel search domain installs (and later hands
+   back) its own registry, so hot-path field updates never race across
+   domains.  A freshly spawned domain starts [Disabled] at generation
+   0 — with a single domain the behaviour is exactly the old global
+   ref's. *)
+let global_sink = Multicore.Dls.new_key (fun () -> Disabled)
 
-let global_gen = ref 0
+let global_gen = Multicore.Dls.new_key (fun () -> 0)
 
 let set_global t =
-  global_sink := t;
-  Stdlib.incr global_gen
+  Multicore.Dls.set global_sink t;
+  Multicore.Dls.set global_gen (Multicore.Dls.get global_gen + 1)
 
-let global () = !global_sink
+let global () = Multicore.Dls.get global_sink
 
-let generation () = !global_gen
+let generation () = Multicore.Dls.get global_gen
 
+(* Each cached handle owns a domain-local (generation, handle) pair: the
+   memo cell itself must be per-domain, or one domain would resolve
+   against another domain's sink. *)
 let cached_counter name =
-  let cache = ref noop_counter in
-  let seen_gen = ref (-1) in
+  let cache = Multicore.Dls.new_key (fun () -> (-1, noop_counter)) in
   fun () ->
-    if !seen_gen <> !global_gen then begin
-      seen_gen := !global_gen;
-      cache := counter !global_sink name
-    end;
-    !cache
+    let gen = Multicore.Dls.get global_gen in
+    let seen, c = Multicore.Dls.get cache in
+    if seen = gen then c
+    else begin
+      let c = counter (Multicore.Dls.get global_sink) name in
+      Multicore.Dls.set cache (gen, c);
+      c
+    end
 
 let cached_timer name =
-  let cache = ref noop_timer in
-  let seen_gen = ref (-1) in
+  let cache = Multicore.Dls.new_key (fun () -> (-1, noop_timer)) in
   fun () ->
-    if !seen_gen <> !global_gen then begin
-      seen_gen := !global_gen;
-      cache := timer !global_sink name
-    end;
-    !cache
+    let gen = Multicore.Dls.get global_gen in
+    let seen, tm = Multicore.Dls.get cache in
+    if seen = gen then tm
+    else begin
+      let tm = timer (Multicore.Dls.get global_sink) name in
+      Multicore.Dls.set cache (gen, tm);
+      tm
+    end
 
 let cached_histogram name =
-  let cache = ref noop_histogram in
-  let seen_gen = ref (-1) in
+  let cache = Multicore.Dls.new_key (fun () -> (-1, noop_histogram)) in
   fun () ->
-    if !seen_gen <> !global_gen then begin
-      seen_gen := !global_gen;
-      cache := histogram !global_sink name
-    end;
-    !cache
+    let gen = Multicore.Dls.get global_gen in
+    let seen, h = Multicore.Dls.get cache in
+    if seen = gen then h
+    else begin
+      let h = histogram (Multicore.Dls.get global_sink) name in
+      Multicore.Dls.set cache (gen, h);
+      h
+    end
 
 let cached_gauge name =
-  let cache = ref noop_gauge in
-  let seen_gen = ref (-1) in
+  let cache = Multicore.Dls.new_key (fun () -> (-1, noop_gauge)) in
   fun () ->
-    if !seen_gen <> !global_gen then begin
-      seen_gen := !global_gen;
-      cache := gauge !global_sink name
-    end;
-    !cache
+    let gen = Multicore.Dls.get global_gen in
+    let seen, g = Multicore.Dls.get cache in
+    if seen = gen then g
+    else begin
+      let g = gauge (Multicore.Dls.get global_sink) name in
+      Multicore.Dls.set cache (gen, g);
+      g
+    end
 
 (* ---------- JSON --------------------------------------------------------- *)
 
@@ -853,11 +916,15 @@ module Trace = struct
 
   (* ---------- the global trace sink ---------- *)
 
-  let global_trace = ref Off
+  (* Domain-local like the metrics sink: a trace writer buffers into a
+     single Buffer, so sharing one across domains would interleave
+     bytes.  Worker domains default to [Off]; under a parallel search
+     the trace therefore records the coordinating domain only. *)
+  let global_trace = Multicore.Dls.new_key (fun () -> Off)
 
-  let set_global t = global_trace := t
+  let set_global t = Multicore.Dls.set global_trace t
 
-  let global () = !global_trace
+  let global () = Multicore.Dls.get global_trace
 
   (* ---------- reading ---------- *)
 

@@ -57,8 +57,10 @@ val counter : t -> string -> counter
     first use.  On a disabled sink, returns the shared no-op counter. *)
 
 val incr : counter -> unit
+(** Add one. *)
 
 val add : counter -> int -> unit
+(** Add an arbitrary (possibly negative) amount. *)
 
 val value : counter -> int
 (** Current count; [0] for the no-op counter. *)
@@ -71,6 +73,8 @@ val value : counter -> int
 type timer
 
 val timer : t -> string -> timer
+(** The timer registered under the given name, created at zero on
+    first use.  On a disabled sink, returns the shared no-op timer. *)
 
 val time : timer -> (unit -> 'a) -> 'a
 (** [time tm f] runs [f], adding its elapsed time to [tm] (also when
@@ -135,8 +139,11 @@ val time_with : timer -> histogram -> (unit -> 'a) -> 'a
 type gauge
 
 val gauge : t -> string -> gauge
+(** The gauge registered under the given name, created unset on first
+    use.  On a disabled sink, returns the shared no-op gauge. *)
 
 val set_gauge : gauge -> float -> unit
+(** Overwrite the gauge's value (last write wins). *)
 
 val gauge_value : gauge -> float option
 (** [None] until the first {!set_gauge} (and always for the no-op
@@ -189,17 +196,39 @@ val find_histogram : t -> string -> histogram option
 val find_gauge : t -> string -> float option
 (** The value of a gauge, [None] if never registered or never set. *)
 
+(** {1 Merging registries} *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s contents into [into]: counters,
+    timer totals/call counts and histogram buckets are summed; a gauge
+    set in [src] is copied only where [into] has not set it (the
+    destination — typically the coordinating domain of a parallel
+    search — stays authoritative); spans are appended with start
+    offsets rebased onto [into]'s clock origin.  Both registries must
+    be quiescent: call this after joining the domain that owned [src].
+    A [Disabled] sink on either side makes this a no-op. *)
+
 (** {1 The global sink}
 
     Instrumented modules report to an ambient sink, [disabled] unless
-    the entry point (CLI, bench harness, test) installs a registry. *)
+    the entry point (CLI, bench harness, test) installs a registry.
+
+    The ambient sink is {e domain-local}: a freshly spawned domain
+    starts disabled and may install its own registry without racing
+    the spawner's.  Per-domain registries are combined afterwards with
+    {!merge_into}. *)
 
 val set_global : t -> unit
+(** Install the registry as the calling domain's ambient sink and bump
+    that domain's {!generation}. *)
+
 val global : unit -> t
+(** The calling domain's ambient sink; {!disabled} until the first
+    {!set_global} in this domain. *)
 
 val generation : unit -> int
-(** Bumped on every {!set_global}; lets cached handles detect sink
-    changes. *)
+(** Bumped on every {!set_global} in the calling domain; lets cached
+    handles detect sink changes. *)
 
 val cached_counter : string -> unit -> counter
 (** [cached_counter name] returns a thunk resolving the counter [name]

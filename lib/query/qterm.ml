@@ -21,13 +21,14 @@ let is_cst = function Cst _ -> true | Var _ -> false
 let var_name = function Var x -> Some x | Cst _ -> None
 let constant = function Cst c -> Some c | Var _ -> None
 
-let counter = ref 0
+(* Atomic so parallel search domains can derive transition actions
+   concurrently; fresh names stay process-unique (their numbering is
+   irrelevant — canonical forms are rename-invariant). *)
+let counter = Atomic.make 0
 
-let fresh_var () =
-  incr counter;
-  Printf.sprintf "_v%d" !counter
+let fresh_var () = Printf.sprintf "_v%d" (Atomic.fetch_and_add counter 1 + 1)
 
-let reset_fresh_counter () = counter := 0
+let reset_fresh_counter () = Atomic.set counter 0
 
 let to_string = function
   | Var x -> "?" ^ x

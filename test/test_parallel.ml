@@ -1,0 +1,243 @@
+open Support
+
+(* Parallel search: deterministic-mode equivalence with the sequential
+   engine, free-mode fixpoint agreement, the sharded interner under
+   domain contention, and Obs registry merging.  Everything involving
+   actual domains is gated on [Multicore.available] so the suite also
+   passes on a sequential-only (OCaml 4.x) build. *)
+
+let stats_for store = Stats.Statistics.create store
+
+let det = Core.Parallel_search.Deterministic
+let free = Core.Parallel_search.Free
+
+let fig3_query =
+  cq ~name:"q"
+    [ v "Y"; v "Z" ]
+    [ atom (v "X") (v "Y") (c "ex:c1"); atom (v "X") (v "Z") (c "ex:c2") ]
+
+let fig3_store =
+  store_of
+    [
+      triple (uri "s1") (uri "p1") (uri "ex:c1");
+      triple (uri "s1") (uri "p2") (uri "ex:c2");
+      triple (uri "s2") (uri "p1") (uri "ex:c1");
+      triple (uri "s2") (uri "p1") (uri "ex:c2");
+      triple (uri "s3") (uri "p3") (uri "other");
+    ]
+
+let two_queries =
+  [
+    Query.Cq.rename fig3_query "qa";
+    cq ~name:"qb"
+      [ v "Y" ]
+      [ atom (v "X") (v "Y") (c "ex:c1") ];
+  ]
+
+(* Collect the key strings of accepted states; free mode calls the hook
+   from any domain, so the collection is lock-protected. *)
+let accept_collector () =
+  let lock = Multicore.Spinlock.create () in
+  let acc = ref [] in
+  let hook state =
+    Multicore.Spinlock.with_lock lock (fun () ->
+        acc := Core.State.key_string state :: !acc)
+  in
+  (hook, fun () -> List.sort_uniq String.compare !acc)
+
+let run_one ~jobs ~mode strategy workload =
+  let hook, keys = accept_collector () in
+  let options =
+    {
+      Core.Search.default_options with
+      strategy;
+      avf = true;
+      max_states = Some 5000;
+      on_accept = Some hook;
+    }
+  in
+  let report =
+    Core.Parallel_search.run ~jobs ~mode (stats_for fig3_store) options
+      workload
+  in
+  (report, keys ())
+
+(* ---------- deterministic mode: identical reports ------------------------- *)
+
+let check_det_equivalent strategy workload =
+  let seq, seq_keys = run_one ~jobs:1 ~mode:det strategy workload in
+  let par, par_keys = run_one ~jobs:4 ~mode:det strategy workload in
+  let name = Core.Search.strategy_name strategy in
+  check_int (name ^ " created") seq.Core.Search.created par.Core.Search.created;
+  check_int
+    (name ^ " duplicates")
+    seq.Core.Search.duplicates par.Core.Search.duplicates;
+  check_int
+    (name ^ " discarded")
+    seq.Core.Search.discarded par.Core.Search.discarded;
+  check_int
+    (name ^ " explored")
+    seq.Core.Search.explored par.Core.Search.explored;
+  check_bool
+    (name ^ " completed")
+    seq.Core.Search.completed par.Core.Search.completed;
+  Alcotest.(check (float 1e-9))
+    (name ^ " best cost") seq.Core.Search.best_cost par.Core.Search.best_cost;
+  Alcotest.(check (list string)) (name ^ " accepted set") seq_keys par_keys
+
+let test_det_matches_sequential () =
+  List.iter
+    (fun strategy ->
+      check_det_equivalent strategy [ fig3_query ];
+      check_det_equivalent strategy two_queries)
+    [ Core.Search.Exnaive; Core.Search.Exstr; Core.Search.Dfs ]
+
+let test_gstr_falls_back () =
+  (* GSTR routes to the sequential engine under any job count *)
+  let seq, _ = run_one ~jobs:1 ~mode:det Core.Search.Gstr [ fig3_query ] in
+  let par, _ = run_one ~jobs:4 ~mode:det Core.Search.Gstr [ fig3_query ] in
+  check_int "gstr created" seq.Core.Search.created par.Core.Search.created;
+  Alcotest.(check (float 1e-9))
+    "gstr best cost" seq.Core.Search.best_cost par.Core.Search.best_cost
+
+let prop_det_matches_sequential =
+  QCheck.Test.make ~name:"deterministic parallel ≡ sequential (random workloads)"
+    ~count:20
+    QCheck.(pair arb_store (pair arb_cq arb_cq))
+    (fun (store, (qa, qb)) ->
+      let workload = [ Query.Cq.rename qa "qa"; Query.Cq.rename qb "qb" ] in
+      let options =
+        {
+          Core.Search.default_options with
+          strategy = Core.Search.Dfs;
+          max_states = Some 400;
+        }
+      in
+      let seq = Core.Search.run (stats_for store) options workload in
+      let par =
+        Core.Parallel_search.run ~jobs:3 ~mode:det (stats_for store)
+          options workload
+      in
+      seq.Core.Search.created = par.Core.Search.created
+      && seq.Core.Search.duplicates = par.Core.Search.duplicates
+      && seq.Core.Search.discarded = par.Core.Search.discarded
+      && seq.Core.Search.explored = par.Core.Search.explored
+      && seq.Core.Search.completed = par.Core.Search.completed
+      && Float.abs (seq.Core.Search.best_cost -. par.Core.Search.best_cost)
+         <= 1e-9)
+
+(* ---------- free mode: same fixpoint on completed runs -------------------- *)
+
+let test_free_same_fixpoint () =
+  List.iter
+    (fun strategy ->
+      let seq, seq_keys = run_one ~jobs:1 ~mode:free strategy two_queries in
+      let par, par_keys = run_one ~jobs:4 ~mode:free strategy two_queries in
+      let name = Core.Search.strategy_name strategy in
+      check_bool (name ^ " seq completed") true seq.Core.Search.completed;
+      check_bool (name ^ " par completed") true par.Core.Search.completed;
+      Alcotest.(check (list string))
+        (name ^ " accepted set") seq_keys par_keys;
+      check_bool
+        (name ^ " best cost agrees")
+        true
+        (Float.abs (seq.Core.Search.best_cost -. par.Core.Search.best_cost)
+        <= 1e-6 *. Float.max 1. (Float.abs seq.Core.Search.best_cost)))
+    [ Core.Search.Exnaive; Core.Search.Exstr; Core.Search.Dfs ]
+
+(* ---------- the sharded interner under contention ------------------------- *)
+
+let test_intern_stress () =
+  if Multicore.available then begin
+    Core.Intern.reset ();
+    let domains = 4 and per_domain = 2000 in
+    let work d () =
+      (* overlapping key space across domains: ids must agree *)
+      List.init per_domain (fun i ->
+          let s = Printf.sprintf "view<%d>" ((i + (d * 7)) mod 500) in
+          (s, Core.Intern.of_canonical s))
+    in
+    let handles =
+      List.init (domains - 1) (fun d -> Multicore.spawn (work (d + 1)))
+    in
+    let mine = work 0 () in
+    let all = mine @ List.concat_map Multicore.join handles in
+    List.iter
+      (fun (s, id) ->
+        check_int ("stable id for " ^ s) (Core.Intern.of_canonical s) id;
+        Alcotest.(check string) "round trip" s (Core.Intern.canonical_of id))
+      all;
+    check_int "distinct strings" 500 (Core.Intern.size ())
+  end
+
+(* ---------- Obs registry merging ------------------------------------------ *)
+
+let test_obs_merge_counters () =
+  let a = Obs.create () and b = Obs.create () in
+  for _ = 1 to 3 do Obs.incr (Obs.counter a "n") done;
+  for _ = 1 to 5 do Obs.incr (Obs.counter b "n") done;
+  Obs.incr (Obs.counter b "only-b");
+  Obs.observe (Obs.histogram a "h") 100;
+  Obs.observe (Obs.histogram b "h") 200;
+  Obs.time (Obs.timer b "t") (fun () -> ());
+  Obs.merge_into ~into:a b;
+  check_int "summed counter" 8 (Option.get (Obs.find_counter a "n"));
+  check_int "adopted counter" 1 (Option.get (Obs.find_counter a "only-b"));
+  check_int "histogram events" 2
+    (Obs.histogram_count (Option.get (Obs.find_histogram a "h")));
+  check_int "histogram sum" 300
+    (Obs.histogram_sum (Option.get (Obs.find_histogram a "h")));
+  let calls, _ns = Option.get (Obs.find_timer a "t") in
+  check_int "timer calls" 1 calls
+
+let test_obs_merge_gauges () =
+  let a = Obs.create () and b = Obs.create () in
+  Obs.set_gauge (Obs.gauge a "set-in-both" ) 1.;
+  Obs.set_gauge (Obs.gauge b "set-in-both") 2.;
+  Obs.set_gauge (Obs.gauge b "only-src") 3.;
+  Obs.merge_into ~into:a b;
+  check_bool "destination gauge wins" true
+    (Option.get (Obs.find_gauge a "set-in-both") = 1.);
+  check_bool "unset gauge adopted" true
+    (Option.get (Obs.find_gauge a "only-src") = 3.)
+
+let test_obs_merge_spans () =
+  let a = Obs.create () and b = Obs.create () in
+  Obs.span a "root" (fun () -> ());
+  Obs.span b "worker" (fun () -> ());
+  Obs.merge_into ~into:a b;
+  let names = List.map (fun s -> s.Obs.span_name) (Obs.spans a) in
+  check_int "both spans present" 2 (List.length names);
+  check_bool "worker span merged" true (List.mem "worker" names)
+
+let test_obs_merge_disabled () =
+  let a = Obs.create () in
+  Obs.incr (Obs.counter a "n");
+  Obs.merge_into ~into:a Obs.disabled;
+  Obs.merge_into ~into:Obs.disabled a;
+  check_int "unchanged" 1 (Option.get (Obs.find_counter a "n"))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "parallel"
+    [
+      ( "deterministic mode",
+        [
+          Alcotest.test_case "fixed workloads, all strategies" `Quick
+            test_det_matches_sequential;
+          Alcotest.test_case "gstr falls back" `Quick test_gstr_falls_back;
+          qt prop_det_matches_sequential;
+        ] );
+      ( "free mode",
+        [ Alcotest.test_case "same fixpoint" `Quick test_free_same_fixpoint ] );
+      ( "interning",
+        [ Alcotest.test_case "4-domain stress" `Quick test_intern_stress ] );
+      ( "obs merge",
+        [
+          Alcotest.test_case "counters/timers/histograms" `Quick
+            test_obs_merge_counters;
+          Alcotest.test_case "gauges" `Quick test_obs_merge_gauges;
+          Alcotest.test_case "spans" `Quick test_obs_merge_spans;
+          Alcotest.test_case "disabled" `Quick test_obs_merge_disabled;
+        ] );
+    ]

@@ -189,6 +189,37 @@ let check_apply ~file ~is_lib fn args loc =
     | _ -> ())
   | _ -> ()
 
+(* unguarded-shared-table: a hashtable mutator applied to one of the
+   lock-protected shared table fields ([Rules.shared_table_fields]),
+   outside the single file whose locked entry points own that field.
+   Matches both generic [Hashtbl.add t.s_tbl ...] and functorial
+   [State.Tbl.replace t.b_tbl ...] spellings; runs independently of
+   [check_apply] so the domain-key check on the same call still fires. *)
+let check_shared_table ~file ~is_lib fn args loc =
+  if is_lib then
+    match fn.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; _ }
+      when (match tail_pair txt with
+           | ("Hashtbl" | "Tbl"), op -> List.mem op Rules.hashtbl_mutators
+           | _ -> false) -> (
+      match positional_args args with
+      | { Parsetree.pexp_desc =
+            Parsetree.Pexp_field (_, { txt = field_lid; _ });
+          _;
+        }
+        :: _ -> (
+        let _, field = tail_pair field_lid in
+        match List.assoc_opt field Rules.shared_table_fields with
+        | Some owner when not (String.equal (Filename.basename file) owner) ->
+          report ~file ~loc "unguarded-shared-table"
+            (Printf.sprintf
+               "mutation of shared table field `%s` outside %s bypasses its \
+                shard lock; go through the owning module's API"
+               field owner)
+        | _ -> ())
+      | _ -> ())
+    | _ -> ()
+
 let rec catch_all_pattern (p : Parsetree.pattern) =
   match p.Parsetree.ppat_desc with
   | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
@@ -217,7 +248,8 @@ let lint_structure ~file ~is_lib structure =
           | Parsetree.Pexp_ident { txt; _ } ->
             check_ident ~file ~is_lib txt e.Parsetree.pexp_loc
           | Parsetree.Pexp_apply (fn, args) ->
-            check_apply ~file ~is_lib fn args e.Parsetree.pexp_loc
+            check_apply ~file ~is_lib fn args e.Parsetree.pexp_loc;
+            check_shared_table ~file ~is_lib fn args e.Parsetree.pexp_loc
           | Parsetree.Pexp_try (_, cases) when is_lib -> check_try ~file cases
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);

@@ -71,6 +71,14 @@ let rules =
       scope = Lib_only;
     };
     {
+      id = "unguarded-shared-table";
+      summary =
+        "hashtable mutation of a lock-protected shared table field \
+         (s_tbl, b_tbl) outside its owning module; all writes must go \
+         through the owner's locked entry points";
+      scope = Lib_only;
+    };
+    {
       id = "missing-mli";
       summary = "library module without an .mli interface";
       scope = Lib_only;
@@ -125,6 +133,24 @@ let domain_values = [ ("Vocabulary", "rdf_type") ]
    key. *)
 let hashtbl_key_ops =
   [ "add"; "replace"; "find"; "find_opt"; "find_all"; "mem"; "remove" ]
+
+(* Shared mutable table fields and the one source file whose locked
+   entry points are allowed to touch them.  The intern shards and the
+   parallel-search dedup shards are accessed concurrently from several
+   domains; a raw write anywhere else bypasses the shard spinlock and is
+   a data race even when it happens to survive testing. *)
+let shared_table_fields =
+  [
+    ("s_tbl", "interning.ml");   (* Interning's per-shard string table *)
+    ("b_tbl", "shard_tbl.ml");   (* Shard_tbl's per-shard rank table *)
+  ]
+
+(* Operations that mutate a hashtable (generic Hashtbl or a Hashtbl.Make
+   table such as State.Tbl).  Reads race too, but every read in the
+   owners is already behind the same lock; the mutators are where an
+   escape does silent structural damage. *)
+let hashtbl_mutators =
+  [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
 
 (* stdout printers banned in libraries: unqualified Stdlib channel
    printers and the printf family bound to stdout. *)
