@@ -76,6 +76,7 @@ let speculate options state rank =
           (succ, delta, rk))
         (Transition.successors_with_delta state kind))
     (I.allowed_kinds options rank)
+[@@domain_safe]
 
 type det_task = {
   dt_state : State.t;
@@ -128,6 +129,7 @@ let det_worker board stop options =
     end
   in
   go 0 false
+[@@domain_safe]
 
 let det_run ~jobs p =
   let engine = p.I.p_engine in
@@ -226,6 +228,7 @@ let det_run ~jobs p =
         loop ()
       | Search.Gstr -> assert false (* routed to the sequential engine *));
   I.epilogue p ~completed:!completed
+[@@coordinator_only]
 
 (* ---------- free mode ----------------------------------------------------- *)
 
@@ -235,8 +238,8 @@ let det_run ~jobs p =
    thieves take the opposite end. *)
 type dq = {
   dq_lock : Multicore.Spinlock.t;
-  mutable dq_old : (State.t * int) list;
-  mutable dq_young : (State.t * int) list;
+  mutable dq_old : (State.t * int) list [@guarded_by "dq_lock"];
+  mutable dq_young : (State.t * int) list [@guarded_by "dq_lock"];
 }
 
 let dq_create () =
@@ -435,7 +438,10 @@ let free_worker sh ~index ~estimator ~registry =
         o_registry = registry;
       }
   | Error e -> Error e
+[@@domain_safe]
 
+(* coordinator_only: spawns the workers and replays their results into
+   the engine through Search.Internal. *)
 let free_run ~jobs p =
   let engine = p.I.p_engine in
   let options = I.engine_options engine in
@@ -537,6 +543,7 @@ let free_run ~jobs p =
   (match Atomic.get sh.sh_stop with 2 -> I.mark_oom engine | _ -> ());
   let completed = Atomic.get sh.sh_stop = 0 in
   I.epilogue p ~completed
+[@@coordinator_only]
 
 (* ---------- entry points -------------------------------------------------- *)
 
@@ -555,7 +562,9 @@ let run_from ?(jobs = 1) ?(mode = Deterministic) estimator options initial =
     match mode with
     | Deterministic -> det_run ~jobs p
     | Free -> free_run ~jobs p
+[@@coordinator_only]
 
 let run ?jobs ?mode stats options workload =
   let estimator = Cost.create stats options.Search.weights in
   run_from ?jobs ?mode estimator options (State.initial workload)
+[@@coordinator_only]

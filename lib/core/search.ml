@@ -231,6 +231,7 @@ let register engine ~rank ~parent ~delta state =
       | None -> ());
       Some (state, rank)
   end
+[@@coordinator_only]
 
 let consider engine ~rank ~parent ~delta state =
   let state, delta = collapse engine.options ~delta state in
@@ -251,6 +252,7 @@ let rank_of options kind =
 let note_explored engine =
   engine.explored <- engine.explored + 1;
   Obs.incr (obs_explored ())
+[@@coordinator_only]
 
 let with_expand_metrics rank f =
   Obs.time_with (obs_expand_time ()) (obs_expand_hist ()) @@ fun () ->
@@ -423,6 +425,7 @@ let prologue estimator options initial =
   Obs.Trace.state trace ~cls:Obs.Trace.Accepted ~id:0 ~stratum:0
     ~cost:engine.best_cost;
   { p_engine = engine; p_initial = initial; p_initial_cost = initial_cost }
+[@@coordinator_only]
 
 let epilogue { p_engine = engine; p_initial_cost = initial_cost; _ } ~completed
     =
@@ -446,6 +449,7 @@ let epilogue { p_engine = engine; p_initial_cost = initial_cost; _ } ~completed
     completed;
     out_of_memory = engine.oom;
   }
+[@@coordinator_only]
 
 let run_from estimator options initial =
   with_run_metrics @@ fun () ->
@@ -458,10 +462,12 @@ let run_from estimator options initial =
     | Gstr -> gstr_search engine p.p_initial
   in
   epilogue p ~completed
+[@@coordinator_only]
 
 let run stats options workload =
   let estimator = Cost.create stats options.weights in
   run_from estimator options (State.initial workload)
+[@@coordinator_only]
 
 (* Shared machinery for {!Parallel_search}.  Mirrored (with the engine
    record concrete) under [Internal] in the interface; not part of the
@@ -496,10 +502,14 @@ module Internal = struct
     engine.duplicates <- engine.duplicates + duplicates;
     engine.discarded <- engine.discarded + discarded;
     engine.explored <- engine.explored + explored
+  [@@coordinator_only]
 
   let offer_best engine state cost = note_best engine state cost
+  [@@coordinator_only]
 
   let set_trajectory engine trajectory = engine.trajectory <- trajectory
+  [@@coordinator_only]
+
   let engine_trajectory engine = engine.trajectory
-  let mark_oom engine = engine.oom <- true
+  let mark_oom engine = engine.oom <- true [@@coordinator_only]
 end

@@ -16,7 +16,8 @@ let shard_count = 16 (* power of two: shard choice is a mask *)
 
 type shard = {
   lock : Multicore.Spinlock.t;
-  b_tbl : int State.Tbl.t; (* key -> best (lowest) rank seen so far *)
+  b_tbl : int State.Tbl.t [@guarded_by "lock"];
+      (* key -> best (lowest) rank seen so far *)
 }
 
 type t = { shards : shard array; population : int Atomic.t }
@@ -48,9 +49,11 @@ let visit t key rank =
   in
   if outcome = New then Atomic.incr t.population;
   outcome
+[@@domain_safe]
 
 let mem t key =
   let s = shard_of t key in
   Multicore.Spinlock.with_lock s.lock (fun () -> State.Tbl.mem s.b_tbl key)
+[@@domain_safe]
 
-let population t = Atomic.get t.population
+let population t = Atomic.get t.population [@@domain_safe]

@@ -90,7 +90,7 @@ type action = View.t list * Rewriting.t
    for the interner and the parallel dedup table. *)
 type guarded_cache = {
   c_lock : Multicore.Spinlock.t;
-  c_tbl : (int, action list) Hashtbl.t;
+  c_tbl : (int, action list) Hashtbl.t [@guarded_by "c_lock"];
 }
 
 let guarded_cache () =
@@ -412,21 +412,23 @@ let view_fusions state =
    pinpoints the faulty transition kind instead of the accepting
    search step.  The environment is read directly to keep this module
    below Invariant in the dependency order. *)
-(* Memoized in a race-tolerant option cell rather than a lazy: worker
-   domains may hit this concurrently, and the environment answer is the
-   same for all of them. *)
-let strict_memo = ref None
+(* Memoized in an atomic (-1 unknown / 0 off / 1 on) rather than a lazy
+   or a plain ref: worker domains may hit this concurrently, and the
+   environment answer is the same for all of them, so a racing double
+   initialization is harmless but the cell itself must be atomic. *)
+let strict_memo = Atomic.make (-1)
 
 let strict () =
-  match !strict_memo with
-  | Some b -> b
-  | None ->
+  match Atomic.get strict_memo with
+  | 0 -> false
+  | 1 -> true
+  | _ ->
     let b =
       match Sys.getenv_opt "RDFVIEWS_STRICT" with
       | None | Some "" | Some "0" | Some "false" -> false
       | Some _ -> true
     in
-    strict_memo := Some b;
+    Atomic.set strict_memo (if b then 1 else 0);
     b
 
 let generate state kind =
@@ -460,6 +462,7 @@ let successors_with_delta state kind =
       ~rejected:(Atomic.get rejected_tally.(i) - rejected0)
       ~elapsed_ns:(Obs.now_ns () - t0);
   produced
+[@@domain_safe]
 
 let successors state kind = List.map fst (successors_with_delta state kind)
 

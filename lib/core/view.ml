@@ -82,7 +82,8 @@ let body_intern_id v =
     v.body_iid <- Some i;
     i
 
-let reset_counter () = Atomic.set counter 0
+(* coordinator_only: callers must know no other domain is making views. *)
+let reset_counter () = Atomic.set counter 0 [@@coordinator_only]
 
 let to_string v = Query.Cq.to_string v.cq
 

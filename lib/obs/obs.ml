@@ -367,6 +367,7 @@ let merge_into ~into src =
         (fun s -> { s with start_ns = s.start_ns + shift })
         src_r.trace
       @ dst_r.trace
+[@@coordinator_only]
 
 (* ---------- the global sink ---------------------------------------------- *)
 

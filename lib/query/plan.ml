@@ -444,27 +444,43 @@ module ITbl = Hashtbl.Make (struct
   let hash i = i land max_int
 end)
 
-let caches : t ITbl.t ITbl.t = ITbl.create 8
+(* Worker domains compile plans concurrently during cost estimation
+   (free-mode parallel search), so the cache — the outer per-store map
+   and the per-store tables reached through it — is guarded by one
+   spinlock.  Compilation itself runs outside the critical section: two
+   domains racing on the same uncached query may both compile, and the
+   second insert wins, which is harmless because compiled plans for the
+   same key are equivalent.  Same discipline as the action cache in
+   [Core.Transition]. *)
+let cache_lock = Multicore.Spinlock.create ()
+let caches : t ITbl.t ITbl.t = ITbl.create 8 [@@guarded_by "cache_lock"]
 
 (* Tests churn through many short-lived stores; cap the number of
    per-store tables so abandoned stores do not accumulate plans. *)
 let max_store_tables = 64
 
+(* must hold [cache_lock] — both callers below do *)
 let store_table sid =
   match ITbl.find_opt caches sid with
   | Some tbl -> tbl
   | None ->
-    if ITbl.length caches >= max_store_tables then ITbl.reset caches;
+    if ITbl.length caches >= max_store_tables then
+      (* analyze: allow unguarded-write -- callers hold cache_lock *)
+      ITbl.reset caches;
     let tbl = ITbl.create 64 in
+    (* analyze: allow unguarded-write -- callers hold cache_lock *)
     ITbl.add caches sid tbl;
     tbl
 
 let cache_key q = Cq.interned_canonical q
 
 let cached store q =
-  let tbl = store_table (Rdf.Store.id store) in
   let key = cache_key q in
-  match ITbl.find_opt tbl key with
+  let found =
+    Multicore.Spinlock.with_lock cache_lock (fun () ->
+        ITbl.find_opt (store_table (Rdf.Store.id store)) key)
+  in
+  match found with
   | Some plan
     when (not (plan.impossible && Rdf.Store.dict_size store <> plan.dict_size))
          && not (needs_reorder plan) ->
@@ -477,17 +493,21 @@ let cached store q =
     let fresh =
       if plan.impossible then compile store q else reordered plan store
     in
-    ITbl.replace tbl key fresh;
+    Multicore.Spinlock.with_lock cache_lock (fun () ->
+        ITbl.replace (store_table (Rdf.Store.id store)) key fresh);
     fresh
   | None ->
     Obs.incr (obs_cache_misses ());
     let plan = compile store q in
-    ITbl.add tbl key plan;
+    Multicore.Spinlock.with_lock cache_lock (fun () ->
+        ITbl.add (store_table (Rdf.Store.id store)) key plan);
     plan
 
-let reset_cache () = ITbl.reset caches
+let reset_cache () =
+  Multicore.Spinlock.with_lock cache_lock (fun () -> ITbl.reset caches)
 
 let cached_plan_count store =
-  match ITbl.find_opt caches (Rdf.Store.id store) with
-  | Some tbl -> ITbl.length tbl
-  | None -> 0
+  Multicore.Spinlock.with_lock cache_lock (fun () ->
+      match ITbl.find_opt caches (Rdf.Store.id store) with
+      | Some tbl -> ITbl.length tbl
+      | None -> 0)

@@ -77,11 +77,12 @@ type t = {
   idx_po : index;
 }
 
-let next_id = ref 0
+(* Atomic: stores are created on worker domains too (statistics build
+   counting copies during cost estimation), and ids must stay unique. *)
+let next_id = Atomic.make 0
 
 let create () =
-  let id = !next_id in
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 in
   {
     id;
     dict = Dictionary.create ();

@@ -1,0 +1,32 @@
+(* Clean-tree fixture for tool/analyze: guarded writes inside their
+   critical sections, atomic counters, and a spawn whose closure only
+   touches domain-safe functions.  Expected: exit 0, no diagnostics. *)
+
+module Spin = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let with_lock (_ : t) f = f ()
+end
+
+module Multicore = struct
+  let spawn f = f ()
+end
+
+type cell = {
+  lock : Spin.t;
+  tbl : (int, int) Hashtbl.t [@guarded_by "lock"];
+}
+
+let c = { lock = Spin.create (); tbl = Hashtbl.create 8 }
+
+let bump n = Spin.with_lock c.lock (fun () -> Hashtbl.replace c.tbl n n)
+[@@domain_safe]
+
+let total = Atomic.make 0
+let tick () = Atomic.incr total [@@domain_safe]
+
+let run () =
+  Multicore.spawn (fun () ->
+      bump 3;
+      tick ())

@@ -1,0 +1,13 @@
+(* Seeded violation for tool/analyze: a [@@coordinator_only] function
+   called from inside a spawn closure.  Expected: `coordinator-escape`
+   at [register]. *)
+
+module Multicore = struct
+  let spawn f = f ()
+  let join x = x
+end
+
+let registered = Atomic.make 0
+let register () = Atomic.incr registered [@@coordinator_only]
+let worker () = register ()
+let run () = Multicore.join (Multicore.spawn (fun () -> worker ()))

@@ -1,0 +1,20 @@
+(* Seeded violation for tool/analyze: a local bound to a DLS read,
+   captured by a closure passed to spawn.  Expected: `dls-capture` at
+   the reference to [sink] inside the spawn argument. *)
+
+module Multicore = struct
+  let spawn f = f ()
+
+  module Dls = struct
+    type 'a key = 'a ref
+
+    let new_key f = ref (f ())
+    let get k = !k
+  end
+end
+
+let sink_key = Multicore.Dls.new_key (fun () -> 0)
+
+let run () =
+  let sink = Multicore.Dls.get sink_key in
+  Multicore.spawn (fun () -> sink + 1)

@@ -1,0 +1,7 @@
+(* Seeded violation for tool/analyze: a function declared
+   [@@domain_safe] whose propagated footprint writes a plain shared
+   cell (via its callee).  Expected: `domain-unsafe` at [accumulate]. *)
+
+let total = ref 0.
+let note x = total := !total +. x
+let accumulate xs = List.iter note xs [@@domain_safe]

@@ -1,0 +1,12 @@
+(* Seeded violation for tool/analyze: an unannotated module-level
+   hashtable written on a path reachable from a spawn closure.
+   Expected: `racy-global-write` at the write in [worker]. *)
+
+module Multicore = struct
+  (* name-shaped stub: the analyzer matches spawn by suffix *)
+  let spawn f = f ()
+end
+
+let hits : (int, int) Hashtbl.t = Hashtbl.create 8
+let worker n = Hashtbl.replace hits n n
+let run () = Multicore.spawn (fun () -> worker 1)

@@ -1,0 +1,19 @@
+(* Seeded violation for tool/analyze: one write to a [@guarded_by]
+   field outside its critical section.  Expected: exactly one
+   `unguarded-write` at [bad]; [good] is discharged by with_lock. *)
+
+module Spin = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let with_lock (_ : t) f = f ()
+end
+
+type cell = {
+  lock : Spin.t;
+  tbl : (int, int) Hashtbl.t [@guarded_by "lock"];
+}
+
+let c = { lock = Spin.create (); tbl = Hashtbl.create 8 }
+let good n = Spin.with_lock c.lock (fun () -> Hashtbl.replace c.tbl n n)
+let bad n = Hashtbl.replace c.tbl n n

@@ -17,7 +17,7 @@
      2  usage error, unreadable path, or unparseable source file *)
 
 let usage =
-  "lint.exe [--json] [--list-rules] [PATH ...]\n\
+  "lint.exe [--json|--sarif] [--list-rules] [PATH ...]\n\
    Lints OCaml sources against the repo rule table (see --list-rules).\n\
    Exit codes: 0 clean, 1 violations found, 2 usage/parse error."
 
@@ -103,8 +103,14 @@ let describe_domain_expr (e : Parsetree.expression) =
    polymorphic one. *)
 let locally_bound : (string, unit) Hashtbl.t = Hashtbl.create 16
 
+(* Let-bound aliases of the shared table fields: [let t = shard.s_tbl]
+   maps "t" -> "s_tbl", so a mutator applied to the bare alias is
+   caught too (the rule's original false-negative class). *)
+let table_aliases : (string, string) Hashtbl.t = Hashtbl.create 16
+
 let collect_bound structure =
   Hashtbl.reset locally_bound;
+  Hashtbl.reset table_aliases;
   let it =
     {
       Ast_iterator.default_iterator with
@@ -114,6 +120,19 @@ let collect_bound structure =
           | Parsetree.Ppat_var { txt; _ } -> Hashtbl.replace locally_bound txt ()
           | _ -> ());
           Ast_iterator.default_iterator.pat self p);
+      value_binding =
+        (fun self vb ->
+          (match
+             (vb.Parsetree.pvb_pat.Parsetree.ppat_desc,
+              vb.Parsetree.pvb_expr.Parsetree.pexp_desc)
+           with
+          | ( Parsetree.Ppat_var { txt = alias; _ },
+              Parsetree.Pexp_field (_, { txt = field_lid; _ }) ) ->
+            let _, field = tail_pair field_lid in
+            if List.mem_assoc field Rules.shared_table_fields then
+              Hashtbl.replace table_aliases alias field
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
     }
   in
   it.structure it structure
@@ -190,11 +209,13 @@ let check_apply ~file ~is_lib fn args loc =
   | _ -> ()
 
 (* unguarded-shared-table: a hashtable mutator applied to one of the
-   lock-protected shared table fields ([Rules.shared_table_fields]),
-   outside the single file whose locked entry points own that field.
-   Matches both generic [Hashtbl.add t.s_tbl ...] and functorial
-   [State.Tbl.replace t.b_tbl ...] spellings; runs independently of
-   [check_apply] so the domain-key check on the same call still fires. *)
+   lock-protected shared table fields ([Rules.shared_table_fields]) —
+   spelled as the field access itself or as a file-local let-bound
+   alias of it ([table_aliases]) — outside the single file whose locked
+   entry points own that field.  Matches both generic
+   [Hashtbl.add t.s_tbl ...] and functorial [State.Tbl.replace t.b_tbl
+   ...] spellings; runs independently of [check_apply] so the
+   domain-key check on the same call still fires. *)
 let check_shared_table ~file ~is_lib fn args loc =
   if is_lib then
     match fn.Parsetree.pexp_desc with
@@ -202,21 +223,34 @@ let check_shared_table ~file ~is_lib fn args loc =
       when (match tail_pair txt with
            | ("Hashtbl" | "Tbl"), op -> List.mem op Rules.hashtbl_mutators
            | _ -> false) -> (
+      let target_field (e : Parsetree.expression) =
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_field (_, { txt = field_lid; _ }) ->
+          let _, field = tail_pair field_lid in
+          if List.mem_assoc field Rules.shared_table_fields then
+            Some (field, "field `" ^ field ^ "`")
+          else None
+        | Parsetree.Pexp_ident { txt = Longident.Lident alias; _ } -> (
+          match Hashtbl.find_opt table_aliases alias with
+          | Some field ->
+            Some (field, Printf.sprintf "`%s` (alias of field `%s`)" alias field)
+          | None -> None)
+        | _ -> None
+      in
       match positional_args args with
-      | { Parsetree.pexp_desc =
-            Parsetree.Pexp_field (_, { txt = field_lid; _ });
-          _;
-        }
-        :: _ -> (
-        let _, field = tail_pair field_lid in
-        match List.assoc_opt field Rules.shared_table_fields with
-        | Some owner when not (String.equal (Filename.basename file) owner) ->
-          report ~file ~loc "unguarded-shared-table"
-            (Printf.sprintf
-               "mutation of shared table field `%s` outside %s bypasses its \
-                shard lock; go through the owning module's API"
-               field owner)
-        | _ -> ())
+      | target :: _ -> (
+        match target_field target with
+        | Some (field, shown) -> (
+          match List.assoc_opt field Rules.shared_table_fields with
+          | Some owner when not (String.equal (Filename.basename file) owner)
+            ->
+            report ~file ~loc "unguarded-shared-table"
+              (Printf.sprintf
+                 "mutation of shared table %s outside %s bypasses its shard \
+                  lock; go through the owning module's API"
+                 shown owner)
+          | _ -> ())
+        | None -> ())
       | _ -> ())
     | _ -> ()
 
@@ -312,20 +346,7 @@ let rec walk path =
 
 (* ---------- output -------------------------------------------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Sarif.json_escape
 
 let print_json ordered =
   let item v =
@@ -340,6 +361,22 @@ let print_json ordered =
      \"suppressed\": %d,\n  \"violations\": [\n%s\n  ]\n}\n"
     !files_checked !suppressed
     (String.concat ",\n" (List.map item ordered))
+
+let print_sarif ordered =
+  print_string
+    (Sarif.to_string ~tool_name:"rdfviews-lint" ~tool_version:"1.0.0"
+       ~rules:(List.map (fun r -> (r.Rules.id, r.Rules.summary)) Rules.rules)
+       ~results:
+         (List.map
+            (fun v ->
+              {
+                Sarif.rule_id = v.rule;
+                message = v.message;
+                file = v.file;
+                line = v.line;
+                col = v.col;
+              })
+            ordered))
 
 let print_human ordered =
   List.iter
@@ -366,12 +403,16 @@ let list_rules () =
 
 let () =
   let json = ref false in
+  let sarif = ref false in
   let paths = ref [] in
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: rest ->
       json := true;
+      parse_args rest
+    | "--sarif" :: rest ->
+      sarif := true;
       parse_args rest
     | "--list-rules" :: _ ->
       list_rules ();
@@ -408,5 +449,7 @@ let () =
         if c <> 0 then c else Int.compare a.line b.line)
       !violations
   in
-  if !json then print_json ordered else print_human ordered;
+  if !json then print_json ordered
+  else if !sarif then print_sarif ordered
+  else print_human ordered;
   exit (if ordered = [] then 0 else 1)

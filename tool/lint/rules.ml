@@ -10,7 +10,10 @@
    to a plain identifier is invisible), never false positives; the
    dedicated [equal]/[compare]/[hash] functions and the [Hashtbl.Make]
    tables introduced alongside this linter are the belt to this
-   suspenders. *)
+   suspenders.  The shared-table rule closes the analogous alias hole
+   for its fields by tracking file-local [let t = x.s_tbl]-style
+   bindings; deeper dataflow (aliases through function returns or
+   arguments) is the typedtree analyzer's job (tool/analyze). *)
 
 type scope =
   | Everywhere  (** checked in every directory given to the driver *)
@@ -74,7 +77,8 @@ let rules =
       id = "unguarded-shared-table";
       summary =
         "hashtable mutation of a lock-protected shared table field \
-         (s_tbl, b_tbl) outside its owning module; all writes must go \
+         (s_tbl, b_tbl, c_tbl) — directly or through a let-bound alias \
+         of the field — outside its owning module; all writes must go \
          through the owner's locked entry points";
       scope = Lib_only;
     };
@@ -143,6 +147,7 @@ let shared_table_fields =
   [
     ("s_tbl", "interning.ml");   (* Interning's per-shard string table *)
     ("b_tbl", "shard_tbl.ml");   (* Shard_tbl's per-shard rank table *)
+    ("c_tbl", "transition.ml");  (* Transition's guarded action cache *)
   ]
 
 (* Operations that mutate a hashtable (generic Hashtbl or a Hashtbl.Make

@@ -1,0 +1,70 @@
+(* Minimal SARIF 2.1.0 serializer shared by tool/lint and tool/analyze.
+
+   Both static passes upload to the same GitHub code-scanning endpoint,
+   so the envelope lives in exactly one place: a run is a tool driver
+   (name + version + rule table) and a flat list of results, each
+   pointing at one physical location.  Nothing repo-specific beyond
+   that — the callers provide their own rule ids and messages. *)
+
+type result = {
+  rule_id : string;
+  message : string;
+  file : string;  (* repo-relative URI *)
+  line : int;     (* 1-based *)
+  col : int;      (* 0-based, as the compiler reports; emitted 1-based *)
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* GitHub requires a forward-slash relative URI. *)
+let uri_of_file file =
+  String.map (fun c -> if c = '\\' then '/' else c) file
+
+let rule ~id ~summary =
+  Printf.sprintf
+    "          {\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}"
+    (json_escape id) (json_escape summary)
+
+let result r =
+  Printf.sprintf
+    "      {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \
+     \"%s\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": \
+     {\"uri\": \"%s\"}, \"region\": {\"startLine\": %d, \"startColumn\": \
+     %d}}}]}"
+    (json_escape r.rule_id) (json_escape r.message)
+    (json_escape (uri_of_file r.file))
+    (max 1 r.line) (r.col + 1)
+
+let to_string ~tool_name ~tool_version ~rules ~results =
+  Printf.sprintf
+    "{\n\
+    \  \"$schema\": \
+     \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [{\n\
+    \    \"tool\": {\n\
+    \      \"driver\": {\n\
+    \        \"name\": \"%s\",\n\
+    \        \"version\": \"%s\",\n\
+    \        \"rules\": [\n%s\n        ]\n\
+    \      }\n\
+    \    },\n\
+    \    \"results\": [\n%s\n    ]\n\
+    \  }]\n\
+     }\n"
+    (json_escape tool_name) (json_escape tool_version)
+    (String.concat ",\n" (List.map (fun (id, s) -> rule ~id ~summary:s) rules))
+    (String.concat ",\n" (List.map result results))
