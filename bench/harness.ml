@@ -43,6 +43,27 @@ let write_metrics () =
     Obs.write_file registry path;
     Printf.printf "\nmetrics written to %s\n" path
 
+(* --telemetry FILE: live Prometheus exposition over whichever registry
+   is active — the shared --metrics one, or each experiment's fresh
+   sink (the exporter re-reads the global per tick, so it follows
+   [toplevel]'s registry swaps).  Also turns runtime-event collection
+   on, which is what populates gc.max_pause_ns in the BENCH json; with
+   the flag absent that field is null and the runs carry no
+   event-collection overhead. *)
+let telemetry : Obs.Export.exporter option ref = ref None
+
+let start_telemetry ~interval path =
+  ignore (Obs.Runtime.start () : bool);
+  telemetry := Some (Obs.Export.start ~interval ~path (fun () -> Obs.global ()))
+
+let stop_telemetry () =
+  match !telemetry with
+  | None -> ()
+  | Some e ->
+    telemetry := None;
+    Obs.Export.stop e;
+    Printf.printf "\ntelemetry written to %s\n" (Obs.Export.exporter_path e)
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -176,7 +197,27 @@ let eval_json registry =
            ("speedup_vs_reference", gauge "eval.reference.speedup");
          ])
 
-let bench_json name registry =
+(* [gc0]/[gc1] are [Gc.quick_stat] readings bracketing the experiment,
+   so the collection counts are this experiment's own, not the process's
+   cumulative ones.  They are environment-dependent (like
+   peak_heap_words and the rates) and stay out of the exact baseline
+   compare.  max_pause_ns comes from the runtime-events consumer and is
+   null unless --telemetry turned event collection on. *)
+let gc_json registry gc0 gc1 =
+  Obs.Json.Obj
+    [
+      ( "minor_collections",
+        Obs.Json.Int (gc1.Gc.minor_collections - gc0.Gc.minor_collections) );
+      ( "major_collections",
+        Obs.Json.Int (gc1.Gc.major_collections - gc0.Gc.major_collections) );
+      ("compactions", Obs.Json.Int (gc1.Gc.compactions - gc0.Gc.compactions));
+      ( "max_pause_ns",
+        match Obs.find_gauge registry "runtime.gc.max_pause_ns" with
+        | Some v -> Obs.Json.Float v
+        | None -> Obs.Json.Null );
+    ]
+
+let bench_json name registry ~gc0 ~gc1 =
   let counter n = Option.value ~default:0 (Obs.find_counter registry n) in
   let timer_total n =
     match Obs.find_timer registry n with Some (_, ns) -> ns | None -> 0
@@ -199,7 +240,9 @@ let bench_json name registry =
   in
   Obs.Json.Obj
     ([
-      ("schema_version", Obs.Json.Int 2);
+      (* v3: added the gc section (collection counts, compactions, max
+         pause when --telemetry collects runtime events) *)
+      ("schema_version", Obs.Json.Int 3);
       ("experiment", Obs.Json.String name);
       ("scale", Obs.Json.String scale_name);
       ("states_created", Obs.Json.Int created);
@@ -219,6 +262,7 @@ let bench_json name registry =
          for a fixed workload, so it participates in the exact compare *)
       ("interned_views", gauge "intern.size");
       ("peak_heap_words", Obs.Json.Int (Gc.quick_stat ()).Gc.top_heap_words);
+      ("gc", gc_json registry gc0 gc1);
     ]
     @ (match eval_json registry with
       | Some section -> [ ("eval", section) ]
@@ -318,11 +362,16 @@ let toplevel name f =
     extra_bench_fields := [];
     let registry = Obs.create () in
     Obs.set_global registry;
+    let gc0 = Gc.quick_stat () in
     Fun.protect
       ~finally:(fun () -> Obs.set_global Obs.disabled)
       (fun () ->
         let result = experiment name f in
-        let json = bench_json name registry in
+        let gc1 = Gc.quick_stat () in
+        (* drain any still-buffered runtime events (GC pauses from the
+           run's tail) before reading the max-pause gauge *)
+        if Obs.Runtime.active () then ignore (Obs.Runtime.poll registry : int);
+        let json = bench_json name registry ~gc0 ~gc1 in
         mkdir_p dir;
         let file = Filename.concat dir (bench_file_name name) in
         let oc = open_out file in

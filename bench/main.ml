@@ -22,7 +22,13 @@
    --metrics FILE instead installs one shared Obs registry before any
    experiment runs and serializes it to FILE at the end (schema in
    EXPERIMENTS.md); BENCH emission is disabled in that mode, since the
-   per-experiment numbers would all alias one registry. *)
+   per-experiment numbers would all alias one registry.
+
+   --telemetry FILE additionally turns runtime-event collection on and
+   keeps FILE (Prometheus text format, atomically rewritten every
+   --telemetry-interval seconds) current while the experiments run —
+   watch it with `rdfviews top FILE --watch 1`.  It composes with
+   either mode above and populates the BENCH gc.max_pause_ns field. *)
 
 let experiments =
   [
@@ -43,7 +49,9 @@ let usage () =
   print_endline
     "usage: main.exe [--metrics FILE] [--bench-dir DIR] [--no-bench-json]";
   print_endline
-    "                [--baseline FILE] [--fail-over PCT] [experiment...]";
+    "                [--baseline FILE] [--fail-over PCT] [--telemetry FILE]";
+  print_endline
+    "                [--telemetry-interval SECS] [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _) -> print_endline ("  " ^ name)) experiments
 
@@ -56,6 +64,8 @@ let missing_value flag =
    "--flag VALUE" and "--flag=VALUE" spellings are accepted. *)
 let parse_args args =
   let metrics = ref None in
+  let telemetry = ref None in
+  let telemetry_interval = ref 1.0 in
   let split arg =
     match String.index_opt arg '=' with
     | Some i when String.length arg > 2 && arg.[0] = '-' ->
@@ -73,11 +83,23 @@ let parse_args args =
       | None ->
         Printf.eprintf "--fail-over wants a percentage, got %s\n" value;
         exit 1)
+    | "--telemetry" -> telemetry := Some value
+    | "--telemetry-interval" -> (
+      match float_of_string_opt value with
+      | Some s -> telemetry_interval := s
+      | None ->
+        Printf.eprintf "--telemetry-interval wants seconds, got %s\n" value;
+        exit 1)
     | _ -> assert false
   in
-  let takes_value = [ "--metrics"; "--bench-dir"; "--baseline"; "--fail-over" ] in
+  let takes_value =
+    [
+      "--metrics"; "--bench-dir"; "--baseline"; "--fail-over"; "--telemetry";
+      "--telemetry-interval";
+    ]
+  in
   let rec go names = function
-    | [] -> (!metrics, List.rev names)
+    | [] -> (!metrics, !telemetry, !telemetry_interval, List.rev names)
     | "--no-bench-json" :: rest ->
       Harness.disable_bench_json ();
       go names rest
@@ -95,13 +117,16 @@ let parse_args args =
   go [] args
 
 let () =
-  let metrics, requested =
+  let metrics, telemetry, telemetry_interval, requested =
     parse_args (match Array.to_list Sys.argv with _ :: args -> args | [] -> [])
   in
   (match metrics with
   | Some path ->
     Harness.enable_metrics path;
     Harness.disable_bench_json ()
+  | None -> ());
+  (match telemetry with
+  | Some path -> Harness.start_telemetry ~interval:telemetry_interval path
   | None -> ());
   Printf.printf
     "RDFViewS reproduction benchmarks (scale: %s; set BENCH_SCALE=full for paper-scale runs)\n"
@@ -119,5 +144,6 @@ let () =
           usage ();
           exit 1)
       names);
+  Harness.stop_telemetry ();
   Harness.write_metrics ();
   exit (Harness.finish_bench ())

@@ -4,6 +4,7 @@
      select       recommend materialized views for a workload
      check        certify saved states against a workload's semantics
      report       analyze a search trace (or metrics dump) offline
+     top          render a --telemetry snapshot file, optionally live
      reformulate  reformulate queries w.r.t. an RDFS (Algorithm 1)
      saturate     saturate a dataset w.r.t. an RDFS
      eval         evaluate queries over a dataset
@@ -42,6 +43,9 @@ let handle_errors_code f =
   | Core.State_io.Syntax_error message ->
     Printf.eprintf "state file error: %s\n" message;
     2
+  | Obs.Export.Bad_exposition message ->
+    Printf.eprintf "malformed telemetry exposition: %s\n" message;
+    2
   | Invalid_argument message | Failure message ->
     Printf.eprintf "error: %s\n" message;
     2
@@ -56,6 +60,9 @@ let handle_errors f =
     1
   | Core.State_io.Syntax_error message ->
     Printf.eprintf "state file error: %s\n" message;
+    1
+  | Obs.Export.Bad_exposition message ->
+    Printf.eprintf "malformed telemetry exposition: %s\n" message;
     1
   | Invalid_argument message | Failure message ->
     Printf.eprintf "error: %s\n" message;
@@ -107,6 +114,26 @@ let metrics_arg =
            cache hits, store probe counts) as JSON to $(docv); use - for \
            stdout.  See EXPERIMENTS.md for the schema.")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Periodically write live runtime telemetry — GC pause histograms, \
+           collection counts, domain lifecycle, per-domain utilization and \
+           the search counters — to $(docv) in Prometheus text exposition \
+           format, atomically rewritten every $(b,--telemetry-interval) \
+           seconds (watch it live with $(b,rdfviews top) $(docv)).  On an \
+           OCaml 4.x build the GC and domain series are absent but the flag \
+           still works.")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "telemetry-interval" ] ~docv:"SECONDS"
+        ~doc:"Seconds between telemetry snapshots (default 1, minimum 0.001).")
+
 (* Telemetry is off (a no-op sink) unless --metrics selects a registry,
    once, before the run starts.  The dump happens only on success, and
    outside the protect so a write failure surfaces as a plain Sys_error
@@ -124,6 +151,37 @@ let with_metrics metrics f =
     | "-" -> print_endline (Obs.to_string registry)
     | file -> Obs.write_file registry file);
     result
+
+(* --telemetry layers the live exporter over whatever registry is
+   active: nested under with_metrics it scrapes that registry, and
+   without --metrics it installs its own for the run's duration.  The
+   exporter ticker (a systhread of this domain, so it shares the
+   domain-local Obs.global) drains runtime events into the registry and
+   atomically rewrites PATH in Prometheus text format every interval;
+   [stop] in the finally writes one last snapshot, so the file always
+   ends on the finished run — even a raising one.  On 4.x builds
+   Runtime.start reports false and the exposition carries the search
+   series only. *)
+let with_telemetry telemetry interval f =
+  match telemetry with
+  | None -> f ()
+  | Some path ->
+    let installed =
+      if Obs.is_enabled (Obs.global ()) then false
+      else begin
+        Obs.set_global (Obs.create ());
+        true
+      end
+    in
+    ignore (Obs.Runtime.start () : bool);
+    let exporter =
+      Obs.Export.start ~interval ~path (fun () -> Obs.global ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Export.stop exporter;
+        if installed then Obs.set_global Obs.disabled)
+      f
 
 (* The event trace mirrors the metrics registry: off unless --trace
    installs a streaming writer for the run.  Closing in the [finally]
@@ -252,9 +310,11 @@ let select_cmd =
              schedule-dependent in its counters.")
   in
   let run data workload schema reasoning strategy budget no_avf no_stv materialize sql
-      state_out trace_states trace metrics jobs par_mode =
+      state_out trace_states trace metrics telemetry telemetry_interval jobs
+      par_mode =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
+    with_telemetry telemetry telemetry_interval @@ fun () ->
     with_trace trace @@ fun () ->
     let store = load_store data in
     let queries = load_workload workload in
@@ -369,7 +429,7 @@ let select_cmd =
       const run $ data_arg $ workload_arg $ schema_opt_arg $ reasoning_arg
       $ strategy_arg $ budget_arg $ no_avf_arg $ no_stv_arg $ materialize_arg
       $ sql_arg $ state_out_arg $ trace_states_arg $ trace_arg $ metrics_arg
-      $ jobs_arg $ par_mode_arg)
+      $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ par_mode_arg)
 
 (* ---------- check ----------------------------------------------------------- *)
 
@@ -480,20 +540,25 @@ let report_cmd =
   let run input =
     handle_errors @@ fun () ->
     let text = read_file input in
-    (* A metrics dump is one JSON object with a schema_version member; a
-       trace is one JSON object per line.  Try the whole file first. *)
-    let summary =
-      try
-        match Obs.Json.of_string (String.trim text) with
-        | json when Obs.Json.member "schema_version" json <> None ->
-          Obs.Report.of_metrics json
-        | _ -> Obs.Report.of_trace (Obs.Trace.parse_lines text)
-        | exception Obs.Json.Parse_error _ ->
-          Obs.Report.of_trace (Obs.Trace.parse_lines text)
-      with Obs.Trace.Malformed message ->
-        failwith ("malformed trace: " ^ message)
-    in
-    print_string (Obs.Report.render summary)
+    (* A telemetry snapshot opens with # HELP/# TYPE comments; a metrics
+       dump is one JSON object with a schema_version member; a trace is
+       one JSON object per line.  Sniff the exposition first (it is not
+       JSON at all), then try the whole file as JSON. *)
+    if Obs.Export.looks_like_exposition text then
+      print_string (Obs.Report.render_telemetry (Obs.Export.parse_exposition text))
+    else
+      let summary =
+        try
+          match Obs.Json.of_string (String.trim text) with
+          | json when Obs.Json.member "schema_version" json <> None ->
+            Obs.Report.of_metrics json
+          | _ -> Obs.Report.of_trace (Obs.Trace.parse_lines text)
+          | exception Obs.Json.Parse_error _ ->
+            Obs.Report.of_trace (Obs.Trace.parse_lines text)
+        with Obs.Trace.Malformed message ->
+          failwith ("malformed trace: " ^ message)
+      in
+      print_string (Obs.Report.render summary)
   in
   let info =
     Cmd.info "report"
@@ -502,9 +567,61 @@ let report_cmd =
          convergence curve (best cost vs. wall time and vs. states \
          created), time-to-within-x%-of-final-cost, per-transition \
          acceptance breakdown and stratum population.  From a --metrics \
-         dump only the aggregate sections are available."
+         dump only the aggregate sections are available; a --telemetry \
+         snapshot file renders the $(b,rdfviews top) summary instead."
   in
   Cmd.v info Term.(const run $ input_arg)
+
+(* ---------- top ------------------------------------------------------------- *)
+
+let top_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A Prometheus text exposition written by $(b,--telemetry) (or \
+             any compatible scrape).")
+  in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:
+            "Re-read and re-render $(i,FILE) every $(docv) seconds (like \
+             watch(1)); interrupt to stop.  Pair with a running \
+             $(b,select --telemetry) $(i,FILE) for a live view.")
+  in
+  let run file watch =
+    handle_errors @@ fun () ->
+    let render () =
+      Obs.Report.render_telemetry (Obs.Export.parse_exposition (read_file file))
+    in
+    match watch with
+    | None -> print_string (render ())
+    | Some period ->
+      let period = if period < 0.1 then 0.1 else period in
+      let rec loop () =
+        (* clear + home, like watch(1), so the table repaints in place *)
+        print_string "\027[2J\027[H";
+        print_string (render ());
+        flush stdout;
+        Unix.sleepf period;
+        loop ()
+      in
+      loop ()
+  in
+  let info =
+    Cmd.info "top"
+      ~doc:
+        "Summarize a live-telemetry snapshot file: GC pauses and collection \
+         counts, domain lifecycle, per-domain work/steal/idle utilization \
+         and search progress.  With $(b,--watch), repaints periodically \
+         like top(1) over a run in flight."
+  in
+  Cmd.v info Term.(const run $ file_arg $ watch_arg)
 
 (* ---------- reformulate ---------------------------------------------------- *)
 
@@ -556,9 +673,10 @@ let saturate_cmd =
 (* ---------- eval ------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run data workload schema metrics =
+  let run data workload schema metrics telemetry telemetry_interval =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
+    with_telemetry telemetry telemetry_interval @@ fun () ->
     let store = load_store data in
     let queries = load_workload workload in
     let schema = Option.map load_schema schema in
@@ -585,7 +703,9 @@ let eval_cmd =
             (via reformulation)."
   in
   Cmd.v info
-    Term.(const run $ data_arg $ workload_arg $ schema_opt_arg $ metrics_arg)
+    Term.(
+      const run $ data_arg $ workload_arg $ schema_opt_arg $ metrics_arg
+      $ telemetry_arg $ telemetry_interval_arg)
 
 (* ---------- generate --------------------------------------------------------- *)
 
@@ -689,5 +809,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ select_cmd; check_cmd; report_cmd; reformulate_cmd; saturate_cmd;
-            eval_cmd; generate_cmd; barton_cmd ]))
+          [ select_cmd; check_cmd; report_cmd; top_cmd; reformulate_cmd;
+            saturate_cmd; eval_cmd; generate_cmd; barton_cmd ]))

@@ -59,6 +59,44 @@ let obs_stratum_created =
     Transition.all_kinds;
   arr
 
+(* Per-domain utilization, folded into the coordinator's ambient sink
+   after the join — same post-join discipline as the per-domain Obs
+   registries, so workers never touch the shared sink.  Each entry is
+   [(slot, work_ns, steal_ns, total_ns)]: [work] is time inside
+   expansions (deterministic mode: speculations), [steal] time probing
+   other domains' deques, [idle] the rest of the domain's wall clock
+   (backoff, board scans, lock waits).  Slots are this run's worker
+   indices — slot 0 is the coordinating domain — not runtime domain
+   ids.  The exporter renders these as one Prometheus family per
+   quantity with a [domain] label. *)
+let note_utilization entries =
+  let sink = Obs.global () in
+  if Obs.is_enabled sink then begin
+    let agg_work = ref 0 and agg_steal = ref 0 and agg_idle = ref 0 in
+    List.iter
+      (fun (slot, work, steal, total) ->
+        let idle =
+          let i = total - work - steal in
+          if i < 0 then 0 else i
+        in
+        agg_work := !agg_work + work;
+        agg_steal := !agg_steal + steal;
+        agg_idle := !agg_idle + idle;
+        let dom name v =
+          Obs.add
+            (Obs.counter sink (Printf.sprintf "parallel.domain.%d.%s" slot name))
+            v
+        in
+        dom "work_ns" work;
+        dom "steal_ns" steal;
+        dom "idle_ns" idle)
+      entries;
+    Obs.add (Obs.counter sink "parallel.work_ns") !agg_work;
+    Obs.add (Obs.counter sink "parallel.steal_ns") !agg_steal;
+    Obs.add (Obs.counter sink "parallel.idle_ns") !agg_idle
+  end
+[@@coordinator_only]
+
 (* ---------- deterministic mode ------------------------------------------- *)
 
 (* The pure half of one expansion, in the exact order the sequential
@@ -100,7 +138,11 @@ let board_size = 128
    when it consumes it — the computation is deterministic, so the
    sequential run would have raised the same exception at the same
    expansion. *)
+(* Returns the worker's (work_ns, total_ns): time inside speculations
+   vs. the domain's whole wall clock, for utilization accounting. *)
 let det_worker board stop options =
+  let t_begin = Obs.now_ns () in
+  let work_ns = ref 0 in
   let n = Array.length board in
   let rec go i claimed =
     if Atomic.get stop then ()
@@ -115,12 +157,14 @@ let det_worker board stop options =
         | Some t
           when Atomic.get t.dt_status = 0
                && Atomic.compare_and_set t.dt_status 0 1 ->
+          let s0 = Obs.now_ns () in
           (match
              (* lint: allow catch-all — stored, re-raised by the coordinator *)
              try Ok (speculate options t.dt_state t.dt_rank) with e -> Error e
            with
           | Ok r -> t.dt_result <- r
           | Error e -> t.dt_exn <- Some e);
+          work_ns := !work_ns + (Obs.now_ns () - s0);
           Atomic.set t.dt_status 2;
           true
         | _ -> claimed
@@ -128,7 +172,8 @@ let det_worker board stop options =
       go (i + 1) claimed
     end
   in
-  go 0 false
+  go 0 false;
+  (!work_ns, Obs.now_ns () - t_begin)
 [@@domain_safe]
 
 let det_run ~jobs p =
@@ -193,10 +238,20 @@ let det_run ~jobs p =
         Multicore.spawn (fun () -> det_worker board stop options))
   in
   let completed = ref true in
+  (* Joined in [finally] so the handles are reaped even when the replay
+     raises; utilization is only recorded on the normal path.  The
+     coordinator (slot 0) gets no entry here — it replays the
+     sequential worklist, so its wall clock is the run itself. *)
+  let util = ref [] in
   Fun.protect
     ~finally:(fun () ->
       Atomic.set stop true;
-      List.iter (fun h -> Multicore.join h) workers)
+      util :=
+        List.mapi
+          (fun i h ->
+            let work, total = Multicore.join h in
+            (i + 1, work, 0, total))
+          workers)
     (fun () ->
       let t0 = make_task p.I.p_initial 0 in
       match options.Search.strategy with
@@ -227,6 +282,7 @@ let det_run ~jobs p =
         in
         loop ()
       | Search.Gstr -> assert false (* routed to the sequential engine *));
+  note_utilization !util;
   I.epilogue p ~completed:!completed
 [@@coordinator_only]
 
@@ -296,6 +352,7 @@ type shared = {
 }
 
 type worker_out = {
+  o_index : int;  (* this run's worker slot, 0 = coordinator *)
   o_created : int;
   o_duplicates : int;
   o_discarded : int;
@@ -304,9 +361,15 @@ type worker_out = {
   o_best_cost : float;
   o_trajectory : (float * float) list;  (* newest first *)
   o_registry : Obs.t option;  (* the worker's own sink, to merge *)
+  o_work_ns : int;  (* time inside expansions *)
+  o_steal_ns : int;  (* time probing other deques *)
+  o_total_ns : int;  (* the domain's whole wall clock *)
 }
 
 let free_worker sh ~index ~estimator ~registry =
+  let t_begin = Obs.now_ns () in
+  let work_ns = ref 0
+  and steal_ns = ref 0 in
   let created = ref 0
   and duplicates = ref 0
   and discarded = ref 0
@@ -395,6 +458,11 @@ let free_worker sh ~index ~estimator ~registry =
        (I.allowed_kinds sh.sh_options rank));
     Atomic.decr sh.sh_outstanding
   in
+  let expand it =
+    let s0 = Obs.now_ns () in
+    expand it;
+    work_ns := !work_ns + (Obs.now_ns () - s0)
+  in
   let rec loop () =
     if Atomic.get sh.sh_stop <> 0 then ()
     else begin
@@ -404,7 +472,10 @@ let free_worker sh ~index ~estimator ~registry =
         expand it;
         loop ()
       | None -> (
-        match steal () with
+        let s0 = Obs.now_ns () in
+        let stolen = steal () in
+        steal_ns := !steal_ns + (Obs.now_ns () - s0);
+        match stolen with
         | Some it ->
           expand it;
           loop ()
@@ -428,6 +499,7 @@ let free_worker sh ~index ~estimator ~registry =
   | Ok () ->
     Ok
       {
+        o_index = index;
         o_created = !created;
         o_duplicates = !duplicates;
         o_discarded = !discarded;
@@ -436,6 +508,9 @@ let free_worker sh ~index ~estimator ~registry =
         o_best_cost = !best_cost;
         o_trajectory = !traj;
         o_registry = registry;
+        o_work_ns = !work_ns;
+        o_steal_ns = !steal_ns;
+        o_total_ns = Obs.now_ns () - t_begin;
       }
   | Error e -> Error e
 [@@domain_safe]
@@ -508,6 +583,10 @@ let free_run ~jobs p =
       I.absorb_totals engine ~created:o.o_created ~duplicates:o.o_duplicates
         ~discarded:o.o_discarded ~explored:o.o_explored)
     outs;
+  note_utilization
+    (List.map
+       (fun o -> (o.o_index, o.o_work_ns, o.o_steal_ns, o.o_total_ns))
+       outs);
   (* merged incumbent: lowest cost; exact ties broken on the state key
      so the pick does not depend on the schedule *)
   let base_trajectory = I.engine_trajectory engine in

@@ -292,6 +292,186 @@ val to_string : t -> string
 val write_file : t -> string -> unit
 (** Serialize the registry to a file (trailing newline included). *)
 
+(** {1 Live runtime telemetry}
+
+    Folds the OCaml runtime's own event stream — GC pause begin/end
+    pairs, allocation counters, domain lifecycle — into a registry, via
+    a self-monitoring [Runtime_events] cursor.  Version-gated like
+    [Multicore]: on OCaml 4.x (no [runtime_events] library) dune
+    selects a no-op backend, {!Runtime.available} is [false] and every
+    call degrades gracefully.
+
+    Metric names fed into the registry:
+    {ul
+    {- histograms [runtime.gc.minor.pause_ns], [runtime.gc.major.pause_ns],
+       [runtime.gc.compact.pause_ns];}
+    {- counters [runtime.gc.minor.collections], [runtime.gc.major.collections],
+       [runtime.gc.compactions], [runtime.gc.minor_promoted_words],
+       [runtime.gc.minor_allocated_words], [runtime.domain.spawns],
+       [runtime.domain.terminations], [runtime.events.lost];}
+    {- gauge [runtime.gc.max_pause_ns].}} *)
+module Runtime : sig
+  val available : bool
+  (** [true] exactly when this build links the real [Runtime_events]
+      consumer (OCaml 5.x). *)
+
+  val start : unit -> bool
+  (** Turn runtime-event collection on and open a cursor over this
+      process's own ring buffers.  Idempotent.  Returns [false] (and
+      stays inert) when {!available} is [false] or the cursor cannot be
+      created.  Creates a [<pid>.events] ring file in the working
+      directory (or [$OCAML_RUNTIME_EVENTS_DIR]); the runtime removes
+      it on normal exit. *)
+
+  val active : unit -> bool
+  (** [true] after a successful {!start}. *)
+
+  val poll : t -> int
+  (** Drain pending runtime events into the given registry and return
+      how many events were consumed.  [0] on a disabled sink or before
+      {!start}.  Thread-safe: concurrent polls serialize on an internal
+      lock, so the exporter's ticker and the main thread may both
+      call it. *)
+end
+
+(** {1 Snapshots and Prometheus exposition}
+
+    The scrapeable surface: point-in-time registry snapshots, a bounded
+    ring of them, a Prometheus text-format renderer/parser, and a
+    periodic file exporter (the [--telemetry FILE] flag).  The renderer
+    is pure and reusable — a future [rdfviews serve] daemon can feed
+    its [/metrics] endpoint from {!Export.exposition} directly. *)
+module Export : sig
+  (** A histogram's frozen contents: raw log-buckets (see
+      {!bucket_of_sample}), sample count and sum. *)
+  type hist_snap = { hsn_buckets : int array; hsn_count : int; hsn_sum : int }
+
+  (** A deep copy of a registry's contents at one instant. *)
+  type snapshot = {
+    snap_unix_s : float;  (** [Unix.gettimeofday] at capture *)
+    snap_counters : (string * int) list;
+    snap_timers : (string * (int * int)) list;  (** (calls, total_ns) *)
+    snap_gauges : (string * float) list;
+    snap_histograms : (string * hist_snap) list;
+  }
+
+  val snapshot : t -> snapshot
+  (** Capture the registry.  Safe against same-domain concurrent
+      mutation (the exporter ticker is a systhread of the installing
+      domain); consistency across series is advisory, not
+      transactional. *)
+
+  (** {2 Bounded snapshot ring} *)
+
+  type ring
+  (** A fixed-capacity ring of the most recent snapshots; pushing into
+      a full ring overwrites the oldest.  All operations are
+      thread-safe. *)
+
+  val ring_create : int -> ring
+  (** [ring_create capacity] (clamped to at least 1). *)
+
+  val ring_capacity : ring -> int
+
+  val ring_length : ring -> int
+  (** Snapshots currently held, [<= capacity]. *)
+
+  val ring_push : ring -> snapshot -> unit
+
+  val ring_to_list : ring -> snapshot list
+  (** Held snapshots, oldest first. *)
+
+  (** {2 Prometheus text exposition} *)
+
+  val exposition_of_snapshot : snapshot -> string
+  (** Render a snapshot in Prometheus text format.  Name mangling:
+      [search.expand.ns] becomes [rdfviews_search_expand_ns]; counters
+      get a [_total] suffix; a timer becomes two counters
+      ([_ns_total], [_calls_total]); histograms render cumulative
+      [_bucket{le="..."}] series (le boundaries are the log-bucket
+      powers of two) plus [_sum]/[_count].  A
+      [parallel.domain.<i>.<rest>] series becomes
+      [rdfviews_parallel_<rest>] with a [domain="<i>"] label, so all
+      domains of one quantity form one family. *)
+
+  val exposition : t -> string
+  (** [exposition_of_snapshot (snapshot t)]. *)
+
+  (** {2 Parsing an exposition} *)
+
+  type sample = {
+    s_name : string;  (** full series name, suffixes included *)
+    s_labels : (string * string) list;
+    s_value : float;
+  }
+
+  type family = {
+    f_name : string;  (** family base name from the HELP/TYPE comments *)
+    f_type : string;  (** ["counter"], ["gauge"], ["histogram"] or ["untyped"] *)
+    f_help : string;
+    f_samples : sample list;  (** in file order *)
+  }
+
+  exception Bad_exposition of string
+
+  val parse_exposition : string -> family list
+  (** Parse Prometheus text format (enough of it to read
+      {!exposition_of_snapshot}'s output and ordinary hand-written
+      files).  Samples whose name extends a declared family's name
+      attach to that family; stray samples form their own [untyped]
+      family.  @raise Bad_exposition on a malformed sample line. *)
+
+  val looks_like_exposition : string -> bool
+  (** Cheap sniff: does the first non-blank line open with
+      [# HELP]/[# TYPE]?  Used by [rdfviews report] to autodetect
+      telemetry snapshot files. *)
+
+  val find_family : family list -> string -> family option
+
+  val sample_value :
+    ?labels:(string * string) list -> family list -> string -> float option
+  (** First sample with the given full series name whose labels include
+      all of [labels]. *)
+
+  (** {2 The periodic exporter} *)
+
+  type exporter
+  (** A ticker thread snapshotting a registry every interval: drains
+      {!Runtime} events into it, pushes the snapshot onto a ring and
+      atomically rewrites the exposition file (tmp + rename). *)
+
+  val default_ring_capacity : int
+
+  val start :
+    ?ring_capacity:int ->
+    interval:float ->
+    path:string ->
+    (unit -> t) ->
+    exporter
+  (** [start ~interval ~path source] writes once synchronously (so the
+      file exists, or the path error raises here) and then ticks every
+      [interval] seconds (clamped to at least 1ms) until {!stop}.
+      [source] is re-read on every tick, so it follows registry swaps
+      ([Obs.set_global]) within the installing domain.  Write failures
+      after the first are counted, not raised. *)
+
+  val stop : exporter -> unit
+  (** Stop the ticker, join it, and write one final snapshot so the
+      file reflects the end-of-run registry.  Idempotent. *)
+
+  val exporter_ring : exporter -> ring
+
+  val exporter_ticks : exporter -> int
+  (** Completed periodic ticks (the synchronous first write and the
+      final {!stop} write are not counted). *)
+
+  val exporter_write_errors : exporter -> int
+
+  val exporter_path : exporter -> string
+
+  val exporter_interval : exporter -> float
+end
+
 (** {1 Streaming search traces}
 
     An event-sourced record of one search: every state decision,
@@ -494,4 +674,11 @@ module Report : sig
   (** Human-readable multi-section report (header, convergence table,
       time-to-within table, transition acceptance, stratum
       population). *)
+
+  val render_telemetry : Export.family list -> string
+  (** Human-readable live-telemetry summary (the [rdfviews top] view)
+      from a parsed Prometheus exposition: GC pause table, domain
+      lifecycle, per-domain utilization, and search progress.  Renders
+      a placeholder section for whatever families are absent, so it
+      works on 4.x expositions with no [runtime_*] series. *)
 end

@@ -1,0 +1,112 @@
+(* lint: allow missing-mli — select-rule source; copied to runtime_backend.ml
+   when the [runtime_events] library is present (OCaml 5.x builds).
+
+   Self-monitoring [Runtime_events] consumer: [start] turns event
+   collection on and opens a cursor over this process's own ring
+   buffers; each [poll] drains pending events and folds them into the
+   caller's [callbacks].  GC pauses are reconstructed by pairing each
+   phase's begin/end timestamps per ring buffer (one ring per domain),
+   so concurrent domains' collections never splice into each other.
+
+   This module deliberately knows nothing of Obs — the dependency runs
+   the other way (Obs.Runtime drives it), which is what lets dune's
+   (select) swap in the no-op twin without a cycle. *)
+
+type pause_kind = Minor | Major | Compact
+
+type lifecycle_kind = Spawn | Terminate
+
+type callbacks = {
+  on_pause : pause_kind -> int -> unit;
+  on_counter : string -> int -> unit;
+  on_lifecycle : lifecycle_kind -> unit;
+  on_lost : int -> unit;
+}
+
+let available = true
+
+(* Consumer state, shared between whoever calls [start]/[poll] (the
+   telemetry exporter's ticker thread and the main thread both do). *)
+let lock = Multicore.Spinlock.create ()
+
+let cursor : Runtime_events.cursor option ref = ref None [@@guarded_by "lock"]
+
+(* In-flight phase begin-timestamps, keyed by (ring id, phase tag): a
+   phase's end event on ring r closes the begin event on the same ring. *)
+let starts : (int, int64) Hashtbl.t = Hashtbl.create 16 [@@guarded_by "lock"]
+
+(* Only the coarse phases become pause samples: the nested sub-phases
+   (mark, sweep, roots, ...) are contained in them and would double
+   count. *)
+let phase_tag = function
+  | Runtime_events.EV_MINOR -> Some (0, Minor)
+  | Runtime_events.EV_MAJOR -> Some (1, Major)
+  | Runtime_events.EV_EXPLICIT_GC_COMPACT -> Some (2, Compact)
+  | _ -> None
+
+let counter_key = function
+  | Runtime_events.EV_C_MINOR_PROMOTED -> Some "minor_promoted_words"
+  | Runtime_events.EV_C_MINOR_ALLOCATED -> Some "minor_allocated_words"
+  | _ -> None
+
+let start () =
+  Multicore.Spinlock.with_lock lock (fun () ->
+      match !cursor with
+      | Some _ -> true
+      | None -> (
+        (* [Runtime_events.start] creates a <pid>.events ring file in
+           the current directory (or $OCAML_RUNTIME_EVENTS_DIR); the
+           runtime unlinks it again on normal exit. *)
+        match
+          Runtime_events.start ();
+          Runtime_events.create_cursor None
+        with
+        | c ->
+          cursor := Some c;
+          true
+        | exception (Failure _ | Sys_error _) -> false))
+
+let poll cb =
+  Multicore.Spinlock.with_lock lock (fun () ->
+      match !cursor with
+      | None -> 0
+      | Some c ->
+        let runtime_begin ring ts phase =
+          match phase_tag phase with
+          | Some (tag, _) ->
+            Hashtbl.replace starts
+              ((ring lsl 2) lor tag)
+              (Runtime_events.Timestamp.to_int64 ts)
+          | None -> ()
+        in
+        let runtime_end ring ts phase =
+          match phase_tag phase with
+          | Some (tag, kind) -> (
+            let key = (ring lsl 2) lor tag in
+            match Hashtbl.find_opt starts key with
+            | Some t0 ->
+              Hashtbl.remove starts key;
+              let dt =
+                Int64.to_int
+                  (Int64.sub (Runtime_events.Timestamp.to_int64 ts) t0)
+              in
+              cb.on_pause kind (if dt < 0 then 0 else dt)
+            | None -> () (* end without begin: cursor opened mid-phase *))
+          | None -> ()
+        in
+        let runtime_counter _ring _ts kind v =
+          match counter_key kind with
+          | Some key -> cb.on_counter key v
+          | None -> ()
+        in
+        let lifecycle _ring _ts kind _data =
+          match kind with
+          | Runtime_events.EV_DOMAIN_SPAWN -> cb.on_lifecycle Spawn
+          | Runtime_events.EV_DOMAIN_TERMINATE -> cb.on_lifecycle Terminate
+          | _ -> ()
+        in
+        let lost_events _ring n = cb.on_lost n in
+        Runtime_events.read_poll c
+          (Runtime_events.Callbacks.create ~runtime_begin ~runtime_end
+             ~runtime_counter ~lifecycle ~lost_events ())
+          None)

@@ -1,0 +1,30 @@
+(* lint: allow missing-mli — select-rule source; copied to runtime_backend.ml
+   when the [runtime_events] library is absent (OCaml 4.x builds).
+
+   No-op runtime-events backend: the API compiles everywhere, but
+   [start] reports failure and [poll] never delivers an event, so
+   [Obs.Runtime] degrades to inert counters on runtimes without
+   [Runtime_events].  See runtime_backend.events.ml for the real
+   consumer and Obs.Runtime (obs.mli) for the contract. *)
+
+type pause_kind = Minor | Major | Compact
+
+type lifecycle_kind = Spawn | Terminate
+
+(* What the consumer folds each drained event into.  [on_pause] gets a
+   completed GC phase's duration in nanoseconds; [on_counter] a stable
+   short key (e.g. "minor_promoted_words") and the emitted amount;
+   [on_lost] the number of ring-buffer events overwritten before the
+   consumer got to them. *)
+type callbacks = {
+  on_pause : pause_kind -> int -> unit;
+  on_counter : string -> int -> unit;
+  on_lifecycle : lifecycle_kind -> unit;
+  on_lost : int -> unit;
+}
+
+let available = false
+
+let start () = false
+
+let poll (_ : callbacks) = 0

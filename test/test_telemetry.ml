@@ -1,0 +1,379 @@
+(* Live telemetry: the Prometheus exposition round-trip, the snapshot
+   ring, registry merging under real concurrent domains, the
+   runtime-events consumer and the periodic exporter.  Everything that
+   needs actual domains or Runtime_events is gated on the respective
+   [available] flag so the suite also passes on an OCaml 4.x build. *)
+
+let approx = Alcotest.float 1e-9
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub haystack i nn) needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A registry with one of everything, with known values. *)
+let sample_registry () =
+  let t = Obs.create () in
+  Obs.add (Obs.counter t "search.created") 42;
+  Obs.add (Obs.counter t "parallel.domain.0.work_ns") 1000;
+  Obs.add (Obs.counter t "parallel.domain.1.work_ns") 2000;
+  Obs.set_gauge (Obs.gauge t "search.best_cost") 559.25;
+  let tm = Obs.timer t "search.run" in
+  Obs.time tm (fun () -> ());
+  let h = Obs.histogram t "search.expand.ns" in
+  Obs.observe h 0;
+  (* bucket 0 *)
+  Obs.observe h 3;
+  (* le 4 *)
+  Obs.observe h 1000;
+  (* le 1024 *)
+  t
+
+let families_of t = Obs.Export.parse_exposition (Obs.Export.exposition t)
+
+let test_roundtrip_counter_gauge () =
+  let fams = families_of (sample_registry ()) in
+  Alcotest.(check (option approx))
+    "counter value" (Some 42.)
+    (Obs.Export.sample_value fams "rdfviews_search_created_total");
+  Alcotest.(check (option approx))
+    "gauge value" (Some 559.25)
+    (Obs.Export.sample_value fams "rdfviews_search_best_cost");
+  (* the timer splits into two counters *)
+  Alcotest.(check (option approx))
+    "timer calls" (Some 1.)
+    (Obs.Export.sample_value fams "rdfviews_search_run_calls_total");
+  match Obs.Export.find_family fams "rdfviews_search_run_ns_total" with
+  | Some f -> Alcotest.(check string) "timer type" "counter" f.Obs.Export.f_type
+  | None -> Alcotest.fail "timer family missing"
+
+let test_roundtrip_histogram () =
+  let fams = families_of (sample_registry ()) in
+  match Obs.Export.find_family fams "rdfviews_search_expand_ns" with
+  | None -> Alcotest.fail "histogram family missing"
+  | Some f ->
+    Alcotest.(check string) "type" "histogram" f.Obs.Export.f_type;
+    Alcotest.(check (option approx))
+      "count" (Some 3.)
+      (Obs.Export.sample_value fams "rdfviews_search_expand_ns_count");
+    Alcotest.(check (option approx))
+      "sum" (Some 1003.)
+      (Obs.Export.sample_value fams "rdfviews_search_expand_ns_sum");
+    (* cumulative buckets: le="0" holds the <=0 sample, le="4" that plus
+       the sample at 3, +Inf everything *)
+    let at le =
+      Obs.Export.sample_value ~labels:[ ("le", le) ] fams
+        "rdfviews_search_expand_ns_bucket"
+    in
+    Alcotest.(check (option approx)) "le=0" (Some 1.) (at "0");
+    Alcotest.(check (option approx)) "le=4" (Some 2.) (at "4");
+    Alcotest.(check (option approx)) "le=1024" (Some 3.) (at "1024");
+    Alcotest.(check (option approx)) "le=+Inf" (Some 3.) (at "+Inf");
+    (* bucket monotonicity across the whole family *)
+    let buckets =
+      List.filter
+        (fun s ->
+          String.equal s.Obs.Export.s_name "rdfviews_search_expand_ns_bucket")
+        f.Obs.Export.f_samples
+    in
+    ignore
+      (List.fold_left
+         (fun prev s ->
+           if s.Obs.Export.s_value < prev then
+             Alcotest.fail "histogram buckets not monotone";
+           s.Obs.Export.s_value)
+         0. buckets)
+
+let test_domain_labels () =
+  let fams = families_of (sample_registry ()) in
+  (* parallel.domain.<i>.work_ns series collapse into one family with a
+     domain label *)
+  match Obs.Export.find_family fams "rdfviews_parallel_work_ns_total" with
+  | None -> Alcotest.fail "domain-labelled family missing"
+  | Some f ->
+    Alcotest.(check int) "two series" 2 (List.length f.Obs.Export.f_samples);
+    Alcotest.(check (option approx))
+      "domain 0" (Some 1000.)
+      (Obs.Export.sample_value
+         ~labels:[ ("domain", "0") ]
+         fams "rdfviews_parallel_work_ns_total");
+    Alcotest.(check (option approx))
+      "domain 1" (Some 2000.)
+      (Obs.Export.sample_value
+         ~labels:[ ("domain", "1") ]
+         fams "rdfviews_parallel_work_ns_total")
+
+let test_mangling () =
+  let t = Obs.create () in
+  Obs.incr (Obs.counter t "weird-name.with:chars");
+  let fams = families_of t in
+  Alcotest.(check (option approx))
+    "mangled" (Some 1.)
+    (Obs.Export.sample_value fams "rdfviews_weird_name_with_chars_total")
+
+let test_sniff () =
+  Alcotest.(check bool)
+    "exposition" true
+    (Obs.Export.looks_like_exposition
+       (Obs.Export.exposition (sample_registry ())));
+  Alcotest.(check bool)
+    "json is not" false
+    (Obs.Export.looks_like_exposition "{\"schema_version\": 2}");
+  Alcotest.(check bool)
+    "trace is not" false
+    (Obs.Export.looks_like_exposition "{\"event\":\"run_start\"}\n");
+  Alcotest.(check bool)
+    "leading blanks ok" true
+    (Obs.Export.looks_like_exposition "\n\n# HELP x y\n")
+
+let test_parse_errors () =
+  Alcotest.check_raises "bad line"
+    (Obs.Export.Bad_exposition "line 1: expected a metric name")
+    (fun () -> ignore (Obs.Export.parse_exposition "{not an exposition}"))
+
+(* ---------- snapshot ring ------------------------------------------------- *)
+
+let snap_with value =
+  let t = Obs.create () in
+  Obs.add (Obs.counter t "tick") value;
+  Obs.Export.snapshot t
+
+let test_ring_bounds () =
+  let ring = Obs.Export.ring_create 3 in
+  Alcotest.(check int) "capacity" 3 (Obs.Export.ring_capacity ring);
+  Alcotest.(check int) "empty" 0 (Obs.Export.ring_length ring);
+  for i = 1 to 2 do
+    Obs.Export.ring_push ring (snap_with i)
+  done;
+  Alcotest.(check int) "partial" 2 (Obs.Export.ring_length ring);
+  for i = 3 to 7 do
+    Obs.Export.ring_push ring (snap_with i)
+  done;
+  Alcotest.(check int) "full stays bounded" 3 (Obs.Export.ring_length ring);
+  (* oldest first, and the oldest four were overwritten *)
+  let ticks =
+    List.map
+      (fun s -> List.assoc "tick" s.Obs.Export.snap_counters)
+      (Obs.Export.ring_to_list ring)
+  in
+  Alcotest.(check (list int)) "rotation" [ 5; 6; 7 ] ticks
+
+let test_ring_min_capacity () =
+  let ring = Obs.Export.ring_create 0 in
+  Alcotest.(check int) "clamped" 1 (Obs.Export.ring_capacity ring);
+  Obs.Export.ring_push ring (snap_with 1);
+  Obs.Export.ring_push ring (snap_with 2);
+  Alcotest.(check int) "length" 1 (Obs.Export.ring_length ring)
+
+(* ---------- merge under real domains -------------------------------------- *)
+
+(* Each domain mutates its own registry (the documented discipline);
+   after the join the merged registry must equal the per-domain sum,
+   histograms bucket-wise. *)
+let test_merge_across_domains () =
+  if not Multicore.available then ()
+  else begin
+    let n_domains = 4 and per_domain = 1000 in
+    let handles =
+      List.init n_domains (fun d ->
+          Multicore.spawn (fun () ->
+              let r = Obs.create () in
+              let c = Obs.counter r "m.count" in
+              let h = Obs.histogram r "m.hist" in
+              for i = 1 to per_domain do
+                Obs.incr c;
+                Obs.observe h ((i mod 7) + d)
+              done;
+              r))
+    in
+    let registries = List.map Multicore.join handles in
+    let into = Obs.create () in
+    List.iter (fun r -> Obs.merge_into ~into r) registries;
+    Alcotest.(check (option int))
+      "counter sum"
+      (Some (n_domains * per_domain))
+      (Obs.find_counter into "m.count");
+    let merged_h =
+      match Obs.find_histogram into "m.hist" with
+      | Some h -> h
+      | None -> Alcotest.fail "merged histogram missing"
+    in
+    Alcotest.(check int)
+      "histogram count" (n_domains * per_domain)
+      (Obs.histogram_count merged_h);
+    let expected_sum =
+      List.fold_left ( + ) 0
+        (List.concat_map
+           (fun d -> List.init per_domain (fun i -> ((i + 1) mod 7) + d))
+           (List.init n_domains Fun.id))
+    in
+    Alcotest.(check int)
+      "histogram sum" expected_sum
+      (Obs.histogram_sum merged_h);
+    (* bucket-wise: the merged raw buckets equal the per-domain sums *)
+    let buckets_of t =
+      let s = Obs.Export.snapshot t in
+      (List.assoc "m.hist" s.Obs.Export.snap_histograms).Obs.Export.hsn_buckets
+    in
+    let merged_buckets = buckets_of into in
+    let domain_buckets = List.map buckets_of registries in
+    Array.iteri
+      (fun i v ->
+        let expected =
+          List.fold_left (fun acc b -> acc + b.(i)) 0 domain_buckets
+        in
+        Alcotest.(check int) (Printf.sprintf "bucket %d" i) expected v)
+      merged_buckets
+  end
+
+(* ---------- the runtime-events consumer ----------------------------------- *)
+
+let test_runtime_poll () =
+  if not Obs.Runtime.available then ()
+  else begin
+    Alcotest.(check bool) "start" true (Obs.Runtime.start ());
+    Alcotest.(check bool) "active" true (Obs.Runtime.active ());
+    Alcotest.(check bool) "idempotent" true (Obs.Runtime.start ());
+    let t = Obs.create () in
+    (* force minor collections so there is something to consume *)
+    for _ = 1 to 5 do
+      Gc.minor ()
+    done;
+    let drained = Obs.Runtime.poll t in
+    Alcotest.(check bool) "events drained" true (drained > 0);
+    let minors =
+      Option.value ~default:0 (Obs.find_counter t "runtime.gc.minor.collections")
+    in
+    Alcotest.(check bool) "minor collections seen" true (minors > 0);
+    (match Obs.find_histogram t "runtime.gc.minor.pause_ns" with
+    | Some h ->
+      Alcotest.(check int) "pause samples" minors (Obs.histogram_count h)
+    | None -> Alcotest.fail "minor pause histogram missing");
+    (* max-pause gauge mirrors the histogram's largest sample *)
+    (match Obs.find_gauge t "runtime.gc.max_pause_ns" with
+    | Some v -> Alcotest.(check bool) "max pause positive" true (v > 0.)
+    | None -> Alcotest.fail "max pause gauge missing");
+    Alcotest.(check int) "disabled sink" 0 (Obs.Runtime.poll Obs.disabled)
+  end
+
+let test_runtime_unavailable_noop () =
+  if Obs.Runtime.available then ()
+  else begin
+    Alcotest.(check bool) "start fails" false (Obs.Runtime.start ());
+    Alcotest.(check bool) "inactive" false (Obs.Runtime.active ());
+    Alcotest.(check int) "poll no-op" 0 (Obs.Runtime.poll (Obs.create ()))
+  end
+
+(* ---------- the exporter --------------------------------------------------- *)
+
+let test_exporter_lifecycle () =
+  let path = Filename.temp_file "rdfviews_tele" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t = Obs.create () in
+      Obs.add (Obs.counter t "search.created") 7;
+      let e =
+        Obs.Export.start ~ring_capacity:4 ~interval:3600.0 ~path (fun () -> t)
+      in
+      (* the first write is synchronous: the file parses before any tick *)
+      let read_all () =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let fams = Obs.Export.parse_exposition (read_all ()) in
+      Alcotest.(check (option approx))
+        "first write" (Some 7.)
+        (Obs.Export.sample_value fams "rdfviews_search_created_total");
+      Obs.add (Obs.counter t "search.created") 3;
+      Obs.Export.stop e;
+      (* stop writes a final snapshot over the bumped counter *)
+      let fams = Obs.Export.parse_exposition (read_all ()) in
+      Alcotest.(check (option approx))
+        "final write" (Some 10.)
+        (Obs.Export.sample_value fams "rdfviews_search_created_total");
+      Alcotest.(check int)
+        "no write errors" 0
+        (Obs.Export.exporter_write_errors e);
+      Alcotest.(check bool)
+        "ring holds snapshots" true
+        (Obs.Export.ring_length (Obs.Export.exporter_ring e) >= 1);
+      (* idempotent stop *)
+      Obs.Export.stop e)
+
+let test_exporter_ticks () =
+  let path = Filename.temp_file "rdfviews_tele" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t = Obs.create () in
+      let e = Obs.Export.start ~interval:0.02 ~path (fun () -> t) in
+      Unix.sleepf 0.2;
+      Obs.Export.stop e;
+      Alcotest.(check bool)
+        "ticked at least once" true
+        (Obs.Export.exporter_ticks e >= 1);
+      (* the ticks counter is exposed in the snapshot itself *)
+      let fams = families_of t in
+      match Obs.Export.sample_value fams "rdfviews_telemetry_ticks_total" with
+      | Some v ->
+        Alcotest.(check bool)
+          "ticks counter tracks" true
+          (int_of_float v >= 1)
+      | None -> Alcotest.fail "telemetry.ticks counter missing")
+
+(* ---------- the top renderer ----------------------------------------------- *)
+
+let test_render_telemetry () =
+  let t = sample_registry () in
+  let rendered =
+    Obs.Report.render_telemetry (Obs.Export.parse_exposition (Obs.Export.exposition t))
+  in
+  (* per-domain table present (domains 0 and 1 carry work_ns series) *)
+  Alcotest.(check bool)
+    "utilization table" true
+    (contains rendered "per-domain utilization");
+  Alcotest.(check bool)
+    "search section" true
+    (contains rendered "best cost")
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "exposition",
+        [
+          Alcotest.test_case "counter/gauge/timer round-trip" `Quick
+            test_roundtrip_counter_gauge;
+          Alcotest.test_case "histogram round-trip" `Quick
+            test_roundtrip_histogram;
+          Alcotest.test_case "domain labels" `Quick test_domain_labels;
+          Alcotest.test_case "name mangling" `Quick test_mangling;
+          Alcotest.test_case "format sniffing" `Quick test_sniff;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "snapshot ring",
+        [
+          Alcotest.test_case "bounds and rotation" `Quick test_ring_bounds;
+          Alcotest.test_case "capacity clamp" `Quick test_ring_min_capacity;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "across real domains" `Quick
+            test_merge_across_domains;
+        ] );
+      ( "runtime events",
+        [
+          Alcotest.test_case "start/poll on OCaml 5" `Quick test_runtime_poll;
+          Alcotest.test_case "no-op on 4.x" `Quick
+            test_runtime_unavailable_noop;
+        ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_exporter_lifecycle;
+          Alcotest.test_case "periodic ticks" `Quick test_exporter_ticks;
+        ] );
+      ( "renderer",
+        [ Alcotest.test_case "top summary" `Quick test_render_telemetry ] );
+    ]
