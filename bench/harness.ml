@@ -241,10 +241,15 @@ let bench_json name registry ~gc0 ~gc1 =
   Obs.Json.Obj
     ([
       (* v3: added the gc section (collection counts, compactions, max
-         pause when --telemetry collects runtime events) *)
-      ("schema_version", Obs.Json.Int 3);
+         pause when --telemetry collects runtime events).
+         v4: added host_cores and ocaml_version — environment stamps
+         the baseline compare consults: rate thresholds turn warn-only
+         when the core counts differ (different hardware). *)
+      ("schema_version", Obs.Json.Int 4);
       ("experiment", Obs.Json.String name);
       ("scale", Obs.Json.String scale_name);
+      ("host_cores", Obs.Json.Int (Multicore.recommended_domain_count ()));
+      ("ocaml_version", Obs.Json.String Sys.ocaml_version);
       ("states_created", Obs.Json.Int created);
       ("states_explored", Obs.Json.Int (counter "search.explored"));
       ("search_run_ns", Obs.Json.Int run_ns);
@@ -322,15 +327,34 @@ let compare_to_baseline name current =
              cost (absent, hence skipped, elsewhere) *)
           "parallel.det_matches_sequential"; "parallel.free_best_cost_matches";
         ];
+      (* Rates compare hardware as much as code: when the baseline was
+         recorded on a host with a different core count (v4 stamp;
+         absent in pre-v4 baselines counts as different), rate
+         regressions are reported as warnings and never fail the
+         run. *)
+      let same_host =
+        match (bench_number "host_cores" base, bench_number "host_cores" current)
+        with
+        | Some b, Some c -> b = c
+        | _ -> false
+      in
+      if not same_host then
+        Printf.printf
+          "  note: baseline from a different host (core count differs); \
+           rate thresholds are warn-only\n";
       let rate key =
         match (bench_number key base, bench_number key current) with
         | Some b, Some c when b > 0. ->
           let drop = (b -. c) /. b *. 100. in
-          if drop > threshold then begin
-            incr regressions;
-            Printf.printf "  REGRESSION %s: %s -> %s (-%.1f%%)\n" key
-              (fmt_float b) (fmt_float c) drop
-          end
+          if drop > threshold then
+            if same_host then begin
+              incr regressions;
+              Printf.printf "  REGRESSION %s: %s -> %s (-%.1f%%)\n" key
+                (fmt_float b) (fmt_float c) drop
+            end
+            else
+              Printf.printf "  WARN %s: %s -> %s (-%.1f%%, different host)\n"
+                key (fmt_float b) (fmt_float c) drop
           else
             Printf.printf "  ok %s: %s -> %s (%+.1f%%)\n" key (fmt_float b)
               (fmt_float c) (-.drop)

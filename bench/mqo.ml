@@ -1,0 +1,133 @@
+(* Multi-query optimization benchmark: a workload built to share plan
+   prefixes — star families over one subject-property backbone, plus
+   repeated evaluation of every query — run once with the optimizer on
+   and once with it off.
+
+   With MQO on, [Query.Mqo.prepare] pre-registers the workload so
+   shared prefixes and repeated results are captured on first
+   execution; re-evaluations then replay cached prefixes (or whole
+   result sets) instead of re-joining.  The BENCH json records the
+   deterministic eval section (queries, answers, bindings — identical
+   in both modes by construction) plus an [mqo] section with the
+   cache's hit/capture counters and the wall-clock speedup of the
+   optimized pass over the disabled one. *)
+
+let reps = match Harness.scale with Harness.Quick -> 20 | Harness.Full -> 100
+
+(* Query families over the popular property band: each family shares a
+   2-atom backbone (same first steps after compilation) and varies the
+   tail atom and projection, so prefixes are shared across DISTINCT
+   plans, not just across repeated evaluation of one plan. *)
+let workload () =
+  let v x = Query.Qterm.Var x in
+  let props = Array.of_list (Workload.Barton.properties ()) in
+  let p i = Query.Qterm.Cst props.(i) in
+  let atom s pr o = Query.Atom.make s pr o in
+  let cq name head body = Query.Cq.make ~name ~head ~body in
+  let family base tag =
+    let backbone =
+      [ atom (v "X") (p base) (v "Y"); atom (v "Y") (p (base + 1)) (v "Z") ]
+    in
+    [
+      cq (tag ^ "_pair") [ v "X"; v "Z" ] backbone;
+      cq (tag ^ "_ext")
+        [ v "X"; v "W" ]
+        (backbone @ [ atom (v "Z") (p (base + 2)) (v "W") ]);
+      cq (tag ^ "_alt")
+        [ v "Z"; v "W" ]
+        (backbone @ [ atom (v "Z") (p (base + 3)) (v "W") ]);
+      cq (tag ^ "_head") [ v "Y" ] backbone;
+    ]
+  in
+  family 46 "f46" @ family 50 "f50" @ family 54 "f54"
+
+let evaluate_all store queries answers qhist =
+  List.iter
+    (fun q ->
+      let t0 = Obs.now_ns () in
+      let rows = Query.Evaluation.eval_cq_codes store q in
+      Obs.observe qhist (Obs.now_ns () - t0);
+      Obs.add answers (List.length rows))
+    queries
+
+let run () =
+  Harness.section "MQO: shared-subplan caching across a workload";
+  let store = Lazy.force Harness.barton_store in
+  let queries = workload () in
+  let reg = Obs.global () in
+  let counter n = Option.value ~default:0 (Obs.find_counter reg n) in
+  (* disabled pass first: its counters are wiped before the measured
+     run, so the BENCH json reflects the optimized pass alone *)
+  Query.Mqo.set_enabled false;
+  Query.Plan.reset_cache ();
+  Query.Mqo.reset ();
+  let baseline_bindings, baseline_secs =
+    Fun.protect
+      ~finally:(fun () -> Query.Mqo.set_enabled true)
+      (fun () ->
+        Obs.reset reg;
+        let answers = Obs.counter reg "eval.answers" in
+        let qhist = Obs.histogram reg "eval.query.ns" in
+        let (), secs =
+          Harness.time_once (fun () ->
+              for _ = 1 to reps do
+                evaluate_all store queries answers qhist
+              done)
+        in
+        (counter "eval.bindings", secs))
+  in
+  (* optimized pass: prepare the workload, then the same evaluation
+     loop under the eval.run timer *)
+  Obs.reset reg;
+  Query.Plan.reset_cache ();
+  Query.Mqo.reset ();
+  let run_timer = Obs.timer reg "eval.run" in
+  let qhist = Obs.histogram reg "eval.query.ns" in
+  let answers = Obs.counter reg "eval.answers" in
+  Obs.time run_timer (fun () ->
+      Query.Mqo.prepare store queries;
+      for _ = 1 to reps do
+        evaluate_all store queries answers qhist
+      done);
+  let bindings = counter "eval.bindings" in
+  let run_ns = Obs.timer_ns run_timer in
+  let secs = float_of_int run_ns /. 1e9 in
+  let speedup = if secs > 0. then baseline_secs /. secs else 0. in
+  let entries, words = Query.Mqo.stats () in
+  if bindings <> baseline_bindings then
+    Printf.printf
+      "  warning: binding counts differ (mqo %d vs disabled %d)\n" bindings
+      baseline_bindings;
+  let prefix_hits = counter "mqo.prefix.hits" in
+  let result_hits = counter "mqo.result.hits" in
+  Harness.add_bench_field "mqo"
+    (Obs.Json.Obj
+       [
+         ("prefix_hits", Obs.Json.Int prefix_hits);
+         ("prefix_evals", Obs.Json.Int (counter "mqo.prefix.evals"));
+         ("result_hits", Obs.Json.Int result_hits);
+         ("result_evals", Obs.Json.Int (counter "mqo.result.evals"));
+         ("capture_rows", Obs.Json.Int (counter "mqo.capture.rows"));
+         ("evictions", Obs.Json.Int (counter "mqo.cache.evictions"));
+         ("cache_entries", Obs.Json.Int entries);
+         ("cache_words", Obs.Json.Int words);
+         ("speedup_vs_disabled", Obs.Json.Float speedup);
+       ]);
+  Harness.print_table
+    ~header:
+      [
+        "queries"; "reps"; "bindings"; "prefix hits"; "result hits";
+        "mqo secs"; "no-mqo secs"; "speedup";
+      ]
+    [
+      [
+        string_of_int (List.length queries);
+        string_of_int reps;
+        string_of_int bindings;
+        string_of_int prefix_hits;
+        string_of_int result_hits;
+        Printf.sprintf "%.3f" secs;
+        Printf.sprintf "%.3f" baseline_secs;
+        Printf.sprintf "%.1fx" speedup;
+      ];
+    ]

@@ -673,29 +673,73 @@ let saturate_cmd =
 (* ---------- eval ------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run data workload schema metrics telemetry telemetry_interval =
+  let batch_size_arg =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "batch-size" ] ~docv:"N"
+          ~doc:
+            "Rows per batch of the columnar plan executor (clamped to \
+             1..1048576).")
+  in
+  let no_mqo_arg =
+    Arg.(
+      value & flag
+      & info [ "no-mqo" ]
+          ~doc:
+            "Disable the multi-query optimizer: every query runs its full \
+             plan, with no shared-prefix or result caching.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the workload's shared-subplan DAG (which plan prefixes \
+             the queries share, and what the optimizer has captured) \
+             instead of the answers.  Nothing is evaluated.")
+  in
+  let run data workload schema metrics telemetry telemetry_interval batch_size
+      no_mqo explain =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     with_telemetry telemetry telemetry_interval @@ fun () ->
+    Query.Plan.set_batch_capacity batch_size;
+    Query.Mqo.set_enabled (not no_mqo);
     let store = load_store data in
     let queries = load_workload workload in
     let schema = Option.map load_schema schema in
-    List.iter
-      (fun q ->
-        let answers =
-          match schema with
-          | None -> Query.Evaluation.eval_cq store q
-          | Some s ->
-            Query.Evaluation.eval_ucq store (Query.Reformulation.reformulate q s)
-        in
-        Printf.printf "%s: %d answer(s)\n" q.Query.Cq.name (List.length answers);
-        List.iter
-          (fun tuple ->
-            Printf.printf "  (%s)\n"
-              (String.concat ", "
-                 (List.map Rdf.Term.to_string (Array.to_list tuple))))
-          answers)
-      queries
+    if explain then begin
+      let cqs =
+        match schema with
+        | None -> queries
+        | Some s ->
+          List.concat_map
+            (fun q ->
+              Query.Ucq.disjuncts (Query.Reformulation.reformulate q s))
+            queries
+      in
+      print_string (Query.Mqo.explain store cqs)
+    end
+    else
+      List.iter
+        (fun q ->
+          let answers =
+            match schema with
+            | None -> Query.Evaluation.eval_cq store q
+            | Some s ->
+              Query.Evaluation.eval_ucq store
+                (Query.Reformulation.reformulate q s)
+          in
+          Printf.printf "%s: %d answer(s)\n" q.Query.Cq.name
+            (List.length answers);
+          List.iter
+            (fun tuple ->
+              Printf.printf "  (%s)\n"
+                (String.concat ", "
+                   (List.map Rdf.Term.to_string (Array.to_list tuple))))
+            answers)
+        queries
   in
   let info =
     Cmd.info "eval"
@@ -705,7 +749,8 @@ let eval_cmd =
   Cmd.v info
     Term.(
       const run $ data_arg $ workload_arg $ schema_opt_arg $ metrics_arg
-      $ telemetry_arg $ telemetry_interval_arg)
+      $ telemetry_arg $ telemetry_interval_arg $ batch_size_arg $ no_mqo_arg
+      $ explain_arg)
 
 (* ---------- generate --------------------------------------------------------- *)
 

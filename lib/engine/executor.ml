@@ -1,3 +1,21 @@
+(* Columnar execution of rewriting plans over materialized views.
+
+   Intermediate results are chunks: one flat [int array] per column
+   plus a row count, mirroring the batch layout of the query layer's
+   plan executor.  Selections filter through a selection vector and
+   gather survivors once; projections reorder column references
+   without touching data; deduplication views the chunk's columns in
+   place as a [Query.Batch] (its representation is transparent for
+   exactly this) and runs one bulk [Rowset.add_batch] pass.  Rows are
+   only materialized at the boundaries: scanning a [Relation] in and
+   building the result [Relation] out. *)
+
+type chunk = {
+  cols : string list;  (* column names, in order *)
+  data : int array array;  (* per-column values, each of length >= n *)
+  n : int;  (* row count *)
+}
+
 let column_index cols c =
   let rec find i = function
     | [] -> failwith ("Executor: unknown column " ^ c)
@@ -5,116 +23,210 @@ let column_index cols c =
   in
   find 0 cols
 
-let rec eval store env expr : string list * int array list =
+let chunk_of_rows cols rows =
+  let k = List.length cols in
+  let n = List.length rows in
+  let data = Array.init k (fun _ -> Array.make (max n 1) 0) in
+  List.iteri
+    (fun r row ->
+      for c = 0 to k - 1 do
+        data.(c).(r) <- row.(c)
+      done)
+    rows;
+  { cols; data; n }
+
+let rows_of_chunk ch =
+  let k = List.length ch.cols in
+  List.init ch.n (fun r -> Array.init k (fun c -> ch.data.(c).(r)))
+
+(* View a chunk's columns in place as a dense batch — no copy; bulk
+   dedup reads straight out of the chunk.  The empty selection vector
+   is never consulted while [sel_n] is -1. *)
+let batch_of_chunk ch =
+  {
+    Query.Batch.width = Array.length ch.data;
+    cap = max ch.n 1;
+    cols = ch.data;
+    n = ch.n;
+    sel = [||];
+    sel_n = -1;
+  }
+
+let chunk_of_rowset cols rs =
+  let k = List.length cols in
+  let n = Query.Rowset.cardinal rs in
+  let data = Array.init k (fun _ -> Array.make (max n 1) 0) in
+  let r = ref 0 in
+  Query.Rowset.iter
+    (fun row ->
+      for c = 0 to k - 1 do
+        data.(c).(!r) <- row.(c)
+      done;
+      incr r)
+    rs;
+  { cols; data; n }
+
+(* Set-semantics dedup of a whole chunk: one bulk pass.  When nothing
+   collapses the original chunk is kept (its arrays are read-only). *)
+let dedup ch =
+  let rs = Query.Rowset.create (max ch.n 16) in
+  ignore (Query.Rowset.add_batch rs (batch_of_chunk ch));
+  if Query.Rowset.cardinal rs = ch.n then ch else chunk_of_rowset ch.cols rs
+
+let rec eval store env expr : chunk =
   match expr with
   | Core.Rewriting.Scan name -> (
     match Hashtbl.find_opt env name with
-    | Some rel -> (Relation.cols rel, Relation.rows rel)
+    | Some rel -> chunk_of_rows (Relation.cols rel) (Relation.rows rel)
     | None -> failwith ("Executor: unknown view " ^ name))
   | Core.Rewriting.Select (conds, inner) ->
-    let cols, rows = eval store env inner in
+    let ch = eval store env inner in
+    (* compile each condition to a per-row-index predicate over the
+       chunk's columns *)
     let tests =
       List.map
         (fun cond ->
           match cond with
           | Core.Rewriting.Eq_cst (c, term) -> (
-            let i = column_index cols c in
+            let col = ch.data.(column_index ch.cols c) in
             match Rdf.Store.find_term store term with
-            | Some code -> fun row -> row.(i) = code
+            | Some code -> fun r -> col.(r) = code
             | None -> fun _ -> false)
           | Core.Rewriting.Eq_col (c1, c2) ->
-            let i = column_index cols c1 in
-            let j = column_index cols c2 in
-            fun row -> row.(i) = row.(j))
+            let a = ch.data.(column_index ch.cols c1) in
+            let b = ch.data.(column_index ch.cols c2) in
+            fun r -> a.(r) = b.(r))
         conds
     in
-    (cols, List.filter (fun row -> List.for_all (fun test -> test row) tests) rows)
+    (* selection vector of survivors, then one gather per column *)
+    let sel = Array.make (max ch.n 1) 0 in
+    let k = ref 0 in
+    for r = 0 to ch.n - 1 do
+      if List.for_all (fun test -> test r) tests then begin
+        sel.(!k) <- r;
+        incr k
+      end
+    done;
+    let m = !k in
+    if m = ch.n then ch
+    else
+      {
+        ch with
+        data =
+          Array.map
+            (fun col -> Array.init (max m 1) (fun i -> col.(sel.(i))))
+            ch.data;
+        n = m;
+      }
   | Core.Rewriting.Project (out_cols, inner) ->
-    let cols, rows = eval store env inner in
-    let idx = Array.of_list (List.map (column_index cols) out_cols) in
-    let seen = Query.Rowset.create 64 in
-    let projected =
-      List.filter_map
-        (fun row ->
-          let tuple = Array.map (fun i -> row.(i)) idx in
-          if Query.Rowset.add seen tuple then Some tuple else None)
-        rows
+    let ch = eval store env inner in
+    (* a projection only reorders column references; the dedup pass
+       owns any data movement *)
+    let data =
+      Array.of_list
+        (List.map (fun c -> ch.data.(column_index ch.cols c)) out_cols)
     in
-    (out_cols, projected)
+    dedup { cols = out_cols; data; n = ch.n }
   | Core.Rewriting.Rename (mapping, inner) ->
-    let cols, rows = eval store env inner in
+    let ch = eval store env inner in
     let renamed =
       List.map
         (fun c ->
           match List.assoc_opt c mapping with Some c' -> c' | None -> c)
-        cols
+        ch.cols
     in
-    (renamed, rows)
+    { ch with cols = renamed }
   | Core.Rewriting.Join (conds, l, r) ->
-    let lcols, lrows = eval store env l in
-    let rcols, rrows = eval store env r in
+    let lch = eval store env l in
+    let rch = eval store env r in
     let pairs =
       match conds with
-      | [] -> List.filter_map
-                (fun c -> if List.mem c lcols then Some (c, c) else None)
-                rcols
+      | [] ->
+        List.filter_map
+          (fun c -> if List.mem c lch.cols then Some (c, c) else None)
+          rch.cols
       | _ :: _ -> conds
     in
-    let lkey = Array.of_list (List.map (fun (a, _) -> column_index lcols a) pairs) in
-    let rkey = Array.of_list (List.map (fun (_, b) -> column_index rcols b) pairs) in
+    let lkey =
+      Array.of_list (List.map (fun (a, _) -> column_index lch.cols a) pairs)
+    in
+    let rkey =
+      Array.of_list (List.map (fun (_, b) -> column_index rch.cols b) pairs)
+    in
     (* output columns mirror Rewriting.columns: left columns, then the
        right columns whose names are not already present on the left *)
     let kept_right =
       List.filter
-        (fun (_, c) -> not (List.mem c lcols))
-        (List.mapi (fun i c -> (i, c)) rcols)
+        (fun (_, c) -> not (List.mem c lch.cols))
+        (List.mapi (fun i c -> (i, c)) rch.cols)
     in
-    let out_cols = lcols @ List.map snd kept_right in
-    (* hash join: bucket the left rows by their join-key projection,
+    let out_cols = lch.cols @ List.map snd kept_right in
+    let lw = List.length lch.cols in
+    let kept = Array.of_list (List.map fst kept_right) in
+    (* hash join: bucket left row INDICES by their join-key projection,
        keyed directly by the int array (no per-probe list allocation) *)
-    let table = Query.Rowset.Tbl.create (List.length lrows) in
-    List.iter
-      (fun row ->
-        let key = Array.map (fun i -> row.(i)) lkey in
-        let prev =
-          match Query.Rowset.Tbl.find_opt table key with
-          | Some rows -> rows
-          | None -> []
-        in
-        Query.Rowset.Tbl.replace table key (row :: prev))
-      lrows;
-    let joined =
-      List.concat_map
-        (fun rrow ->
-          let key = Array.map (fun i -> rrow.(i)) rkey in
-          match Query.Rowset.Tbl.find_opt table key with
-          | None -> []
-          | Some lmatches ->
-            List.map
-              (fun lrow ->
-                Array.append lrow
-                  (Array.of_list (List.map (fun (i, _) -> rrow.(i)) kept_right)))
-              lmatches)
-        rrows
-    in
-    (out_cols, joined)
-  | Core.Rewriting.Union branches ->
-    let results = List.map (eval store env) branches in
-    (match results with
-    | [] -> failwith "Executor: empty union"
-    | (cols, _) :: _ ->
-      let seen = Query.Rowset.create 64 in
-      let rows =
-        List.concat_map
-          (fun (_, rows) ->
-            List.filter (fun row -> Query.Rowset.add seen row) rows)
-          results
+    let table = Query.Rowset.Tbl.create (max lch.n 16) in
+    for r = 0 to lch.n - 1 do
+      let key = Array.map (fun i -> lch.data.(i).(r)) lkey in
+      let prev =
+        match Query.Rowset.Tbl.find_opt table key with
+        | Some rs -> rs
+        | None -> []
       in
-      (cols, rows))
+      Query.Rowset.Tbl.replace table key (r :: prev)
+    done;
+    (* probe with the right rows, appending matches column-wise into
+       growable output vectors *)
+    let width = lw + Array.length kept in
+    let cap = ref 64 in
+    let out = Array.init (max width 1) (fun _ -> Array.make !cap 0) in
+    let n = ref 0 in
+    let grow need =
+      if need > !cap then begin
+        let cap' = max need (2 * !cap) in
+        for c = 0 to width - 1 do
+          let fresh = Array.make cap' 0 in
+          Array.blit out.(c) 0 fresh 0 !n;
+          out.(c) <- fresh
+        done;
+        cap := cap'
+      end
+    in
+    for r = 0 to rch.n - 1 do
+      let key = Array.map (fun i -> rch.data.(i).(r)) rkey in
+      match Query.Rowset.Tbl.find_opt table key with
+      | None -> ()
+      | Some lmatches ->
+        List.iter
+          (fun lr ->
+            grow (!n + 1);
+            let j = !n in
+            for c = 0 to lw - 1 do
+              out.(c).(j) <- lch.data.(c).(lr)
+            done;
+            Array.iteri
+              (fun c i -> out.(lw + c).(j) <- rch.data.(i).(r))
+              kept;
+            n := j + 1)
+          lmatches
+    done;
+    { cols = out_cols; data = out; n = !n }
+  | Core.Rewriting.Union branches -> (
+    let results = List.map (eval store env) branches in
+    match results with
+    | [] -> failwith "Executor: empty union"
+    | [ only ] -> dedup only
+    | (first : chunk) :: _ ->
+      let hint = List.fold_left (fun acc ch -> acc + ch.n) 0 results in
+      let rs = Query.Rowset.create (max hint 16) in
+      List.iter
+        (fun ch -> ignore (Query.Rowset.add_batch rs (batch_of_chunk ch)))
+        results;
+      chunk_of_rowset first.cols rs)
 
 let execute store env expr =
-  let cols, rows = eval store env expr in
-  Relation.make ~name:"result" ~cols rows
+  let ch = eval store env expr in
+  Relation.make ~name:"result" ~cols:ch.cols (rows_of_chunk ch)
 
 let execute_query store env expr =
   let rel = execute store env expr in

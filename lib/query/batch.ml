@@ -1,0 +1,136 @@
+(* Columnar batches for the vectorized plan executor.
+
+   A batch is a fixed-capacity block of partial bindings stored
+   column-major: [cols.(s).(r)] is slot [s] of row [r].  The executor
+   ([Plan]) fills batches a step at a time — each scan step appends
+   extended rows to a downstream batch, each membership step narrows
+   the current batch through a {e selection vector} instead of moving
+   any data.  Keeping the layout flat [int array]s means the per-row
+   kernels are plain integer loads and stores with no boxing and no
+   per-row allocation, and a whole batch can be handed to
+   [Rowset.add_batch] for one bulk dedup pass.
+
+   The companion {!buf} type is a growable column store with the same
+   layout: the multi-query optimizer ([Mqo]) captures the stream of
+   batches crossing a shared plan prefix into a [buf] once, then
+   replays it into every dependent plan.
+
+   All fields are exposed: the batch kernels in [Plan] run per row and
+   cross-module accessors would be pure overhead on that path.  Code
+   outside [lib/query] should treat the representation as read-only. *)
+
+type t = {
+  width : int;  (* number of slot columns *)
+  cap : int;    (* rows per batch *)
+  cols : int array array;  (* [width] arrays of length [cap] *)
+  mutable n : int;  (* rows filled *)
+  sel : int array;  (* selection vector, length [cap] *)
+  mutable sel_n : int;  (* live prefix of [sel]; -1 = dense (all [n] rows) *)
+}
+
+let create ~width cap =
+  let cap = max cap 1 in
+  {
+    width;
+    cap;
+    cols = Array.init width (fun _ -> Array.make cap 0);
+    n = 0;
+    sel = Array.make cap 0;
+    sel_n = -1;
+  }
+[@@domain_safe]
+
+let clear b =
+  b.n <- 0;
+  b.sel_n <- -1
+[@@domain_safe]
+
+let live b = if b.sel_n < 0 then b.n else b.sel_n [@@domain_safe]
+let is_empty b = live b = 0 [@@domain_safe]
+
+(* Row index of the [i]th live row, reading through the selection
+   vector when one is active. *)
+let row_at b i = if b.sel_n < 0 then i else Array.unsafe_get b.sel i
+[@@domain_safe]
+
+let iter_live f b =
+  let m = live b in
+  for i = 0 to m - 1 do
+    f (row_at b i)
+  done
+[@@domain_safe]
+
+(* Decode the [i]th live row's first [m] columns into a fresh array —
+   test/debug convenience, not an executor path. *)
+let read_row b ~width:m i =
+  let r = row_at b i in
+  Array.init m (fun c -> b.cols.(c).(r))
+[@@domain_safe]
+
+(* ---------- growable column buffers -------------------------------------- *)
+
+type buf = {
+  bwidth : int;
+  mutable bcols : int array array;  (* [bwidth] arrays of length [bcap] *)
+  mutable bcap : int;
+  mutable bn : int;
+}
+
+let buf_create ~width =
+  { bwidth = width; bcols = Array.init width (fun _ -> Array.make 64 0); bcap = 64; bn = 0 }
+[@@domain_safe]
+
+let buf_rows buf = buf.bn [@@domain_safe]
+let buf_width buf = buf.bwidth [@@domain_safe]
+let buf_cols buf = buf.bcols [@@domain_safe]
+
+(* Total int cells held (the [Mqo] cache budgets by this). *)
+let buf_words buf = (buf.bwidth * buf.bcap) + 4 [@@domain_safe]
+
+let buf_reserve buf extra =
+  let need = buf.bn + extra in
+  if need > buf.bcap then begin
+    let cap = max need (2 * buf.bcap) in
+    buf.bcols <-
+      Array.map
+        (fun col ->
+          let fresh = Array.make cap 0 in
+          Array.blit col 0 fresh 0 buf.bn;
+          fresh)
+        buf.bcols;
+    buf.bcap <- cap
+  end
+[@@domain_safe]
+
+(* Append the live rows of a batch, compacting through its selection
+   vector; only the first [bwidth] columns are kept (a prefix capture
+   stores just the slots bound by the shared steps). *)
+let buf_append buf b =
+  let m = live b in
+  if m > 0 then begin
+    buf_reserve buf m;
+    let base = buf.bn in
+    for c = 0 to buf.bwidth - 1 do
+      let src = Array.unsafe_get b.cols c in
+      let dst = Array.unsafe_get buf.bcols c in
+      if b.sel_n < 0 then Array.blit src 0 dst base m
+      else
+        for i = 0 to m - 1 do
+          Array.unsafe_set dst (base + i)
+            (Array.unsafe_get src (Array.unsafe_get b.sel i))
+        done
+    done;
+    buf.bn <- base + m
+  end
+[@@domain_safe]
+
+(* Refill [b] (cleared first) with rows [off, off + k) of the buffer;
+   [k] must not exceed the batch capacity and the buffer's width must
+   not exceed the batch's. *)
+let buf_blit buf ~off ~len b =
+  clear b;
+  for c = 0 to buf.bwidth - 1 do
+    Array.blit (Array.unsafe_get buf.bcols c) off (Array.unsafe_get b.cols c) 0 len
+  done;
+  b.n <- len
+[@@domain_safe]

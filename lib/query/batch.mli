@@ -1,0 +1,72 @@
+(** Columnar batches for the vectorized plan executor.
+
+    A batch holds up to [cap] partial bindings column-major:
+    [cols.(s).(r)] is slot [s] of row [r].  Scan steps append extended
+    rows into a downstream batch; membership steps narrow the current
+    batch through the selection vector [sel] (no data movement).  The
+    growable {!buf} stores a captured batch stream — the multi-query
+    optimizer materializes a shared plan prefix into one and replays
+    it into every dependent plan.
+
+    The representation is deliberately transparent: [Plan]'s per-row
+    kernels read and write the fields directly.  Code outside
+    [lib/query] must treat batches as read-only. *)
+
+type t = {
+  width : int;  (** number of slot columns *)
+  cap : int;  (** row capacity *)
+  cols : int array array;  (** [width] arrays of length [cap] *)
+  mutable n : int;  (** rows filled *)
+  sel : int array;  (** selection vector, length [cap] *)
+  mutable sel_n : int;  (** live prefix of [sel]; [-1] = dense *)
+}
+
+val create : width:int -> int -> t
+(** [create ~width cap] — a fresh empty batch ([cap] is clamped to at
+    least 1). *)
+
+val clear : t -> unit
+(** Empty the batch and drop any selection vector. *)
+
+val live : t -> int
+(** Number of live rows: [n] when dense, [sel_n] under a selection. *)
+
+val is_empty : t -> bool
+
+val row_at : t -> int -> int
+(** Physical row index of the [i]th live row (reads through [sel]). *)
+
+val iter_live : (int -> unit) -> t -> unit
+(** Apply to each live physical row index, in order. *)
+
+val read_row : t -> width:int -> int -> int array
+(** Decode the [i]th live row's first [width] columns into a fresh
+    array.  Test/debug convenience, not an executor path. *)
+
+(** {1 Growable column buffers} *)
+
+type buf
+
+val buf_create : width:int -> buf
+val buf_rows : buf -> int
+val buf_width : buf -> int
+
+val buf_words : buf -> int
+(** Allocated int cells — what the MQO cache budgets by. *)
+
+val buf_append : buf -> t -> unit
+(** Append a batch's live rows (compacting through its selection
+    vector), keeping the buffer's first [width] columns. *)
+
+val buf_blit : buf -> off:int -> len:int -> t -> unit
+(** Refill the batch (cleared first) with buffer rows
+    [off, off + len).  [len] must fit the batch capacity and the
+    buffer width must not exceed the batch width. *)
+
+(**/**)
+
+val buf_reserve : buf -> int -> unit
+
+val buf_cols : buf -> int array array
+(** The raw column arrays (valid rows are [0 .. buf_rows - 1]); the
+    replay fast path reads them in place.  Treat as read-only. *)

@@ -69,6 +69,24 @@ type t = {
   generation : int;    (* guarded re-orders applied so far *)
   obs_sum : float array;  (* per-step: summed observed bucket sizes *)
   obs_cnt : int array;    (* per-step: number of observations *)
+  bound : int array;
+      (* [bound.(d)] = slots bound after the first [d] steps; slots are
+         assigned in step order, so those are always the dense prefix
+         [0 .. bound.(d) - 1] — the invariant the batch pipeline and
+         the MQO prefix cache rely on *)
+  prefix_ids : int array;
+      (* [prefix_ids.(d)] = interned canonical form of steps
+         [0 .. d] — two plans with equal ids produce identical partial
+         binding streams over identical dense slot prefixes, which is
+         what lets [Mqo] share materialized prefixes across plans *)
+  result_id : int;
+      (* interned canonical form of the whole plan INCLUDING the head
+         projection: plans with equal result ids produce identical
+         result sets, the key of [Mqo]'s result-level cache *)
+  mutable last_bindings : int;
+      (* complete assignments (duplicates included) counted by the
+         last execution; [Mqo] stamps it on cached results so replays
+         keep the bindings telemetry engine-equivalent *)
   mutable result_hint : int;
       (* cardinality of the last result set produced from this plan;
          pre-sizes the next execution's row table so steady-state
@@ -79,6 +97,11 @@ let is_impossible t = t.impossible
 let generation t = t.generation
 let step_count t = Array.length t.steps
 let atom_order t = Array.map (fun st -> st.atom) t.steps
+let nslots t = t.nslots
+let bound_after t d = t.bound.(d)
+let prefix_id t d = t.prefix_ids.(d - 1)
+let result_id t = t.result_id
+let last_bindings t = t.last_bindings
 
 (* ---------- compilation -------------------------------------------------- *)
 
@@ -113,6 +136,79 @@ let estimate store slots (s, p, o) =
   in
   shrink (shrink (shrink (float_of_int base) `S s) `P p) `O o
 
+(* Canonical serialization of a step sequence, interned per prefix
+   length.  The encoding covers exactly what determines the binding
+   stream — access path, resolved codes, slot numbers, post actions —
+   and excludes estimates and source-atom indices, so syntactically
+   different queries whose compiled prefixes coincide share ids. *)
+let serialize_src b = function
+  | Kconst c ->
+    Buffer.add_char b 'c';
+    Buffer.add_string b (string_of_int c)
+  | Kslot s ->
+    Buffer.add_char b 's';
+    Buffer.add_string b (string_of_int s)
+
+let serialize_post b = function
+  | Skip -> Buffer.add_char b 'k'
+  | Bind s ->
+    Buffer.add_char b 'b';
+    Buffer.add_string b (string_of_int s)
+  | Test s ->
+    Buffer.add_char b 't';
+    Buffer.add_string b (string_of_int s)
+
+let serialize_step b st =
+  Buffer.add_char b '|';
+  (match st.access with
+  | All -> Buffer.add_char b 'A'
+  | One (col, a) ->
+    Buffer.add_string b
+      (match col with `S -> "1S" | `P -> "1P" | `O -> "1O");
+    serialize_src b a
+  | Two (cols, x, y) ->
+    Buffer.add_string b
+      (match cols with `SP -> "2SP" | `SO -> "2SO" | `PO -> "2PO");
+    serialize_src b x;
+    serialize_src b y
+  | Mem (x, y, z) ->
+    Buffer.add_char b 'M';
+    serialize_src b x;
+    serialize_src b y;
+    serialize_src b z);
+  serialize_post b st.post_s;
+  serialize_post b st.post_p;
+  serialize_post b st.post_o
+
+let prefix_ids_of store_id steps =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "mqo:";
+  Buffer.add_string b (string_of_int store_id);
+  let ids =
+    Array.map
+      (fun st ->
+        serialize_step b st;
+        Interning.of_canonical (Buffer.contents b))
+      steps
+  in
+  (ids, b)
+
+(* The result id extends the full-depth prefix serialization with the
+   head projection: equal ids mean equal result sets, not just equal
+   binding streams. *)
+let result_id_of b head =
+  Buffer.add_string b "|H";
+  Array.iter
+    (function
+      | Hconst c ->
+        Buffer.add_char b 'c';
+        Buffer.add_string b (string_of_int c)
+      | Hslot s ->
+        Buffer.add_char b 's';
+        Buffer.add_string b (string_of_int s))
+    head;
+  Interning.of_canonical (Buffer.contents b)
+
 let compile_internal ?overrides ~generation store (q : Cq.t) =
   let atoms =
     Array.of_list
@@ -139,6 +235,10 @@ let compile_internal ?overrides ~generation store (q : Cq.t) =
       generation;
       obs_sum = [||];
       obs_cnt = [||];
+      bound = [| 0 |];
+      prefix_ids = [||];
+      result_id = -1;
+      last_bindings = 0;
       result_hint = 0;
     }
   else begin
@@ -172,6 +272,7 @@ let compile_internal ?overrides ~generation store (q : Cq.t) =
     (* Greedy order: cheapest estimated atom next; ties prefer the atom
        with more known positions, then source order (determinism). *)
     let steps = ref [] in
+    let bound = Array.make (n + 1) 0 in
     for d = 0 to n - 1 do
       let best = ref (-1) in
       let best_est = ref infinity in
@@ -237,7 +338,8 @@ let compile_internal ?overrides ~generation store (q : Cq.t) =
       let post_p = post kp p in
       let post_o = post ko o in
       steps :=
-        { access; post_s; post_p; post_o; est = !best_est; atom = i } :: !steps
+        { access; post_s; post_p; post_o; est = !best_est; atom = i } :: !steps;
+      bound.(d + 1) <- !nslots
     done;
     let head =
       Array.of_list
@@ -250,10 +352,13 @@ let compile_internal ?overrides ~generation store (q : Cq.t) =
                | None -> invalid_arg "Plan.compile: unsafe head variable"))
            q.head)
     in
+    let steps = Array.of_list (List.rev !steps) in
+    let store_id = Rdf.Store.id store in
+    let prefix_ids, pbuf = prefix_ids_of store_id steps in
     {
       query = q;
-      store_id = Rdf.Store.id store;
-      steps = Array.of_list (List.rev !steps);
+      store_id;
+      steps;
       nslots = !nslots;
       head;
       impossible = false;
@@ -261,6 +366,10 @@ let compile_internal ?overrides ~generation store (q : Cq.t) =
       generation;
       obs_sum = Array.make n 0.;
       obs_cnt = Array.make n 0;
+      bound;
+      prefix_ids;
+      result_id = result_id_of pbuf head;
+      last_bindings = 0;
       result_hint = 0;
     }
   end
@@ -275,15 +384,13 @@ let compile ?overrides ?(generation = 0) store q =
   end
   else compile_internal ?overrides ~generation store q
 
-(* ---------- execution ---------------------------------------------------- *)
+(* ---------- execution: tuple-at-a-time path ------------------------------ *)
 
-(* [exec plan store emit] streams every complete binding's projected
-   row to [emit] (duplicates included — set semantics is the caller's,
-   via {!Rowset}).  The frame is one [int array]; the per-triple path
-   reads packed bucket cells and mutates the frame, allocating
-   nothing.  The store must not be mutated during execution: buckets
-   are walked in place. *)
-let exec plan store emit =
+(* The original depth-first walker over a single mutable frame.  Kept
+   as [exec_tuple] — the differential suite runs it against the batch
+   pipeline, and it remains the cheapest path for one-shot queries
+   whose results are consumed row by row. *)
+let exec_tuple plan store emit =
   if plan.store_id <> Rdf.Store.id store then
     invalid_arg "Plan.exec: plan compiled against a different store";
   if not plan.impossible then begin
@@ -368,16 +475,363 @@ let exec plan store emit =
     in
     run 0;
     Obs.add (obs_extensions ()) !n_ext;
-    Obs.add (obs_bindings ()) !n_bind
+    Obs.add (obs_bindings ()) !n_bind;
+    plan.last_bindings <- !n_bind
   end
 
-(* The hint is the plan's own contribution (cardinality delta), so
+let exec_into_tuple plan store rows =
+  let before = Rowset.cardinal rows in
+  exec_tuple plan store (fun row -> ignore (Rowset.add_copy rows row));
+  plan.result_hint <- Rowset.cardinal rows - before
+
+(* ---------- execution: batched columnar pipeline ------------------------- *)
+
+(* Default batch capacity.  An [Atomic] so the CLI / benchmarks can
+   retune it while worker domains read it; each execution snapshots the
+   value once. *)
+let batch_capacity_ref = Atomic.make 1024
+let set_batch_capacity n = Atomic.set batch_capacity_ref (max 1 (min n (1 lsl 20)))
+let batch_capacity () = Atomic.get batch_capacity_ref
+
+let obs_batch_flushes = Obs.cached_counter "eval.batch.flushes"
+let obs_batch_fill = Obs.cached_histogram "eval.batch.fill"
+
+(* The vectorized executor.  One scratch batch per scan step holds the
+   partial bindings that step has produced but not yet pushed onward;
+   a step processes a whole upstream batch before control moves on:
+
+   - scan steps (All / One / Two) run the slot-test kernel per
+     candidate triple and the slot-copy + slot-bind kernels per
+     survivor, appending to their scratch batch and flushing it
+     downstream whenever it fills;
+   - membership steps (Mem) never move data: they narrow the incoming
+     batch in place through its selection vector;
+   - batches reaching [nsteps] are complete bindings and go to
+     [on_final] (still columnar — the callers project and bulk-insert
+     from there).
+
+   [start], [input] and [capture] are the multi-query optimizer's
+   hooks: execution may begin at step [start] fed from a captured
+   column buffer instead of step 0, and the batch stream crossing
+   depth [capture] may be appended to a buffer for later replay.
+   Depth-[d] batches hold exactly the dense slot prefix
+   [0 .. bound.(d) - 1], which is what makes captured buffers
+   interchangeable across plans sharing the prefix id. *)
+let exec_batched_gen ~cap ~start ~input ~capture plan store ~on_final =
+  if plan.store_id <> Rdf.Store.id store then
+    invalid_arg "Plan.exec: plan compiled against a different store";
+  if not plan.impossible then begin
+    let steps = plan.steps in
+    let nsteps = Array.length steps in
+    let width = plan.nslots in
+    let scratch =
+      Array.init (nsteps - start) (fun _ -> Batch.create ~width cap)
+    in
+    let cap_depth, cap_buf =
+      match capture with Some (d, b) -> (d, b) | None -> (-1, Batch.buf_create ~width:0)
+    in
+    let n_ext = ref 0 in
+    let n_bind = ref 0 in
+    let n_flush = ref 0 in
+    let fill_hist = obs_batch_fill () in
+    let fill_live = Obs.histogram_live fill_hist in
+    let rec push d (b : Batch.t) =
+      if Batch.live b > 0 then begin
+        if d = cap_depth then Batch.buf_append cap_buf b;
+        if d = nsteps then begin
+          incr n_flush;
+          n_bind := !n_bind + Batch.live b;
+          if fill_live then Obs.observe fill_hist (Batch.live b);
+          on_final b
+        end
+        else begin
+          let st = Array.unsafe_get steps d in
+          let cols = b.Batch.cols in
+          match st.access with
+          | Mem (x, y, z) ->
+            (* constant/slot-test kernel against the membership index:
+               narrow [b] in place; writes into [sel] trail the reads,
+               so compaction is safe even when a selection is already
+               active *)
+            let m = Batch.live b in
+            let sel = b.Batch.sel in
+            let sval r = function
+              | Kconst k -> k
+              | Kslot s -> Array.unsafe_get (Array.unsafe_get cols s) r
+            in
+            let k = ref 0 in
+            for i = 0 to m - 1 do
+              let r = Batch.row_at b i in
+              if
+                Rdf.Store.mem_encoded store (sval r x, sval r y, sval r z)
+              then begin
+                Array.unsafe_set sel !k r;
+                incr k
+              end
+            done;
+            n_ext := !n_ext + !k;
+            b.Batch.sel_n <- !k;
+            push (d + 1) b
+          | _ ->
+            let out = Array.unsafe_get scratch (d - start) in
+            let ocols = out.Batch.cols in
+            let bound_d = Array.unsafe_get plan.bound d in
+            let m = Batch.live b in
+            let post_s = st.post_s
+            and post_p = st.post_p
+            and post_o = st.post_o in
+            (* A Test may target a slot bound by THIS step's earlier
+               position (repeated variable in one atom): slots below
+               [bound_d] live in the parent columns, anything else was
+               just bound from the candidate triple itself.  Resolve
+               the in-step data-word offset once per step. *)
+            let p_test_off =
+              match post_p with
+              | Test s when s >= bound_d -> (
+                match post_s with Bind s' when s' = s -> 0 | _ -> assert false)
+              | Skip | Bind _ | Test _ -> -1
+            in
+            let o_test_off =
+              match post_o with
+              | Test s when s >= bound_d -> (
+                match (post_s, post_p) with
+                | Bind s', _ when s' = s -> 0
+                | _, Bind s' when s' = s -> 1
+                | _ -> assert false)
+              | Skip | Bind _ | Test _ -> -1
+            in
+            for i = 0 to m - 1 do
+              let r = Batch.row_at b i in
+              let sval = function
+                | Kconst k -> k
+                | Kslot s -> Array.unsafe_get (Array.unsafe_get cols s) r
+              in
+              let data, n =
+                match st.access with
+                | All -> Rdf.Store.scan_all store
+                | One (col, a) -> Rdf.Store.scan1 store col (sval a)
+                | Two (cs, a, b') -> Rdf.Store.scan2 store cs (sval a) (sval b')
+                | Mem _ -> assert false
+              in
+              (* feedback for the guarded re-order *)
+              plan.obs_sum.(d) <- plan.obs_sum.(d) +. float_of_int n;
+              plan.obs_cnt.(d) <- plan.obs_cnt.(d) + 1;
+              for c = 0 to n - 1 do
+                let base = 3 * c in
+                (* slot-test kernels: nothing is written until all
+                   three positions pass *)
+                if
+                  (match post_s with
+                  | Skip | Bind _ -> true
+                  | Test s ->
+                    Array.unsafe_get (Array.unsafe_get cols s) r
+                    = Array.unsafe_get data base)
+                  && (match post_p with
+                     | Skip | Bind _ -> true
+                     | Test s ->
+                       (if p_test_off >= 0 then
+                          Array.unsafe_get data (base + p_test_off)
+                        else Array.unsafe_get (Array.unsafe_get cols s) r)
+                       = Array.unsafe_get data (base + 1))
+                  && (match post_o with
+                     | Skip | Bind _ -> true
+                     | Test s ->
+                       (if o_test_off >= 0 then
+                          Array.unsafe_get data (base + o_test_off)
+                        else Array.unsafe_get (Array.unsafe_get cols s) r)
+                       = Array.unsafe_get data (base + 2))
+                then begin
+                  incr n_ext;
+                  if out.Batch.n = out.Batch.cap then begin
+                    push (d + 1) out;
+                    Batch.clear out
+                  end;
+                  let j = out.Batch.n in
+                  (* slot-copy kernel: the parent's dense bound prefix *)
+                  for s = 0 to bound_d - 1 do
+                    Array.unsafe_set (Array.unsafe_get ocols s) j
+                      (Array.unsafe_get (Array.unsafe_get cols s) r)
+                  done;
+                  (* slot-bind kernels *)
+                  (match post_s with
+                  | Bind s ->
+                    Array.unsafe_set (Array.unsafe_get ocols s) j
+                      (Array.unsafe_get data base)
+                  | Skip | Test _ -> ());
+                  (match post_p with
+                  | Bind s ->
+                    Array.unsafe_set (Array.unsafe_get ocols s) j
+                      (Array.unsafe_get data (base + 1))
+                  | Skip | Test _ -> ());
+                  (match post_o with
+                  | Bind s ->
+                    Array.unsafe_set (Array.unsafe_get ocols s) j
+                      (Array.unsafe_get data (base + 2))
+                  | Skip | Test _ -> ());
+                  out.Batch.n <- j + 1
+                end
+              done
+            done
+        end
+      end
+    in
+    (* end-of-stream: flush the partial scratch batches top-down (a
+       flush at depth [d] may add rows to every deeper scratch) *)
+    let rec finish d =
+      if d < nsteps then begin
+        (match steps.(d).access with
+        | Mem _ -> ()
+        | _ ->
+          let out = scratch.(d - start) in
+          if out.Batch.n > 0 then begin
+            push (d + 1) out;
+            Batch.clear out
+          end);
+        finish (d + 1)
+      end
+    in
+    (match input with
+    | None ->
+      (* the seed: one empty binding entering step [start] *)
+      let b0 = Batch.create ~width 1 in
+      b0.Batch.n <- 1;
+      push start b0
+    | Some buf ->
+      let b0 = Batch.create ~width cap in
+      let total = Batch.buf_rows buf in
+      let off = ref 0 in
+      while !off < total do
+        let len = min cap (total - !off) in
+        Batch.buf_blit buf ~off:!off ~len b0;
+        push start b0;
+        off := !off + len
+      done);
+    finish start;
+    Obs.add (obs_extensions ()) !n_ext;
+    Obs.add (obs_bindings ()) !n_bind;
+    Obs.add (obs_batch_flushes ()) !n_flush;
+    plan.last_bindings <- !n_bind
+  end
+
+(* Full-depth replay: the captured buffer already holds complete
+   bindings, so the pipeline degenerates to projecting head columns
+   straight out of the buffer and bulk-inserting — no feed batch, no
+   step scratch, one copy total. *)
+let replay_into ~cap plan buf store rows =
+  ignore store;
+  let head = plan.head in
+  let arity = Array.length head in
+  let total = Batch.buf_rows buf in
+  (* a small result replays through one right-sized (minor-heap) batch *)
+  let cap = min cap (max total 1) in
+  let p = Batch.create ~width:arity cap in
+  let pcols = p.Batch.cols in
+  let bcols = Batch.buf_cols buf in
+  let n_flush = ref 0 in
+  let off = ref 0 in
+  while !off < total do
+    let len = min cap (total - !off) in
+    for i = 0 to arity - 1 do
+      let dst = Array.unsafe_get pcols i in
+      match Array.unsafe_get head i with
+      | Hconst c ->
+        for j = 0 to len - 1 do
+          Array.unsafe_set dst j c
+        done
+      | Hslot s -> Array.blit (Array.unsafe_get bcols s) !off dst 0 len
+    done;
+    p.Batch.n <- len;
+    p.Batch.sel_n <- -1;
+    ignore (Rowset.add_batch rows p);
+    incr n_flush;
+    off := !off + len
+  done;
+  Obs.add (obs_bindings ()) total;
+  Obs.add (obs_batch_flushes ()) !n_flush;
+  plan.last_bindings <- total
+
+(* Telemetry hook for [Mqo]'s result-level replay, which produces the
+   plan's result without running any pipeline: credit the bindings the
+   original execution counted and record the cardinality as the next
+   size hint — exactly what an actual execution would have reported. *)
+let note_result plan ~bindings ~cardinality =
+  Obs.add (obs_bindings ()) bindings;
+  plan.last_bindings <- bindings;
+  plan.result_hint <- cardinality
+
+(* Project a final batch (full slot width) onto the head columns of
+   [p], compacting through any selection vector; [p] has the same
+   capacity, so a batch always fits. *)
+let project_into plan (b : Batch.t) (p : Batch.t) =
+  let head = plan.head in
+  let arity = Array.length head in
+  let cols = b.Batch.cols and pcols = p.Batch.cols in
+  let m = Batch.live b in
+  Batch.clear p;
+  for i = 0 to arity - 1 do
+    let dst = Array.unsafe_get pcols i in
+    match Array.unsafe_get head i with
+    | Hconst c ->
+      for j = 0 to m - 1 do
+        Array.unsafe_set dst j c
+      done
+    | Hslot s ->
+      let src = Array.unsafe_get cols s in
+      if b.Batch.sel_n < 0 then Array.blit src 0 dst 0 m
+      else
+        for j = 0 to m - 1 do
+          Array.unsafe_set dst j
+            (Array.unsafe_get src (Array.unsafe_get b.Batch.sel j))
+        done
+  done;
+  p.Batch.n <- m
+
+(* [exec plan store emit] keeps its historical contract — it streams
+   every complete binding's projected row (duplicates included) into
+   [emit], reusing ONE scratch array — but drives the batch pipeline
+   internally. *)
+let exec plan store emit =
+  let cap = batch_capacity () in
+  let head = plan.head in
+  let arity = Array.length head in
+  let row = Array.make (max arity 1) 0 in
+  exec_batched_gen ~cap ~start:0 ~input:None ~capture:None plan store
+    ~on_final:(fun b ->
+      let cols = b.Batch.cols in
+      Batch.iter_live
+        (fun r ->
+          for i = 0 to arity - 1 do
+            Array.unsafe_set row i
+              (match Array.unsafe_get head i with
+              | Hconst c -> c
+              | Hslot s -> Array.unsafe_get (Array.unsafe_get cols s) r)
+          done;
+          emit row)
+        b)
+
+(* Batched set-semantics accumulation: every final batch is projected
+   columnar and handed to {!Rowset.add_batch} for one bulk dedup pass.
+   The hint is the plan's own contribution (cardinality delta), so
    disjuncts accumulating into a shared table don't inflate each
    other's estimates. *)
-let exec_into plan store rows =
+let exec_batched_into ?(start = 0) ?input ?capture plan store rows =
   let before = Rowset.cardinal rows in
-  exec plan store (fun row -> ignore (Rowset.add_copy rows row));
+  let cap = batch_capacity () in
+  (match (input, capture) with
+  | Some buf, None
+    when start = Array.length plan.steps && not plan.impossible ->
+    if plan.store_id <> Rdf.Store.id store then
+      invalid_arg "Plan.exec: plan compiled against a different store";
+    replay_into ~cap plan buf store rows
+  | _ ->
+    let p = Batch.create ~width:(Array.length plan.head) cap in
+    exec_batched_gen ~cap ~start ~input ~capture plan store
+      ~on_final:(fun b ->
+        project_into plan b p;
+        ignore (Rowset.add_batch rows p)));
   plan.result_hint <- Rowset.cardinal rows - before
+
+let exec_into plan store rows = exec_batched_into plan store rows
 
 let size_hint plan = plan.result_hint
 

@@ -42,11 +42,81 @@ val exec : t -> Rdf.Store.t -> (int array -> unit) -> unit
     one the plan was compiled against ([Invalid_argument] otherwise)
     and must not be mutated during execution.  The emitted array is ONE
     scratch buffer reused across emissions — copy it (or use
-    {!Rowset.add_copy}) to retain a row past the callback. *)
+    {!Rowset.add_copy}) to retain a row past the callback.  Since the
+    columnar rework this drives the batch pipeline internally; the
+    signature and contract are unchanged. *)
 
 val exec_into : t -> Rdf.Store.t -> Rowset.t -> unit
-(** {!exec} with set-semantics accumulation into a row table.  Records
-    the table's final cardinality on the plan as its {!size_hint}. *)
+(** {!exec} with set-semantics accumulation into a row table — final
+    batches are projected columnar and bulk-inserted via
+    {!Rowset.add_batch}.  Records the plan's cardinality delta as its
+    {!size_hint}. *)
+
+val exec_tuple : t -> Rdf.Store.t -> (int array -> unit) -> unit
+(** The original tuple-at-a-time depth-first walker over a single
+    mutable frame.  Same contract as {!exec}; kept for the
+    differential suite and one-shot streaming consumers. *)
+
+val exec_into_tuple : t -> Rdf.Store.t -> Rowset.t -> unit
+(** {!exec_tuple} with set-semantics accumulation (per-row
+    {!Rowset.add_copy}); updates {!size_hint} like {!exec_into}. *)
+
+val exec_batched_into :
+  ?start:int ->
+  ?input:Batch.buf ->
+  ?capture:int * Batch.buf ->
+  t ->
+  Rdf.Store.t ->
+  Rowset.t ->
+  unit
+(** The multi-query optimizer's entry: run the batch pipeline from
+    step [start] (default 0), seeded from [input] — a captured column
+    buffer of width {!bound_after}[ t start] — instead of the empty
+    binding, and append every batch crossing depth [fst capture] to
+    [snd capture] (a buffer of at least that depth's bound width).
+    With [start] = {!step_count} the pipeline degenerates to a replay:
+    the input rows flow straight to projection and bulk insert. *)
+
+val set_batch_capacity : int -> unit
+(** Rows per pipeline batch (clamped to [1 .. 2^20]; default 1024).
+    Each execution snapshots the value once; safe to retune between
+    runs. *)
+
+val batch_capacity : unit -> int
+
+val nslots : t -> int
+(** Number of variable slots (the column width of the plan's
+    batches). *)
+
+val bound_after : t -> int -> int
+(** [bound_after t d] — slots bound after the first [d] steps
+    ([0 <= d <= step_count t]).  Slots are assigned in step order, so
+    these are always the dense prefix [0 .. bound_after t d - 1]. *)
+
+val prefix_id : t -> int -> int
+(** [prefix_id t d] — the interned canonical form of the plan's first
+    [d] steps ([1 <= d <= step_count t]).  Plans with equal ids
+    produce identical partial-binding streams over identical dense
+    slot prefixes (access paths, resolved codes, slot numbers and
+    post actions all coincide), so a batch stream captured at depth
+    [d] under one plan can seed any other plan with the same id. *)
+
+val result_id : t -> int
+(** The interned canonical form of the {e whole} plan — full step
+    sequence plus head projection ([-1] on impossible plans).  Plans
+    with equal result ids produce identical result sets, which keys
+    [Mqo]'s result-level cache. *)
+
+val last_bindings : t -> int
+(** Complete assignments (duplicates included) counted by this plan's
+    most recent execution; [Mqo] stamps cached results with it so
+    replays report engine-equivalent bindings telemetry. *)
+
+val note_result : t -> bindings:int -> cardinality:int -> unit
+(** Telemetry hook for [Mqo]'s result-level replay (which produces the
+    plan's result without running the pipeline): credits [bindings]
+    complete assignments to the bindings counter and records
+    [cardinality] as the plan's next {!size_hint}. *)
 
 val size_hint : t -> int
 (** Cardinality of the result set last produced via {!exec_into} (0

@@ -48,7 +48,11 @@ type t = {
       (* interleaved pairs: slot j is [slots.(2j)] = arena offset + 1
          (0 = free) and [slots.(2j + 1)] = the cached row hash, so one
          probe touches one cache line *)
-  mutable mask : int;  (* slot capacity - 1; capacity is 2^k *)
+  mutable mask : int;
+      (* slot capacity - 1; capacity is 2^k.  [-1] = index absent (a
+         set adopted by {!absorb} copies only the arena; the index is
+         rebuilt lazily on the first probe, so read-only consumers —
+         [elements], [cardinal], [fold] — never pay for it) *)
   mutable count : int;
   mutable arena : int array;  (* rows, packed as consecutive [len; elems...] records *)
   mutable arena_n : int;  (* used prefix of [arena] *)
@@ -124,6 +128,41 @@ let grow_slots t =
     end
   done
 
+(* Rebuild the slot index from the arena: hash each packed row and
+   place it in the first free slot — arena rows are distinct by
+   construction, so no equality checks are needed.  Only sets adopted
+   via {!absorb} arrive here, and only when they are subsequently
+   probed or extended. *)
+let rebuild_index t =
+  let rec pow2 c =
+    if c >= t.count * 2 || c >= Sys.max_array_length / 4 then c else pow2 (c * 2)
+  in
+  let cap = pow2 16 in
+  let slots = Array.make (2 * cap) 0 in
+  let mask = cap - 1 in
+  let arena = t.arena in
+  let o = ref 0 in
+  while !o < t.arena_n do
+    let n = Array.unsafe_get arena !o in
+    let h = ref 0x811c9dc5 in
+    for i = 0 to n - 1 do
+      h := (!h lxor Array.unsafe_get arena (!o + 1 + i)) * 0x01000193 land max_int
+    done;
+    let h = !h in
+    let rec free i =
+      let k = (h + i) land mask in
+      if Array.unsafe_get slots (2 * k) = 0 then k else free (i + 1)
+    in
+    let k = free 0 in
+    Array.unsafe_set slots (2 * k) (!o + 1);
+    Array.unsafe_set slots ((2 * k) + 1) h;
+    o := !o + 1 + n
+  done;
+  t.slots <- slots;
+  t.mask <- mask
+
+let ensure_index t = if t.mask < 0 then rebuild_index t
+
 let ensure_arena t extra =
   let need = t.arena_n + extra in
   if need > Array.length t.arena then begin
@@ -132,12 +171,15 @@ let ensure_arena t extra =
     t.arena <- arena
   end
 
-let mem t row = t.slots.(2 * find_slot t (Key.hash row) row) > 0
+let mem t row =
+  ensure_index t;
+  t.slots.(2 * find_slot t (Key.hash row) row) > 0
 
 (* The row's elements are copied into the arena, so the caller keeps
    ownership of the array — one scratch buffer may be reused across
    calls. *)
 let add t row =
+  ensure_index t;
   if 2 * (t.count + 1) > t.mask + 1 then grow_slots t;
   let h = Key.hash row in
   let j = find_slot t h row in
@@ -162,7 +204,107 @@ let add t row =
 
 let add_copy = add
 
+(* Columnar row at live index [r] of [cols] equals the arena row at
+   offset [o]?  Same contract as [arena_equal], reading the candidate
+   out of column vectors instead of a scratch row. *)
+let arena_equal_cols (arena : int array) o (cols : int array array) r w =
+  Array.unsafe_get arena o = w
+  &&
+  let rec go c =
+    c >= w
+    || Array.unsafe_get arena (o + 1 + c)
+       = Array.unsafe_get (Array.unsafe_get cols c) r
+       && go (c + 1)
+  in
+  go 0
+
+(* Bulk insert of a whole batch: capacity and arena growth are checked
+   once for the batch's worst case, then every row goes through a
+   single probe sequence hashing and comparing straight out of the
+   column vectors — no scratch row is ever materialized.  Returns the
+   number of rows that were new. *)
+let add_batch t (b : Batch.t) =
+  let w = b.Batch.width in
+  let m = Batch.live b in
+  if m = 0 then 0
+  else begin
+    ensure_index t;
+    while 2 * (t.count + m) > t.mask + 1 do
+      grow_slots t
+    done;
+    ensure_arena t (m * (w + 1));
+    let cols = b.Batch.cols in
+    let slots = t.slots and arena = t.arena and mask = t.mask in
+    let added = ref 0 in
+    for i = 0 to m - 1 do
+      let r = Batch.row_at b i in
+      let h = ref 0x811c9dc5 in
+      for c = 0 to w - 1 do
+        h :=
+          (!h lxor Array.unsafe_get (Array.unsafe_get cols c) r)
+          * 0x01000193 land max_int
+      done;
+      let h = !h in
+      let rec probe k =
+        let j = (h + k) land mask in
+        let off = Array.unsafe_get slots (2 * j) in
+        if
+          off = 0
+          || Array.unsafe_get slots ((2 * j) + 1) = h
+             && arena_equal_cols arena (off - 1) cols r w
+        then j
+        else probe (k + 1)
+      in
+      let j = probe 0 in
+      if Array.unsafe_get slots (2 * j) = 0 then begin
+        let o = t.arena_n in
+        Array.unsafe_set arena o w;
+        for c = 0 to w - 1 do
+          Array.unsafe_set arena (o + 1 + c)
+            (Array.unsafe_get (Array.unsafe_get cols c) r)
+        done;
+        t.arena_n <- o + 1 + w;
+        Array.unsafe_set slots (2 * j) (o + 1);
+        Array.unsafe_set slots ((2 * j) + 1) h;
+        t.count <- t.count + 1;
+        incr added
+      end
+    done;
+    !added
+  end
+
 let cardinal t = t.count
+
+(* Deep copy: one memcpy of the arena trimmed to its used prefix —
+   what the MQO result cache stores.  The slot index is not copied
+   (rebuilt lazily if the copy is ever probed or extended), so a copy
+   holds exactly its rows and costs exactly one array copy. *)
+let copy t =
+  {
+    slots = [||];
+    mask = -1;
+    count = t.count;
+    arena = Array.sub t.arena 0 t.arena_n;
+    arena_n = t.arena_n;
+  }
+
+(* Replace an EMPTY set's storage with a copy of [src]'s — the
+   result-replay fast path.  Only the packed arena is copied (one
+   memcpy); the slot index is marked absent and rebuilt lazily if the
+   destination is ever probed or extended, so the dominant consumers
+   — enumerate-only callers — pay a single arena copy total.  The
+   copy keeps [src] immutable under later mutation of the
+   destination. *)
+let absorb dst src =
+  if dst.count <> 0 then invalid_arg "Rowset.absorb: destination not empty";
+  dst.slots <- [||];
+  dst.mask <- -1;
+  dst.count <- src.count;
+  dst.arena <- Array.copy src.arena;
+  dst.arena_n <- src.arena_n
+
+(* Allocated int cells — what the MQO cache budgets by. *)
+let words t = Array.length t.slots + Array.length t.arena
 
 let fold f t init =
   let arena = t.arena in
@@ -181,4 +323,27 @@ let fold f t init =
 
 let iter f t = fold (fun row () -> f row) t ()
 
-let elements t = List.rev (fold (fun row acc -> row :: acc) t [])
+(* Insertion-order row list.  Collect the arena offsets first, then
+   build the list back to front: one cons per row, against the cons +
+   full [List.rev] re-cons of the naive fold — this conversion sits on
+   the result path of every evaluation. *)
+let elements t =
+  let offs = Array.make (max t.count 1) 0 in
+  let arena = t.arena in
+  let o = ref 0 and i = ref 0 in
+  while !o < t.arena_n do
+    Array.unsafe_set offs !i !o;
+    incr i;
+    o := !o + 1 + Array.unsafe_get arena !o
+  done;
+  let acc = ref [] in
+  for j = t.count - 1 downto 0 do
+    let o = Array.unsafe_get offs j in
+    let n = Array.unsafe_get arena o in
+    let row = Array.make n 0 in
+    for k = 0 to n - 1 do
+      Array.unsafe_set row k (Array.unsafe_get arena (o + 1 + k))
+    done;
+    acc := row :: !acc
+  done;
+  !acc

@@ -37,7 +37,30 @@ val add_copy : t -> int array -> bool
 (** Alias of {!add}; kept for emitters that want the copy-on-insert
     contract spelled out at the call site. *)
 
+val add_batch : t -> Batch.t -> int
+(** Bulk {!add} of a whole columnar batch (its live rows, through the
+    selection vector): slot-array and arena growth are checked once up
+    front, then each row is one probe sequence hashing and comparing
+    directly against the column vectors — no scratch row.  Returns how
+    many rows were new. *)
+
 val cardinal : t -> int
+
+val copy : t -> t
+(** Deep copy: one memcpy of the packed rows (trimmed to the used
+    prefix), no per-row hashing.  The hash index is rebuilt lazily if
+    the copy is ever probed or extended; enumerate-only consumers
+    never pay for it.  What the MQO result cache stores. *)
+
+val absorb : t -> t -> unit
+(** [absorb dst src] replaces the {e empty} set [dst]'s storage with a
+    copy of [src]'s rows — the result-replay fast path, one memcpy
+    instead of per-row re-insertion (index rebuilt lazily, as with
+    {!copy}).  [src] stays independent of later mutation of [dst].
+    @raise Invalid_argument when [dst] is not empty. *)
+
+val words : t -> int
+(** Allocated int cells — what the MQO cache budgets by. *)
 
 val fold : (int array -> 'a -> 'a) -> t -> 'a -> 'a
 

@@ -1,0 +1,212 @@
+(* The multi-query optimizer (Query.Mqo): shared-prefix capture and
+   replay across a workload, the result-level cache, version-stamped
+   invalidation on store mutation, prepare's first-execution capture,
+   the explain renderer, and the Rowset copy/absorb plumbing the
+   result cache rides on. *)
+
+open Support
+
+let sort_rows rows = List.sort compare (List.map Array.to_list rows)
+
+let with_registry f =
+  let reg = Obs.create () in
+  Obs.set_global reg;
+  Fun.protect ~finally:(fun () -> Obs.set_global Obs.disabled) (fun () -> f reg)
+
+let counter_value reg name =
+  match Obs.find_counter reg name with Some n -> n | None -> 0
+
+let fresh () =
+  Query.Plan.reset_cache ();
+  Query.Mqo.reset ()
+
+(* A store where 2-atom chain prefixes have real fan-out. *)
+let chain_store () =
+  store_of
+    (List.concat_map
+       (fun i ->
+         [
+           triple (uri (Printf.sprintf "a%d" i)) (uri "P0")
+             (uri (Printf.sprintf "b%d" (i mod 3)));
+           triple (uri (Printf.sprintf "b%d" (i mod 3))) (uri "P1")
+             (uri (Printf.sprintf "c%d" i));
+           triple (uri (Printf.sprintf "c%d" i)) (uri "P2")
+             (uri (Printf.sprintf "d%d" i));
+         ])
+       [ 0; 1; 2; 3; 4; 5 ])
+
+(* Two queries sharing the P0-P1 backbone, different tails/heads. *)
+let shared_workload () =
+  let backbone = [ atom (v "X") (c "P0") (v "Y"); atom (v "Y") (c "P1") (v "Z") ] in
+  let q1 = cq ~name:"pair" [ v "X"; v "Z" ] backbone in
+  let q2 =
+    cq ~name:"ext" [ v "X"; v "W" ]
+      (backbone @ [ atom (v "Z") (c "P2") (v "W") ])
+  in
+  (q1, q2)
+
+let eval store q = sort_rows (Query.Evaluation.eval_cq_codes store q)
+let reference store q =
+  sort_rows (Query.Evaluation.Reference.eval_cq_codes store q)
+
+let test_prefix_sharing_across_queries () =
+  with_registry (fun reg ->
+      fresh ();
+      let store = chain_store () in
+      let q1, q2 = shared_workload () in
+      Query.Mqo.prepare store [ q1; q2 ];
+      (* prepare bumped the shared backbone prefix for both plans, so
+         the first execution captures it and the second starts from
+         the captured batch stream *)
+      check_bool "q1 agrees" true (eval store q1 = reference store q1);
+      check_bool "q2 agrees" true (eval store q2 = reference store q2);
+      check_bool "a shared prefix was captured" true
+        (counter_value reg "mqo.prefix.evals" >= 1);
+      check_bool "the second query replayed it" true
+        (counter_value reg "mqo.prefix.hits" >= 1))
+
+let test_result_cache_replay () =
+  with_registry (fun reg ->
+      fresh ();
+      let store = chain_store () in
+      let q1, _ = shared_workload () in
+      let first = eval store q1 in
+      let captures = counter_value reg "mqo.result.evals" in
+      let second = eval store q1 in
+      check_bool "rows stable across replay" true (first = second);
+      check_bool "second evaluation captured the result" true
+        (counter_value reg "mqo.result.evals" > captures
+        || counter_value reg "mqo.result.hits" >= 1);
+      let third = eval store q1 in
+      check_bool "third evaluation replays the cached result" true
+        (counter_value reg "mqo.result.hits" >= 1);
+      check_bool "replayed rows equal" true (first = third);
+      let entries, words = Query.Mqo.stats () in
+      check_bool "cache holds entries" true (entries >= 1);
+      check_bool "cache accounts words" true (words >= 1))
+
+let test_prepare_captures_on_first_execution () =
+  with_registry (fun reg ->
+      fresh ();
+      let store = chain_store () in
+      let q1, _ = shared_workload () in
+      Query.Mqo.prepare store [ q1; q1 ];
+      ignore (eval store q1);
+      check_bool "first post-prepare execution captures the result" true
+        (counter_value reg "mqo.result.evals" >= 1);
+      ignore (eval store q1);
+      check_bool "and the next one replays it" true
+        (counter_value reg "mqo.result.hits" >= 1))
+
+let test_mutation_invalidates () =
+  fresh ();
+  let store = chain_store () in
+  let q1, q2 = shared_workload () in
+  Query.Mqo.prepare store [ q1; q2 ];
+  ignore (eval store q1);
+  ignore (eval store q1);
+  let before = eval store q1 in
+  (* a new backbone edge changes the answer; stamped entries must die *)
+  ignore (Rdf.Store.add store (triple (uri "a9") (uri "P0") (uri "b0")));
+  let after = eval store q1 in
+  check_bool "answers changed" true (before <> after);
+  check_bool "agree with reference after mutation" true
+    (after = reference store q1);
+  check_bool "and stay stable on the rewarmed cache" true
+    (eval store q1 = after)
+
+let test_disabled_is_plain_execution () =
+  with_registry (fun reg ->
+      fresh ();
+      let store = chain_store () in
+      let q1, q2 = shared_workload () in
+      Query.Mqo.set_enabled false;
+      Fun.protect
+        ~finally:(fun () -> Query.Mqo.set_enabled true)
+        (fun () ->
+          Query.Mqo.prepare store [ q1; q2 ];
+          check_bool "q1 agrees" true (eval store q1 = reference store q1);
+          check_bool "q2 agrees" true (eval store q2 = reference store q2);
+          ignore (eval store q1);
+          check_int "no prefix traffic" 0
+            (counter_value reg "mqo.prefix.evals"
+            + counter_value reg "mqo.prefix.hits");
+          check_int "no result traffic" 0
+            (counter_value reg "mqo.result.evals"
+            + counter_value reg "mqo.result.hits");
+          let entries, _ = Query.Mqo.stats () in
+          check_int "nothing cached" 0 entries))
+
+let test_explain_markers () =
+  fresh ();
+  let store = chain_store () in
+  let q1, q2 = shared_workload () in
+  let contains hay needle =
+    let hn = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= hn && (String.sub hay i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  let out = Query.Mqo.explain store [ q1; q2 ] in
+  check_bool "names the DAG" true (contains out "shared-subplan DAG");
+  check_bool "lists the shared prefix members" true
+    (contains out "pair" && contains out "ext");
+  check_bool "shows a shared prefix" true (contains out "shared by");
+  (* a workload with nothing in common says so *)
+  let lone = cq ~name:"lone" [ v "A" ] [ atom (v "A") (c "P2") (v "B") ] in
+  let out2 = Query.Mqo.explain store [ lone ] in
+  check_bool "no sharing is reported" true
+    (contains out2 "no shared prefixes")
+
+(* The result cache depends on Rowset.copy producing an independent,
+   index-less snapshot and Rowset.absorb refusing non-empty targets. *)
+let test_rowset_copy_absorb () =
+  let rs = Query.Rowset.create 4 in
+  ignore (Query.Rowset.add_copy rs [| 1; 2 |]);
+  ignore (Query.Rowset.add_copy rs [| 3; 4 |]);
+  let snap = Query.Rowset.copy rs in
+  ignore (Query.Rowset.add_copy rs [| 5; 6 |]);
+  check_int "snapshot unaffected by later adds" 2 (Query.Rowset.cardinal snap);
+  (* membership on the copy forces the lazy index rebuild *)
+  check_bool "copy answers membership" true (Query.Rowset.mem snap [| 1; 2 |]);
+  check_bool "and rejects the post-copy row" false
+    (Query.Rowset.mem snap [| 5; 6 |]);
+  let dst = Query.Rowset.create 4 in
+  Query.Rowset.absorb dst snap;
+  check_int "absorb installs the rows" 2 (Query.Rowset.cardinal dst);
+  check_bool "absorbed set answers membership" true
+    (Query.Rowset.mem dst [| 3; 4 |]);
+  (* adding after absorb must dedup against the absorbed rows *)
+  check_bool "add post-absorb dedups" false
+    (Query.Rowset.add dst [| 1; 2 |] |> fun added -> added);
+  check_bool "absorb refuses a non-empty destination" true
+    (try
+       Query.Rowset.absorb dst snap;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mqo"
+    [
+      ( "sharing",
+        [
+          Alcotest.test_case "prefix shared across queries" `Quick
+            test_prefix_sharing_across_queries;
+          Alcotest.test_case "result cache replays" `Quick
+            test_result_cache_replay;
+          Alcotest.test_case "prepare captures on first execution" `Quick
+            test_prepare_captures_on_first_execution;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "store mutation invalidates" `Quick
+            test_mutation_invalidates;
+          Alcotest.test_case "disabled mode is plain execution" `Quick
+            test_disabled_is_plain_execution;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "explain markers" `Quick test_explain_markers;
+          Alcotest.test_case "rowset copy/absorb edges" `Quick
+            test_rowset_copy_absorb;
+        ] );
+    ]

@@ -1,0 +1,34 @@
+#!/bin/bash
+# Seeded-violation check for the linter: fixtures/fix_retained_row.ml
+# must trip retained-exec-row at every storing site, and the copying
+# counterpart must lint clean.  Run from the directory holding
+# lint.exe (dune runs it in _build/default/tool/lint via runtest).
+set -u
+fail=0
+
+out=$(./lint.exe fixtures/fix_retained_row.ml 2>&1)
+code=$?
+hits=$(printf '%s\n' "$out" | grep -c "\[retained-exec-row\]")
+if [ "$code" -ne 1 ]; then
+  echo "FAIL fix_retained_row: exit $code (want 1)"
+  echo "$out"
+  fail=1
+elif [ "$hits" -ne 5 ]; then
+  echo "FAIL fix_retained_row: $hits retained-exec-row diagnostics (want 5)"
+  echo "$out"
+  fail=1
+else
+  echo "ok: fix_retained_row -> 5x retained-exec-row"
+fi
+
+out=$(./lint.exe fixtures/fix_copied_row.ml 2>&1)
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "FAIL fix_copied_row: exit $code (want 0)"
+  echo "$out"
+  fail=1
+else
+  echo "ok: fix_copied_row -> clean"
+fi
+
+exit $fail

@@ -254,6 +254,82 @@ let check_shared_table ~file ~is_lib fn args loc =
       | _ -> ())
     | _ -> ()
 
+(* retained-exec-row: a callback passed to one of the row-streaming
+   executor entry points ([Rules.row_callback_entries]) whose body
+   stores the emitted row array itself — consed onto a list, assigned
+   through [:=] or a record field, or handed to a retaining container
+   operation ([Rules.row_retaining_sinks]) — instead of an
+   [Array.copy].  The executor reuses the frame across emissions, so
+   every retained reference silently becomes the last row.  Purely
+   syntactic: only the raw callback parameter is tracked, so an alias
+   ([let r = row in ...]) escapes the net; the QCheck differential
+   suite is the backstop for those. *)
+let rec is_raw_ident name (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } -> String.equal n name
+  | Parsetree.Pexp_constraint (inner, _) -> is_raw_ident name inner
+  | _ -> false
+
+let scan_row_retention ~file row body =
+  let fire loc what =
+    report ~file ~loc "retained-exec-row"
+      (Printf.sprintf
+         "%s stores the emitted row `%s`, a buffer the executor reuses; \
+          store Array.copy %s instead"
+         what row row)
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_construct
+              ( { txt = Longident.Lident "::"; _ },
+                Some { pexp_desc = Parsetree.Pexp_tuple [ a; b ]; _ } )
+            when is_raw_ident row a || is_raw_ident row b ->
+            fire e.Parsetree.pexp_loc "consing onto a list"
+          | Parsetree.Pexp_setfield (_, _, v) when is_raw_ident row v ->
+            fire e.Parsetree.pexp_loc "record-field assignment"
+          | Parsetree.Pexp_apply
+              ( { pexp_desc = Parsetree.Pexp_ident { txt = Longident.Lident ":="; _ }; _ },
+                args )
+            when (match positional_args args with
+                 | _ :: v :: _ -> is_raw_ident row v
+                 | _ -> false) ->
+            fire e.Parsetree.pexp_loc "reference assignment"
+          | Parsetree.Pexp_apply
+              ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, args)
+            when pair_in Rules.row_retaining_sinks txt
+                 && List.exists (is_raw_ident row) (positional_args args) ->
+            fire e.Parsetree.pexp_loc
+              ("`" ^ String.concat "." (flatten txt) ^ "`")
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
+let check_retained_row ~file fn args _loc =
+  match fn.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } when pair_in Rules.row_callback_entries txt
+    -> (
+    (* the emit callback is the last positional argument *)
+    match List.rev (positional_args args) with
+    | {
+        Parsetree.pexp_desc =
+          Parsetree.Pexp_fun
+            ( _,
+              _,
+              { Parsetree.ppat_desc = Parsetree.Ppat_var { txt = row; _ }; _ },
+              body );
+        _;
+      }
+      :: _ ->
+      scan_row_retention ~file row body
+    | _ -> ())
+  | _ -> ()
+
 let rec catch_all_pattern (p : Parsetree.pattern) =
   match p.Parsetree.ppat_desc with
   | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
@@ -283,7 +359,8 @@ let lint_structure ~file ~is_lib structure =
             check_ident ~file ~is_lib txt e.Parsetree.pexp_loc
           | Parsetree.Pexp_apply (fn, args) ->
             check_apply ~file ~is_lib fn args e.Parsetree.pexp_loc;
-            check_shared_table ~file ~is_lib fn args e.Parsetree.pexp_loc
+            check_shared_table ~file ~is_lib fn args e.Parsetree.pexp_loc;
+            check_retained_row ~file fn args e.Parsetree.pexp_loc
           | Parsetree.Pexp_try (_, cases) when is_lib -> check_try ~file cases
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);

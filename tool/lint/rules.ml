@@ -83,6 +83,15 @@ let rules =
       scope = Lib_only;
     };
     {
+      id = "retained-exec-row";
+      summary =
+        "callback passed to Plan.exec / Plan.exec_tuple stores the emitted \
+         row array without copying; the executor reuses that buffer across \
+         emissions, so the stored rows all mutate to the last one — store \
+         [Array.copy row] instead";
+      scope = Everywhere;
+    };
+    {
       id = "missing-mli";
       summary = "library module without an .mli interface";
       scope = Lib_only;
@@ -156,6 +165,26 @@ let shared_table_fields =
    escape does silent structural damage. *)
 let hashtbl_mutators =
   [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
+
+(* Row-streaming entry points of the compiled-plan executor: their
+   callback receives a binding frame the executor reuses for the next
+   emission, so the callback owns the array only for the duration of
+   the call. *)
+let row_callback_entries = [ ("Plan", "exec"); ("Plan", "exec_tuple") ]
+
+(* (module, function) applications that retain a positional argument
+   beyond the call: passing the raw emitted row to one of these inside
+   the callback stores the executor's reused buffer.  Cons cells,
+   [:=], and record-field assignment are matched structurally by the
+   linter; this table covers the container entry points. *)
+let row_retaining_sinks =
+  [
+    ("Hashtbl", "add"); ("Hashtbl", "replace");
+    ("Tbl", "add"); ("Tbl", "replace");
+    ("Queue", "add"); ("Queue", "push");
+    ("Stack", "push");
+    ("Array", "set");
+  ]
 
 (* stdout printers banned in libraries: unqualified Stdlib channel
    printers and the printf family bound to stdout. *)
