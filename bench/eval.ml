@@ -144,6 +144,20 @@ let run () =
         variant_pass (fun q ->
             ignore (Query.Evaluation.eval_cq_codes store q)))
   in
+  (* same pass with Rowset's packed-key dedup hashing disabled (per-row
+     FNV loop instead of one multiply-mix): the batch/nopack delta is
+     the packing win on the result-dedup path *)
+  let nopack_rate =
+    Query.Mqo.set_enabled false;
+    Query.Rowset.set_key_packing false;
+    Fun.protect
+      ~finally:(fun () ->
+        Query.Rowset.set_key_packing true;
+        Query.Mqo.set_enabled true)
+      (fun () ->
+        variant_pass (fun q ->
+            ignore (Query.Evaluation.eval_cq_codes store q)))
+  in
   Obs.reset reg;
   Query.Plan.reset_cache ();
   (* compiled pass (the headline: batch pipeline + MQO): plan
@@ -177,6 +191,7 @@ let run () =
        [
          ("tuple_bindings_per_sec", Obs.Json.Float tuple_rate);
          ("batch_bindings_per_sec", Obs.Json.Float batch_rate);
+         ("batch_nopack_bindings_per_sec", Obs.Json.Float nopack_rate);
          ("batch_mqo_bindings_per_sec", Obs.Json.Float compiled_rate);
        ]);
   Harness.print_table
@@ -194,11 +209,12 @@ let run () =
     ];
   Harness.subsection "execution variants (bindings/sec)";
   Harness.print_table
-    ~header:[ "tuple"; "batch (no mqo)"; "batch + mqo" ]
+    ~header:[ "tuple"; "batch (no mqo)"; "batch, fnv keys"; "batch + mqo" ]
     [
       [
         Harness.fmt_float tuple_rate;
         Harness.fmt_float batch_rate;
+        Harness.fmt_float nopack_rate;
         Harness.fmt_float compiled_rate;
       ];
     ];

@@ -363,7 +363,15 @@ let compare_to_baseline name current =
       rate "states_per_sec";
       rate "eval.bindings_per_sec";
       rate "parallel.det_4.states_per_sec";
-      rate "parallel.free_4.states_per_sec"
+      rate "parallel.free_4.states_per_sec";
+      (* store-experiment rates (absent, hence skipped, elsewhere).
+         The bytes ratio is deterministic in spirit but depends on
+         stdlib Hashtbl growth, so it rides the rate compare: a drop
+         means the compact layout lost compression ground to hash *)
+      rate "store.bytes_per_triple_ratio";
+      rate "store.compact.ingest_triples_per_sec";
+      rate "store.compact.probes_per_sec";
+      rate "store.compact_eval_bindings_per_sec"
     end
 
 (* Exit status for main: 0 unless --fail-over turned regressions

@@ -10,7 +10,7 @@
        --baseline BENCH_baseline.json --fail-over 20   # regression gate
 
    Experiments: baseline, eval, mqo, table2, table3, fig4, fig5, fig6, fig7,
-   fig8, ablation, parallel.
+   fig8, ablation, parallel, store.
 
    Each top-level experiment writes BENCH_<experiment>.json (states/sec,
    expand-latency percentiles, best cost, peak heap words) unless
@@ -44,6 +44,7 @@ let experiments =
     ("fig8", Fig8.run);
     ("ablation", Ablation.run);
     ("parallel", Parallel.run);
+    ("store", Store.run);
   ]
 
 let usage () =

@@ -134,6 +134,23 @@ let telemetry_interval_arg =
     & info [ "telemetry-interval" ] ~docv:"SECONDS"
         ~doc:"Seconds between telemetry snapshots (default 1, minimum 0.001).")
 
+let store_backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("hash", Rdf.Backend.Hash); ("compact", Rdf.Backend.Compact) ])
+        Rdf.Backend.Hash
+    & info [ "store-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Triple-store backend: $(b,hash) (hexastore-style hash buckets; \
+           the default, fastest point mutation) or $(b,compact) (sorted \
+           delta-compressed segments with zone maps — several times \
+           smaller, for Barton-scale datasets).")
+
+(* Set before any store is built, so derived stores (copies, saturated
+   stores, counting stores) follow the same backend. *)
+let set_store_backend kind = Rdf.Backend.set_default kind
+
 (* Telemetry is off (a no-op sink) unless --metrics selects a registry,
    once, before the run starts.  The dump happens only on success, and
    outside the protect so a write failure surfaces as a plain Sys_error
@@ -311,11 +328,12 @@ let select_cmd =
   in
   let run data workload schema reasoning strategy budget no_avf no_stv materialize sql
       state_out trace_states trace metrics telemetry telemetry_interval jobs
-      par_mode =
+      par_mode store_backend =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     with_telemetry telemetry telemetry_interval @@ fun () ->
     with_trace trace @@ fun () ->
+    set_store_backend store_backend;
     let store = load_store data in
     let queries = load_workload workload in
     let schema = Option.map load_schema schema in
@@ -429,7 +447,8 @@ let select_cmd =
       const run $ data_arg $ workload_arg $ schema_opt_arg $ reasoning_arg
       $ strategy_arg $ budget_arg $ no_avf_arg $ no_stv_arg $ materialize_arg
       $ sql_arg $ state_out_arg $ trace_states_arg $ trace_arg $ metrics_arg
-      $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ par_mode_arg)
+      $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ par_mode_arg
+      $ store_backend_arg)
 
 (* ---------- check ----------------------------------------------------------- *)
 
@@ -655,8 +674,9 @@ let saturate_cmd =
   let count_only =
     Arg.(value & flag & info [ "count" ] ~doc:"Only print triple counts.")
   in
-  let run data schema output count_only =
+  let run data schema output count_only store_backend =
     handle_errors @@ fun () ->
+    set_store_backend store_backend;
     let store = load_store data in
     let schema = load_schema schema in
     let before = Rdf.Store.size store in
@@ -668,19 +688,38 @@ let saturate_cmd =
       write_out output (Query.Parser.triples_to_text (Rdf.Store.to_triples store))
   in
   let info = Cmd.info "saturate" ~doc:"Saturate a dataset w.r.t. an RDFS." in
-  Cmd.v info Term.(const run $ data_arg $ schema_req_arg $ output_arg $ count_only)
+  Cmd.v info
+    Term.(
+      const run $ data_arg $ schema_req_arg $ output_arg $ count_only
+      $ store_backend_arg)
 
 (* ---------- eval ------------------------------------------------------------ *)
 
 let eval_cmd =
+  let batch_size_conv =
+    let parse s =
+      if String.lowercase_ascii s = "auto" then Ok `Auto
+      else
+        match int_of_string_opt s with
+        | Some n -> Ok (`Fixed n)
+        | None -> Error (`Msg ("expected an integer or 'auto', got " ^ s))
+    in
+    let print fmt = function
+      | `Auto -> Format.pp_print_string fmt "auto"
+      | `Fixed n -> Format.pp_print_int fmt n
+    in
+    Arg.conv (parse, print)
+  in
   let batch_size_arg =
     Arg.(
       value
-      & opt int 1024
-      & info [ "batch-size" ] ~docv:"N"
+      & opt batch_size_conv (`Fixed 1024)
+      & info [ "batch-size" ] ~docv:"N|auto"
           ~doc:
             "Rows per batch of the columnar plan executor (clamped to \
-             1..1048576).")
+             1..1048576), or $(b,auto) to size batches to the store: the \
+             block geometry on the compact backend, the bucket-size \
+             histogram on hash.")
   in
   let no_mqo_arg =
     Arg.(
@@ -700,12 +739,15 @@ let eval_cmd =
              instead of the answers.  Nothing is evaluated.")
   in
   let run data workload schema metrics telemetry telemetry_interval batch_size
-      no_mqo explain =
+      no_mqo explain store_backend =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     with_telemetry telemetry telemetry_interval @@ fun () ->
-    Query.Plan.set_batch_capacity batch_size;
+    (match batch_size with
+    | `Auto -> Query.Plan.set_batch_capacity_auto ()
+    | `Fixed n -> Query.Plan.set_batch_capacity n);
     Query.Mqo.set_enabled (not no_mqo);
+    set_store_backend store_backend;
     let store = load_store data in
     let queries = load_workload workload in
     let schema = Option.map load_schema schema in
@@ -750,7 +792,7 @@ let eval_cmd =
     Term.(
       const run $ data_arg $ workload_arg $ schema_opt_arg $ metrics_arg
       $ telemetry_arg $ telemetry_interval_arg $ batch_size_arg $ no_mqo_arg
-      $ explain_arg)
+      $ explain_arg $ store_backend_arg)
 
 (* ---------- generate --------------------------------------------------------- *)
 

@@ -490,8 +490,22 @@ let exec_into_tuple plan store rows =
    retune it while worker domains read it; each execution snapshots the
    value once. *)
 let batch_capacity_ref = Atomic.make 1024
-let set_batch_capacity n = Atomic.set batch_capacity_ref (max 1 (min n (1 lsl 20)))
+let batch_auto_ref = Atomic.make false
+
+let set_batch_capacity n =
+  Atomic.set batch_auto_ref false;
+  Atomic.set batch_capacity_ref (max 1 (min n (1 lsl 20)))
+
+let set_batch_capacity_auto () = Atomic.set batch_auto_ref true
 let batch_capacity () = Atomic.get batch_capacity_ref
+
+(* Capacity for one execution against [store]: the fixed global, or —
+   in auto mode — the store backend's preferred row count (block
+   geometry on the compact backend, bucket-size histogram on hash). *)
+let batch_capacity_for store =
+  if Atomic.get batch_auto_ref then
+    max 1 (min (Rdf.Store.recommended_batch_rows store) (1 lsl 20))
+  else Atomic.get batch_capacity_ref
 
 let obs_batch_flushes = Obs.cached_counter "eval.batch.flushes"
 let obs_batch_fill = Obs.cached_histogram "eval.batch.fill"
@@ -791,7 +805,7 @@ let project_into plan (b : Batch.t) (p : Batch.t) =
    [emit], reusing ONE scratch array — but drives the batch pipeline
    internally. *)
 let exec plan store emit =
-  let cap = batch_capacity () in
+  let cap = batch_capacity_for store in
   let head = plan.head in
   let arity = Array.length head in
   let row = Array.make (max arity 1) 0 in
@@ -816,7 +830,7 @@ let exec plan store emit =
    other's estimates. *)
 let exec_batched_into ?(start = 0) ?input ?capture plan store rows =
   let before = Rowset.cardinal rows in
-  let cap = batch_capacity () in
+  let cap = batch_capacity_for store in
   (match (input, capture) with
   | Some buf, None
     when start = Array.length plan.steps && not plan.impossible ->

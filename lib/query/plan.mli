@@ -80,9 +80,16 @@ val exec_batched_into :
 val set_batch_capacity : int -> unit
 (** Rows per pipeline batch (clamped to [1 .. 2^20]; default 1024).
     Each execution snapshots the value once; safe to retune between
-    runs. *)
+    runs.  Turns auto mode off. *)
+
+val set_batch_capacity_auto : unit -> unit
+(** Derive the capacity per execution from the store instead:
+    {!Rdf.Store.recommended_batch_rows}, i.e. the block geometry on
+    the compact backend and the bucket-size histogram on the hash
+    backend.  The CLI's [--batch-size auto] selects this. *)
 
 val batch_capacity : unit -> int
+(** The fixed global capacity (what auto mode falls back from). *)
 
 val nslots : t -> int
 (** Number of variable slots (the column width of the plan's

@@ -43,6 +43,47 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
+(* ---------- 64-bit key packing ------------------------------------------
+
+   Dictionary codes are small: a row of w narrow columns usually fits
+   in one 62-bit word at [62 / w] bits per column.  When it does, the
+   whole row is hashed with a single multiply-xor mix of the packed
+   word instead of a w-step FNV loop — one multiplication per dedup
+   probe, and the packed compare in the fit check doubles as a cheap
+   prefilter.  The mode is chosen per set on first insert and sticks,
+   because the open-addressed slots cache row hashes: if a row ever
+   fails the fit check (a code too wide, or a different width), the
+   set demotes to FNV by rebuilding its index once.  Sets adopted via
+   {!copy}/{!absorb} rebuild as FNV too. *)
+
+let packing_enabled = Atomic.make true
+let set_key_packing b = Atomic.set packing_enabled b
+let key_packing () = Atomic.get packing_enabled
+
+(* Bits per column for width [w]; 0 = don't pack (too many columns for
+   a useful per-column range). *)
+let choose_bits w = if w >= 1 && w <= 7 then 62 / w else 0
+
+(* Finalizing mix of the packed word (splitmix-style): multiplication
+   spreads the low-entropy column bits across the word, the xor-shift
+   folds the high half back down for the low slot-index bits. *)
+let mix k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land max_int
+
+(* Packed word of [row] at [bits] per column, or [-1] when some
+   element does not fit (negative or >= 2^bits). *)
+let packed_key_row (row : int array) bits =
+  let w = Array.length row in
+  let lim = 1 lsl bits in
+  let rec go c k =
+    if c >= w then k
+    else
+      let v = Array.unsafe_get row c in
+      if v < 0 || v >= lim then -1 else go (c + 1) ((k lsl bits) lor v)
+  in
+  go 0 0
+
 type t = {
   mutable slots : int array;
       (* interleaved pairs: slot j is [slots.(2j)] = arena offset + 1
@@ -56,6 +97,12 @@ type t = {
   mutable count : int;
   mutable arena : int array;  (* rows, packed as consecutive [len; elems...] records *)
   mutable arena_n : int;  (* used prefix of [arena] *)
+  mutable pack_bits : int;
+      (* hashing mode, fixed while the slot index lives (slots cache
+         hashes): [0] = undecided (nothing inserted yet), [-1] = FNV-1a
+         over the elements, [b > 0] = rows of width [pack_width] packed
+         into one word at [b] bits per column and mixed *)
+  mutable pack_width : int;
 }
 
 let create n =
@@ -67,6 +114,8 @@ let create n =
     count = 0;
     arena = Array.make (max 64 (4 * n)) 0;
     arena_n = 0;
+    pack_bits = 0;
+    pack_width = 0;
   }
 
 (* Row at arena offset [o] (its length word) equals [row]?  Arena
@@ -159,9 +208,15 @@ let rebuild_index t =
     o := !o + 1 + n
   done;
   t.slots <- slots;
-  t.mask <- mask
+  t.mask <- mask;
+  (* the rebuilt slots cache FNV hashes *)
+  t.pack_bits <- -1
 
 let ensure_index t = if t.mask < 0 then rebuild_index t
+
+(* Abandon packed hashing: every cached slot hash is stale, so the
+   index is rebuilt (FNV) from the arena.  At most once per set. *)
+let demote t = rebuild_index t
 
 let ensure_arena t extra =
   let need = t.arena_n + extra in
@@ -173,7 +228,38 @@ let ensure_arena t extra =
 
 let mem t row =
   ensure_index t;
-  t.slots.(2 * find_slot t (Key.hash row) row) > 0
+  if t.pack_bits > 0 then
+    if Array.length row <> t.pack_width then false
+    else begin
+      let k = packed_key_row row t.pack_bits in
+      (* a row that does not fit the packing cannot be in the set:
+         every stored row passed this check on insert *)
+      k >= 0 && t.slots.(2 * find_slot t (mix k) row) > 0
+    end
+  else t.slots.(2 * find_slot t (Key.hash row) row) > 0
+
+(* Hash of [row] under the set's current mode, deciding the mode on
+   the first insert and demoting to FNV when a row does not pack. *)
+let insert_hash t row =
+  if t.pack_bits = 0 then begin
+    t.pack_width <- Array.length row;
+    t.pack_bits <-
+      (if key_packing () then
+         match choose_bits (Array.length row) with 0 -> -1 | b -> b
+       else -1)
+  end;
+  if t.pack_bits > 0 then
+    if Array.length row <> t.pack_width then begin
+      demote t;
+      Key.hash row
+    end
+    else
+      match packed_key_row row t.pack_bits with
+      | -1 ->
+        demote t;
+        Key.hash row
+      | k -> mix k
+  else Key.hash row
 
 (* The row's elements are copied into the arena, so the caller keeps
    ownership of the array — one scratch buffer may be reused across
@@ -181,7 +267,7 @@ let mem t row =
 let add t row =
   ensure_index t;
   if 2 * (t.count + 1) > t.mask + 1 then grow_slots t;
-  let h = Key.hash row in
+  let h = insert_hash t row in
   let j = find_slot t h row in
   if Array.unsafe_get t.slots (2 * j) > 0 then false
   else begin
@@ -234,17 +320,9 @@ let add_batch t (b : Batch.t) =
     done;
     ensure_arena t (m * (w + 1));
     let cols = b.Batch.cols in
-    let slots = t.slots and arena = t.arena and mask = t.mask in
     let added = ref 0 in
-    for i = 0 to m - 1 do
-      let r = Batch.row_at b i in
-      let h = ref 0x811c9dc5 in
-      for c = 0 to w - 1 do
-        h :=
-          (!h lxor Array.unsafe_get (Array.unsafe_get cols c) r)
-          * 0x01000193 land max_int
-      done;
-      let h = !h in
+    (* insert row [r] of the batch under hash [h]; shared by both loops *)
+    let insert_row slots arena mask r h =
       let rec probe k =
         let j = (h + k) land mask in
         let off = Array.unsafe_get slots (2 * j) in
@@ -269,7 +347,64 @@ let add_batch t (b : Batch.t) =
         t.count <- t.count + 1;
         incr added
       end
-    done;
+    in
+    if t.pack_bits = 0 then begin
+      t.pack_width <- w;
+      t.pack_bits <-
+        (if key_packing () then match choose_bits w with 0 -> -1 | bb -> bb
+         else -1)
+    end
+    else if t.pack_bits > 0 && w <> t.pack_width then demote t;
+    let i = ref 0 in
+    if t.pack_bits > 0 then begin
+      (* packed fast loop: one multiply-mix per row, straight out of
+         the column vectors; the first non-fitting row demotes the set
+         and hands the tail to the FNV loop below *)
+      let bits = t.pack_bits in
+      let lim = 1 lsl bits in
+      let slots = t.slots and arena = t.arena and mask = t.mask in
+      (try
+         while !i < m do
+           let r = Batch.row_at b !i in
+           let k = ref 0 in
+           let c = ref 0 in
+           while
+             !c < w
+             &&
+             let v = Array.unsafe_get (Array.unsafe_get cols !c) r in
+             v >= 0 && v < lim
+             && begin
+                  k := (!k lsl bits) lor v;
+                  true
+                end
+           do
+             incr c
+           done;
+           if !c < w then raise_notrace Exit;
+           insert_row slots arena mask r (mix !k);
+           incr i
+         done
+       with Exit -> demote t)
+    end;
+    if !i < m then begin
+      (* a demotion rebuilds the index sized to the current count only:
+         re-provision for the remaining rows *)
+      while 2 * (t.count + (m - !i)) > t.mask + 1 do
+        grow_slots t
+      done;
+      let slots = t.slots and arena = t.arena and mask = t.mask in
+      while !i < m do
+        let r = Batch.row_at b !i in
+        let h = ref 0x811c9dc5 in
+        for c = 0 to w - 1 do
+          h :=
+            (!h lxor Array.unsafe_get (Array.unsafe_get cols c) r)
+            * 0x01000193 land max_int
+        done;
+        insert_row slots arena mask r !h;
+        incr i
+      done
+    end;
     !added
   end
 
@@ -286,6 +421,9 @@ let copy t =
     count = t.count;
     arena = Array.sub t.arena 0 t.arena_n;
     arena_n = t.arena_n;
+    (* the lazily rebuilt index hashes with FNV *)
+    pack_bits = -1;
+    pack_width = 0;
   }
 
 (* Replace an EMPTY set's storage with a copy of [src]'s — the
@@ -301,7 +439,9 @@ let absorb dst src =
   dst.mask <- -1;
   dst.count <- src.count;
   dst.arena <- Array.copy src.arena;
-  dst.arena_n <- src.arena_n
+  dst.arena_n <- src.arena_n;
+  dst.pack_bits <- -1;
+  dst.pack_width <- 0
 
 (* Allocated int cells — what the MQO cache budgets by. *)
 let words t = Array.length t.slots + Array.length t.arena

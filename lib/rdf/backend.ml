@@ -1,0 +1,38 @@
+type kind = Hash | Compact
+
+let kind_name = function Hash -> "hash" | Compact -> "compact"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "hash" -> Some Hash
+  | "compact" -> Some Compact
+  | _ -> None
+
+(* Atomic: the CLI sets it once at startup, but stores are also
+   created on worker domains (counting copies during cost
+   estimation), which read it. *)
+let default_kind = Atomic.make Hash
+
+let set_default k = Atomic.set default_kind k
+let default () = Atomic.get default_kind
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> int -> int -> bool
+  val remove : t -> int -> int -> int -> bool
+  val mem : t -> int -> int -> int -> bool
+  val size : t -> int
+  val count1 : t -> [ `S | `P | `O ] -> int -> int
+  val count2 : t -> [ `SP | `SO | `PO ] -> int -> int -> int
+  val scan_all : t -> int array * int
+  val scan1 : t -> [ `S | `P | `O ] -> int -> int array * int
+  val scan2 : t -> [ `SP | `SO | `PO ] -> int -> int -> int array * int
+  val fold_all : t -> (int * int * int -> 'a -> 'a) -> 'a -> 'a
+  val distinct_in_column : t -> [ `S | `P | `O ] -> int
+  val fold_column_codes : t -> [ `S | `P | `O ] -> (int -> 'a -> 'a) -> 'a -> 'a
+  val resident_bytes : t -> int
+  val compact : t -> unit
+  val recommended_batch_rows : t -> int
+end

@@ -1,0 +1,51 @@
+(** Storage backends under the {!Store} interface.
+
+    A backend stores dictionary-encoded triples and answers the raw
+    index operations; {!Store} owns the dictionary, the version stamp
+    and the telemetry, and dispatches everything else here.  Two
+    implementations exist: [Hash], the hexastore-style hash-bucket
+    layout (fast point mutation, one boxed entry per triple per
+    index), and [Compact], sorted delta-compressed segments with an
+    LSM memtable (4-10x smaller, Barton-scale capable). *)
+
+type kind = Hash | Compact
+
+val kind_name : kind -> string
+
+val kind_of_string : string -> kind option
+(** Case-insensitive ["hash"] / ["compact"]. *)
+
+val set_default : kind -> unit
+(** Backend used by {!Store.create} when none is requested — the
+    [--store-backend] CLI flag sets this before any store is built so
+    copies, saturated stores and counting stores follow suit.
+    Defaults to [Hash]. *)
+
+val default : unit -> kind
+
+(** Operations every backend implements over encoded triples.  Scan
+    results follow the {!Store} contract: [(data, n)] with the first
+    [3n] cells packed as [s; p; o]; each call's array must stay valid
+    under {e later scans} (executors hold results while issuing nested
+    scans), so backends return either live storage they never rewrite
+    in place or a fresh array per call. *)
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> int -> int -> bool
+  val remove : t -> int -> int -> int -> bool
+  val mem : t -> int -> int -> int -> bool
+  val size : t -> int
+  val count1 : t -> [ `S | `P | `O ] -> int -> int
+  val count2 : t -> [ `SP | `SO | `PO ] -> int -> int -> int
+  val scan_all : t -> int array * int
+  val scan1 : t -> [ `S | `P | `O ] -> int -> int array * int
+  val scan2 : t -> [ `SP | `SO | `PO ] -> int -> int -> int array * int
+  val fold_all : t -> (int * int * int -> 'a -> 'a) -> 'a -> 'a
+  val distinct_in_column : t -> [ `S | `P | `O ] -> int
+  val fold_column_codes : t -> [ `S | `P | `O ] -> (int -> 'a -> 'a) -> 'a -> 'a
+  val resident_bytes : t -> int
+  val compact : t -> unit
+  val recommended_batch_rows : t -> int
+end

@@ -1,0 +1,93 @@
+(* Varint/delta block codec shared by every Segment order.  See the
+   .mli for the layout; the two loops below must mirror each other
+   exactly (the first row is always absolute, later rows delta the
+   longest shared prefix). *)
+
+let rec put_varint buf v =
+  if v < 0x80 then Buffer.add_char buf (Char.unsafe_chr v)
+  else begin
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (v land 0x7f)));
+    put_varint buf (v lsr 7)
+  end
+
+let append buf (rows : int array) ~lo ~hi =
+  let pa = ref 0 and pb = ref 0 and pc = ref 0 in
+  for i = lo to hi - 1 do
+    let a = Array.unsafe_get rows (3 * i) in
+    let b = Array.unsafe_get rows ((3 * i) + 1) in
+    let c = Array.unsafe_get rows ((3 * i) + 2) in
+    if i = lo then begin
+      put_varint buf a;
+      put_varint buf b;
+      put_varint buf c
+    end
+    else begin
+      let da = a - !pa in
+      put_varint buf da;
+      if da = 0 then begin
+        let db = b - !pb in
+        put_varint buf db;
+        if db = 0 then put_varint buf (c - !pc) else put_varint buf c
+      end
+      else begin
+        put_varint buf b;
+        put_varint buf c
+      end
+    end;
+    pa := a;
+    pb := b;
+    pc := c
+  done
+
+(* Decoding is the hot path (every block access goes through it), so
+   the varint reader is inlined by hand around an int cursor and all
+   byte reads are unchecked: [pos] only ever comes from the segment's
+   offset table, built by [append] above. *)
+let decode data ~pos ~rows (dst : int array) =
+  let p = ref pos in
+  let read () =
+    let byte = Char.code (Bytes.unsafe_get data !p) in
+    incr p;
+    if byte < 0x80 then byte
+    else begin
+      let acc = ref (byte land 0x7f) in
+      let shift = ref 7 in
+      let continue = ref true in
+      while !continue do
+        let byte = Char.code (Bytes.unsafe_get data !p) in
+        incr p;
+        acc := !acc lor ((byte land 0x7f) lsl !shift);
+        shift := !shift + 7;
+        if byte < 0x80 then continue := false
+      done;
+      !acc
+    end
+  in
+  let pa = ref 0 and pb = ref 0 and pc = ref 0 in
+  for i = 0 to rows - 1 do
+    if i = 0 then begin
+      pa := read ();
+      pb := read ();
+      pc := read ()
+    end
+    else begin
+      let da = read () in
+      if da = 0 then begin
+        let db = read () in
+        if db = 0 then pc := !pc + read ()
+        else begin
+          pb := !pb + db;
+          pc := read ()
+        end
+      end
+      else begin
+        pa := !pa + da;
+        pb := read ();
+        pc := read ()
+      end
+    end;
+    Array.unsafe_set dst (3 * i) !pa;
+    Array.unsafe_set dst ((3 * i) + 1) !pb;
+    Array.unsafe_set dst ((3 * i) + 2) !pc
+  done;
+  !p

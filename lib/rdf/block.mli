@@ -1,0 +1,23 @@
+(** Delta/varint codec for one block of sorted, dictionary-encoded
+    triples.
+
+    A block holds a bounded run of rows [(a, b, c)] in lexicographic
+    order, where the column names are generic: the SPO segment stores
+    [(s, p, o)], the POS segment [(p, o, s)], the OSP segment
+    [(o, s, p)].  The leading column is encoded as a varint delta
+    against the previous row; when the delta is zero the second column
+    is delta-encoded too, and when both leading deltas are zero the
+    third column's (strictly positive) delta is stored.  Columns that
+    cannot be delta-encoded are stored as absolute varints.  Sorted
+    dictionary codes cluster tightly, so most rows cost a handful of
+    bytes (HDT/WaterFowl-style compactness). *)
+
+val append : Buffer.t -> int array -> lo:int -> hi:int -> unit
+(** [append buf rows ~lo ~hi] encodes rows [lo, hi) of [rows] (packed
+    with stride 3: row [i] is cells [3i .. 3i+2], sorted, all cells
+    non-negative) onto [buf]. *)
+
+val decode : Bytes.t -> pos:int -> rows:int -> int array -> int
+(** [decode data ~pos ~rows dst] decodes [rows] rows starting at byte
+    [pos] into [dst] (stride 3, so [dst] needs at least [3*rows]
+    cells) and returns the byte position just past the block. *)

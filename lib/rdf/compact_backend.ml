@@ -1,0 +1,463 @@
+(* LSM-style compact backend.  Invariants (checked by the QCheck
+   differential suite against Hash_backend):
+
+     - [mem_add] and the segments are disjoint triple sets;
+     - [mem_del] is a subset of the segments' set, disjoint from
+       [mem_add];
+     - the backend's contents = segments - mem_del + mem_add.
+
+   Counts therefore come straight from rank arithmetic on the segments
+   corrected by the memtable's own O(1) hash counts, and scans decode
+   the bracketed block range once, filter tombstones, and append the
+   memtable's bucket — every returned array is freshly allocated and
+   exactly sized, never rewritten in place, so the executor's nested
+   scans stay valid.
+
+   Locking: mutation (add/remove/merge) is serialized by [lock], the
+   discipline tool/analyze enforces via the [@guarded_by] field
+   annotations.  Reads take no lock — stores are never mutated
+   concurrently with reads anywhere in the system (CONCURRENCY.md),
+   matching the hash backend's Hashtbl semantics. *)
+
+let obs_merges = Obs.cached_counter "store.merges"
+let obs_merge_rows = Obs.cached_counter "store.merge_rows"
+let obs_flushes = Obs.cached_counter "store.memtable_flushes"
+
+(* Memtable flush threshold: a quarter of the merged size (geometric,
+   so ingest stays amortized O(1) merge passes per row) with a floor
+   that keeps small stores from merging on every insert. *)
+let flush_floor = 16384
+
+(* scan_all results are memoized until the next mutation, but only up
+   to this many rows: a Barton-scale all-triples scan is decoded
+   fresh rather than pinned (it would double the resident set). *)
+let all_cache_max_rows = 1 lsl 20
+
+(* scan1/scan2 results are memoized the same way (cleared on any
+   mutation).  Query execution re-scans the same (column, code) keys
+   constantly — the inner side of every join step, and every
+   repetition of a cached plan — and a memo hit costs one table
+   lookup, like the hash backend's bucket fetch.  Entry count is
+   bounded; overflowing resets the table wholesale. *)
+let scan_cache_max_keys = 16384
+
+type t = {
+  lock : Multicore.Spinlock.t;
+  mutable spo : Segment.t; [@guarded_by "lock"]
+  mutable pos : Segment.t; [@guarded_by "lock"]
+  mutable osp : Segment.t; [@guarded_by "lock"]
+  mutable mem_add : Hash_backend.t; [@guarded_by "lock"]
+      (* triples added since the last merge (not in the segments) *)
+  mutable mem_del : Hash_backend.t; [@guarded_by "lock"]
+      (* tombstones: segment triples deleted since the last merge *)
+  mutable all_cache : (int array * int) option; [@guarded_by "lock"]
+  scan_cache : (int * int * int, int array * int) Hashtbl.t; [@guarded_by "lock"]
+      (* memoized scan1/scan2 results keyed by (tag, a, b); the arrays
+         are never rewritten in place, so handing the same one to
+         every caller honours the scan contract *)
+}
+
+let create () =
+  {
+    lock = Multicore.Spinlock.create ();
+    spo = Segment.empty;
+    pos = Segment.empty;
+    osp = Segment.empty;
+    mem_add = Hash_backend.create ();
+    mem_del = Hash_backend.create ();
+    all_cache = None;
+    scan_cache = Hashtbl.create 256;
+  }
+
+(* Drop every memoized scan result.  Callers hold [t.lock]. *)
+let invalidate t =
+  (* analyze: allow unguarded-write -- callers hold lock *)
+  t.all_cache <- None;
+  (* analyze: allow unguarded-write -- callers hold lock *)
+  Hashtbl.reset t.scan_cache
+
+let seg_mem t s p o = Segment.mem t.spo s p o
+
+let mem t s p o =
+  Hash_backend.mem t.mem_add s p o
+  || (seg_mem t s p o && not (Hash_backend.mem t.mem_del s p o))
+
+let size t =
+  Segment.n t.spo - Hash_backend.size t.mem_del + Hash_backend.size t.mem_add
+
+(* ---------- merge --------------------------------------------------------- *)
+
+(* Sort the [k]-row packed memtable dump for one segment order:
+   comparator reads through an index permutation, then the rows are
+   materialized permuted (leading column first) so the merge loop
+   compares plain lexicographic cells. *)
+let sorted_rotation rows k ~da ~db ~dc =
+  let idx = Array.init k (fun i -> i) in
+  let cmp i j =
+    let x = Int.compare rows.((3 * i) + da) rows.((3 * j) + da) in
+    if x <> 0 then x
+    else
+      let x = Int.compare rows.((3 * i) + db) rows.((3 * j) + db) in
+      if x <> 0 then x
+      else Int.compare rows.((3 * i) + dc) rows.((3 * j) + dc)
+  in
+  Array.sort cmp idx;
+  let out = Array.make (3 * k) 0 in
+  for i = 0 to k - 1 do
+    let r = idx.(i) in
+    out.(3 * i) <- rows.((3 * r) + da);
+    out.((3 * i) + 1) <- rows.((3 * r) + db);
+    out.((3 * i) + 2) <- rows.((3 * r) + dc)
+  done;
+  out
+
+(* Rebuild one order: stream the old segment (already sorted, filtered
+   by tombstones) merged with the sorted memtable rotation into a
+   fresh builder.  [untombed a b c] maps the row back to (s, p, o) and
+   consults [mem_del]; nothing is ever materialized beyond one block. *)
+let rebuild_order old ~mem_rows ~k ~untombed =
+  let b = Segment.Builder.create () in
+  let cursor = ref 0 in
+  let drain_until a bb c =
+    (* push memtable rows strictly before the incoming segment row *)
+    while
+      !cursor < k
+      &&
+      let i = 3 * !cursor in
+      let ma = mem_rows.(i) in
+      ma < a
+      || (ma = a
+          &&
+          let mb = mem_rows.(i + 1) in
+          mb < bb || (mb = bb && mem_rows.(i + 2) < c))
+    do
+      let i = 3 * !cursor in
+      Segment.Builder.push b mem_rows.(i) mem_rows.(i + 1) mem_rows.(i + 2);
+      incr cursor
+    done
+  in
+  Segment.iter_all old (fun a bb c ->
+      if untombed a bb c then begin
+        drain_until a bb c;
+        Segment.Builder.push b a bb c
+      end);
+  while !cursor < k do
+    let i = 3 * !cursor in
+    Segment.Builder.push b mem_rows.(i) mem_rows.(i + 1) mem_rows.(i + 2);
+    incr cursor
+  done;
+  Segment.Builder.finish b
+
+(* Callers hold [t.lock]. *)
+let merge t =
+  let data, n = Hash_backend.scan_all t.mem_add in
+  let adds = Array.sub data 0 (3 * n) in
+  let del = t.mem_del in
+  let no_del = Hash_backend.size del = 0 in
+  Obs.incr (obs_merges ());
+  let spo =
+    rebuild_order t.spo
+      ~mem_rows:(sorted_rotation adds n ~da:0 ~db:1 ~dc:2)
+      ~k:n
+      ~untombed:(fun s p o -> no_del || not (Hash_backend.mem del s p o))
+  in
+  let pos =
+    rebuild_order t.pos
+      ~mem_rows:(sorted_rotation adds n ~da:1 ~db:2 ~dc:0)
+      ~k:n
+      ~untombed:(fun p o s -> no_del || not (Hash_backend.mem del s p o))
+  in
+  let osp =
+    rebuild_order t.osp
+      ~mem_rows:(sorted_rotation adds n ~da:2 ~db:0 ~dc:1)
+      ~k:n
+      ~untombed:(fun o s p -> no_del || not (Hash_backend.mem del s p o))
+  in
+  Obs.add (obs_merge_rows ()) (Segment.n spo);
+  (* analyze: allow unguarded-write -- callers hold lock *)
+  t.spo <- spo;
+  (* analyze: allow unguarded-write -- callers hold lock *)
+  t.pos <- pos;
+  (* analyze: allow unguarded-write -- callers hold lock *)
+  t.osp <- osp;
+  (* analyze: allow unguarded-write -- callers hold lock *)
+  t.mem_add <- Hash_backend.create ();
+  (* analyze: allow unguarded-write -- callers hold lock *)
+  t.mem_del <- Hash_backend.create ();
+  (* contents are unchanged by a merge, but the memtable arrays the
+     memoized results referenced are gone with it *)
+  invalidate t
+
+(* Callers hold [t.lock]. *)
+let maybe_flush t =
+  let pending = Hash_backend.size t.mem_add + Hash_backend.size t.mem_del in
+  if pending >= max flush_floor (Segment.n t.spo / 4) then begin
+    Obs.incr (obs_flushes ());
+    merge t
+  end
+
+let add t s p o =
+  Multicore.Spinlock.with_lock t.lock @@ fun () ->
+  if Hash_backend.mem t.mem_add s p o then false
+  else if Hash_backend.mem t.mem_del s p o then begin
+    (* resurrect a tombstoned segment row *)
+    ignore (Hash_backend.remove t.mem_del s p o : bool);
+    invalidate t;
+    true
+  end
+  else if seg_mem t s p o then false
+  else begin
+    ignore (Hash_backend.add t.mem_add s p o : bool);
+    invalidate t;
+    maybe_flush t;
+    true
+  end
+
+let remove t s p o =
+  Multicore.Spinlock.with_lock t.lock @@ fun () ->
+  if Hash_backend.mem t.mem_add s p o then begin
+    ignore (Hash_backend.remove t.mem_add s p o : bool);
+    invalidate t;
+    true
+  end
+  else if seg_mem t s p o && not (Hash_backend.mem t.mem_del s p o) then begin
+    ignore (Hash_backend.add t.mem_del s p o : bool);
+    invalidate t;
+    maybe_flush t;
+    true
+  end
+  else false
+
+let compact t =
+  Multicore.Spinlock.with_lock t.lock @@ fun () ->
+  if Hash_backend.size t.mem_add > 0 || Hash_backend.size t.mem_del > 0 then
+    merge t
+
+(* ---------- counts -------------------------------------------------------- *)
+
+(* Each single-column / column-pair lookup maps onto the segment whose
+   sort order leads with those columns; the rank interval is exact and
+   the memtable corrections are O(1) hash counts. *)
+
+let seg_count1 t col code =
+  match col with
+  | `S ->
+    let lo, hi = Segment.locate1 t.spo code in
+    hi - lo
+  | `P ->
+    let lo, hi = Segment.locate1 t.pos code in
+    hi - lo
+  | `O ->
+    let lo, hi = Segment.locate1 t.osp code in
+    hi - lo
+
+let seg_count2 t cols a b =
+  match cols with
+  | `SP ->
+    let lo, hi = Segment.locate2 t.spo a b in
+    hi - lo
+  | `PO ->
+    let lo, hi = Segment.locate2 t.pos a b in
+    hi - lo
+  | `SO ->
+    (* OSP order leads (o, s): arguments arrive as (s, o) *)
+    let lo, hi = Segment.locate2 t.osp b a in
+    hi - lo
+
+let count1 t col code =
+  seg_count1 t col code
+  - Hash_backend.count1 t.mem_del col code
+  + Hash_backend.count1 t.mem_add col code
+
+let count2 t cols a b =
+  seg_count2 t cols a b
+  - Hash_backend.count2 t.mem_del cols a b
+  + Hash_backend.count2 t.mem_add cols a b
+
+(* ---------- scans --------------------------------------------------------- *)
+
+let empty_scan = ([||] : int array)
+
+(* Assemble one scan result: [seg] rows [lo, hi) written through the
+   column permutation (leading column of the segment lands at [da] of
+   each emitted [s; p; o] row), minus [ndel] tombstones, then the
+   memtable bucket appended.  Exact-size allocation: the tombstone
+   count is known before decoding. *)
+let assemble t seg lo hi ~da ~db ~dc ~ndel (mdata, mn) =
+  let nseg = hi - lo - ndel in
+  let total = nseg + mn in
+  if total = 0 then (empty_scan, 0)
+  else begin
+    let dst = Array.make (3 * total) 0 in
+    if ndel = 0 then Segment.blit_range seg lo hi dst ~da ~db ~dc
+    else begin
+      let del = t.mem_del in
+      let out = ref 0 in
+      Segment.iter_range seg lo hi (fun a bb c ->
+          let s = if da = 0 then a else if db = 0 then bb else c in
+          let p = if da = 1 then a else if db = 1 then bb else c in
+          let o = if da = 2 then a else if db = 2 then bb else c in
+          if not (Hash_backend.mem del s p o) then begin
+            let base = 3 * !out in
+            dst.(base) <- s;
+            dst.(base + 1) <- p;
+            dst.(base + 2) <- o;
+            incr out
+          end)
+    end;
+    Array.blit mdata 0 dst (3 * nseg) (3 * mn);
+    (dst, total)
+  end
+
+(* Look up / fill the scan memo.  The table is only touched under
+   [t.lock]; a hit costs one lock + hash probe, a miss builds the
+   result outside the lock (two builders racing on the same key is
+   benign — last write wins, both arrays are correct and immutable). *)
+let cached_scan t key build =
+  let hit =
+    Multicore.Spinlock.with_lock t.lock (fun () ->
+        Hashtbl.find_opt t.scan_cache key)
+  in
+  match hit with
+  | Some r -> r
+  | None ->
+    let r = build () in
+    Multicore.Spinlock.with_lock t.lock (fun () ->
+        if Hashtbl.length t.scan_cache >= scan_cache_max_keys then
+          Hashtbl.reset t.scan_cache;
+        Hashtbl.replace t.scan_cache key r);
+    r
+
+(* Memo key tags: 0..2 single-column scans (S, P, O), 3..5 pair scans
+   (SP, PO, SO). *)
+
+let scan1 t col code =
+  match col with
+  | `S ->
+    cached_scan t (0, code, 0) @@ fun () ->
+    let lo, hi = Segment.locate1 t.spo code in
+    assemble t t.spo lo hi ~da:0 ~db:1 ~dc:2
+      ~ndel:(Hash_backend.count1 t.mem_del `S code)
+      (Hash_backend.scan1 t.mem_add `S code)
+  | `P ->
+    cached_scan t (1, code, 0) @@ fun () ->
+    let lo, hi = Segment.locate1 t.pos code in
+    assemble t t.pos lo hi ~da:1 ~db:2 ~dc:0
+      ~ndel:(Hash_backend.count1 t.mem_del `P code)
+      (Hash_backend.scan1 t.mem_add `P code)
+  | `O ->
+    cached_scan t (2, code, 0) @@ fun () ->
+    let lo, hi = Segment.locate1 t.osp code in
+    assemble t t.osp lo hi ~da:2 ~db:0 ~dc:1
+      ~ndel:(Hash_backend.count1 t.mem_del `O code)
+      (Hash_backend.scan1 t.mem_add `O code)
+
+let scan2 t cols a b =
+  match cols with
+  | `SP ->
+    cached_scan t (3, a, b) @@ fun () ->
+    let lo, hi = Segment.locate2 t.spo a b in
+    assemble t t.spo lo hi ~da:0 ~db:1 ~dc:2
+      ~ndel:(Hash_backend.count2 t.mem_del `SP a b)
+      (Hash_backend.scan2 t.mem_add `SP a b)
+  | `PO ->
+    cached_scan t (4, a, b) @@ fun () ->
+    let lo, hi = Segment.locate2 t.pos a b in
+    assemble t t.pos lo hi ~da:1 ~db:2 ~dc:0
+      ~ndel:(Hash_backend.count2 t.mem_del `PO a b)
+      (Hash_backend.scan2 t.mem_add `PO a b)
+  | `SO ->
+    cached_scan t (5, a, b) @@ fun () ->
+    let lo, hi = Segment.locate2 t.osp b a in
+    assemble t t.osp lo hi ~da:2 ~db:0 ~dc:1
+      ~ndel:(Hash_backend.count2 t.mem_del `SO a b)
+      (Hash_backend.scan2 t.mem_add `SO a b)
+
+let build_all t =
+  let n = size t in
+  let dst = Array.make (max 1 (3 * n)) 0 in
+  let del = t.mem_del in
+  let no_del = Hash_backend.size del = 0 in
+  let out = ref 0 in
+  Segment.iter_all t.spo (fun s p o ->
+      if no_del || not (Hash_backend.mem del s p o) then begin
+        let base = 3 * !out in
+        dst.(base) <- s;
+        dst.(base + 1) <- p;
+        dst.(base + 2) <- o;
+        incr out
+      end);
+  let mdata, mn = Hash_backend.scan_all t.mem_add in
+  Array.blit mdata 0 dst (3 * !out) (3 * mn);
+  (dst, n)
+
+let scan_all t =
+  match t.all_cache with
+  | Some r -> r
+  | None ->
+    let r = build_all t in
+    if size t <= all_cache_max_rows then
+      (* benign single-writer memo (same discipline as mutation);
+         rebuilt arrays are never written in place afterwards *)
+      Multicore.Spinlock.with_lock t.lock @@ fun () ->
+      (* analyze: allow unguarded-write -- holding lock *)
+      t.all_cache <- Some r;
+      r
+    else r
+
+let fold_all t f init =
+  let del = t.mem_del in
+  let no_del = Hash_backend.size del = 0 in
+  let acc = ref init in
+  Segment.iter_all t.spo (fun s p o ->
+      if no_del || not (Hash_backend.mem del s p o) then acc := f (s, p, o) !acc);
+  Hash_backend.fold_all t.mem_add f !acc
+
+(* ---------- column statistics --------------------------------------------- *)
+
+let seg_of_col t = function `S -> t.spo | `P -> t.pos | `O -> t.osp
+
+(* Is [code] live in the column's segment, i.e. does at least one of
+   its rows survive the tombstones? *)
+let live_in_seg t col code =
+  seg_count1 t col code > Hash_backend.count1 t.mem_del col code
+
+let distinct_in_column t col =
+  let base = Segment.distinct_leading (seg_of_col t col) in
+  (* fully tombstoned leading values vanish *)
+  let dead =
+    Hash_backend.fold_column_codes t.mem_del col
+      (fun code acc -> if live_in_seg t col code then acc else acc + 1)
+      0
+  in
+  (* memtable values not present in the (live) segment are new *)
+  let fresh =
+    Hash_backend.fold_column_codes t.mem_add col
+      (fun code acc -> if live_in_seg t col code then acc else acc + 1)
+      0
+  in
+  base - dead + fresh
+
+let fold_column_codes t col f init =
+  let seg = seg_of_col t col in
+  let acc = ref init in
+  Segment.iter_leading seg (fun code ->
+      if live_in_seg t col code then acc := f code !acc);
+  Hash_backend.fold_column_codes t.mem_add col
+    (fun code acc -> if live_in_seg t col code then acc else f code acc)
+    !acc
+
+(* ---------- sizing -------------------------------------------------------- *)
+
+let resident_bytes t =
+  Segment.resident_bytes t.spo + Segment.resident_bytes t.pos
+  + Segment.resident_bytes t.osp
+  + Hash_backend.resident_bytes t.mem_add
+  + Hash_backend.resident_bytes t.mem_del
+  + (match t.all_cache with Some (a, _) -> 8 * Array.length a | None -> 0)
+  + Hashtbl.fold (fun _ (a, _) acc -> acc + (8 * Array.length a)) t.scan_cache 0
+
+(* Batches sized to the block geometry: two blocks in flight keeps the
+   scan-fill loop inside the decoded block while amortizing per-batch
+   overhead. *)
+let recommended_batch_rows t = 2 * Segment.block_rows t.spo

@@ -1,0 +1,6 @@
+(** Hexastore-style hash-bucket backend (the original {!Store}
+    layout): growable packed-int buckets under six Hashtbl indexes,
+    O(1) point mutation and counting, live-storage scans.  Also reused
+    by the compact backend as its LSM memtable/tombstone index. *)
+
+include Backend.S

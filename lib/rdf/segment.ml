@@ -1,0 +1,389 @@
+(* Immutable sorted segment of dictionary-encoded rows.  See the .mli
+   for the model.  Everything here is bounds-safe by construction:
+   block indices come from the offset table, row ranks are clamped by
+   [n], and the decoded-block cache is an array of Atomics so
+   concurrent readers on other domains either see a fully decoded
+   block or decode their own copy. *)
+
+(* Small blocks keep the boundary searches cheap: a rank lookup
+   decodes at most two blocks, and 128 rows * 3 varints is a few
+   hundred nanoseconds.  The per-block framing overhead (one absolute
+   row) is under 0.1 byte/row against 512-row blocks. *)
+let default_block_rows = 128
+
+(* Decoded blocks cached per segment (bounded so a Barton-scale
+   segment never holds its whole decoded self).  128 rows * 3 cells *
+   8 bytes * 1024 blocks = 3 MiB ceiling per segment. *)
+let cache_budget_blocks = 1024
+
+let obs_decodes = Obs.cached_counter "store.block_decodes"
+let obs_cache_hits = Obs.cached_counter "store.block_cache_hits"
+let obs_skips = Obs.cached_counter "store.block_skips"
+
+type t = {
+  n : int;
+  block_rows : int;
+  nblocks : int;
+  data : Bytes.t;
+  offsets : int array;  (* nblocks + 1 byte offsets into [data] *)
+  (* zone maps, one cell per block; [first_]/[last_] are the values at
+     the block's first/last row (columns a and b are sorted within a
+     block only piecewise, but first/last still bound them), min/max
+     bound the unsorted third column *)
+  first_a : int array;
+  last_a : int array;
+  first_b : int array;
+  last_b : int array;
+  min_c : int array;
+  max_c : int array;
+  distinct_a : int;
+  cache : int array option Atomic.t array;
+  cached : int Atomic.t;  (* blocks currently cached, for the budget *)
+}
+
+let n t = t.n
+let block_rows t = t.block_rows
+let distinct_leading t = t.distinct_a
+
+let rows_in_block t i =
+  if i = t.nblocks - 1 then t.n - (i * t.block_rows) else t.block_rows
+
+(* A getter closes over one lazily allocated scratch buffer: cache
+   hits (the common case — covered segments of bench stores fit the
+   budget entirely) allocate nothing, and one operation touching
+   several uncached blocks reuses the same scratch. *)
+let make_getter t =
+  let scratch = ref [||] in
+  fun i ->
+    let slot = Array.unsafe_get t.cache i in
+    match Atomic.get slot with
+    | Some arr ->
+      Obs.incr (obs_cache_hits ());
+      arr
+    | None ->
+      Obs.incr (obs_decodes ());
+      let rows = rows_in_block t i in
+      if Atomic.get t.cached < cache_budget_blocks then begin
+        let arr = Array.make (3 * rows) 0 in
+        ignore (Block.decode t.data ~pos:t.offsets.(i) ~rows arr : int);
+        Atomic.incr t.cached;
+        Atomic.set slot (Some arr);
+        arr
+      end
+      else begin
+        if Array.length !scratch = 0 then
+          scratch := Array.make (3 * t.block_rows) 0;
+        let buf = !scratch in
+        ignore (Block.decode t.data ~pos:t.offsets.(i) ~rows buf : int);
+        buf
+      end
+
+(* ---------- construction ------------------------------------------------- *)
+
+type grow = { mutable cells : int array; mutable len : int }
+
+let gmake () = { cells = Array.make 16 0; len = 0 }
+
+let gpush g v =
+  if g.len = Array.length g.cells then begin
+    let bigger = Array.make (2 * g.len) 0 in
+    Array.blit g.cells 0 bigger 0 g.len;
+    g.cells <- bigger
+  end;
+  g.cells.(g.len) <- v;
+  g.len <- g.len + 1
+
+let gtrim g = Array.sub g.cells 0 g.len
+
+module Builder = struct
+  type b = {
+    block_rows : int;
+    buf : Buffer.t;
+    cur : int array;  (* pending rows of the open block, stride 3 *)
+    mutable cur_n : int;
+    mutable total : int;
+    mutable prev_a : int;
+    mutable distinct_a : int;
+    offs : grow;
+    b_first_a : grow;
+    b_last_a : grow;
+    b_first_b : grow;
+    b_last_b : grow;
+    b_min_c : grow;
+    b_max_c : grow;
+  }
+
+  let create ?(block_rows = default_block_rows) () =
+    if block_rows < 1 then invalid_arg "Segment.Builder.create";
+    {
+      block_rows;
+      buf = Buffer.create 4096;
+      cur = Array.make (3 * block_rows) 0;
+      cur_n = 0;
+      total = 0;
+      prev_a = -1;
+      distinct_a = 0;
+      offs = gmake ();
+      b_first_a = gmake ();
+      b_last_a = gmake ();
+      b_first_b = gmake ();
+      b_last_b = gmake ();
+      b_min_c = gmake ();
+      b_max_c = gmake ();
+    }
+
+  let flush b =
+    if b.cur_n > 0 then begin
+      let k = b.cur_n in
+      gpush b.offs (Buffer.length b.buf);
+      Block.append b.buf b.cur ~lo:0 ~hi:k;
+      gpush b.b_first_a b.cur.(0);
+      gpush b.b_last_a b.cur.(3 * (k - 1));
+      gpush b.b_first_b b.cur.(1);
+      gpush b.b_last_b b.cur.((3 * (k - 1)) + 1);
+      let mn = ref b.cur.(2) and mx = ref b.cur.(2) in
+      for i = 1 to k - 1 do
+        let c = b.cur.((3 * i) + 2) in
+        if c < !mn then mn := c;
+        if c > !mx then mx := c
+      done;
+      gpush b.b_min_c !mn;
+      gpush b.b_max_c !mx;
+      b.cur_n <- 0
+    end
+
+  let push b a bb c =
+    let i = b.cur_n in
+    b.cur.(3 * i) <- a;
+    b.cur.((3 * i) + 1) <- bb;
+    b.cur.((3 * i) + 2) <- c;
+    b.cur_n <- i + 1;
+    b.total <- b.total + 1;
+    if a <> b.prev_a then begin
+      b.prev_a <- a;
+      b.distinct_a <- b.distinct_a + 1
+    end;
+    if b.cur_n = b.block_rows then flush b
+
+  let finish b =
+    flush b;
+    gpush b.offs (Buffer.length b.buf);
+    let nblocks = b.offs.len - 1 in
+    {
+      n = b.total;
+      block_rows = b.block_rows;
+      nblocks;
+      data = Buffer.to_bytes b.buf;
+      offsets = gtrim b.offs;
+      first_a = gtrim b.b_first_a;
+      last_a = gtrim b.b_last_a;
+      first_b = gtrim b.b_first_b;
+      last_b = gtrim b.b_last_b;
+      min_c = gtrim b.b_min_c;
+      max_c = gtrim b.b_max_c;
+      distinct_a = b.distinct_a;
+      cache = Array.init nblocks (fun _ -> Atomic.make None);
+      cached = Atomic.make 0;
+    }
+end
+
+let empty = Builder.finish (Builder.create ())
+
+let of_sorted_array ?block_rows rows ~rows:k =
+  let b = Builder.create ?block_rows () in
+  for i = 0 to k - 1 do
+    Builder.push b rows.(3 * i) rows.((3 * i) + 1) rows.((3 * i) + 2)
+  done;
+  Builder.finish b
+
+(* ---------- lookups ------------------------------------------------------ *)
+
+(* First index in [lo, hi) satisfying the monotone predicate, else [hi]. *)
+let lower_bound lo hi pred =
+  let l = ref lo and h = ref hi in
+  while !l < !h do
+    let mid = (!l + !h) / 2 in
+    if pred mid then h := mid else l := mid + 1
+  done;
+  !l
+
+(* Galloping search for the first row of [rlo, rhi) whose key is
+   [above]: exponential probes from [rlo] bracket the boundary, then a
+   binary search pins it.  Short runs (the common case for scan2)
+   touch O(log run) rows, all inside already-bracketed blocks. *)
+let gallop_row key above rlo rhi =
+  if rlo >= rhi then rlo
+  else if above (key rlo) then rlo
+  else begin
+    let step = ref 1 in
+    while rlo + !step < rhi && not (above (key (rlo + !step))) do
+      step := !step * 2
+    done;
+    let l = rlo + (!step / 2) + 1 in
+    let h = min (rlo + !step) rhi in
+    lower_bound l h (fun r -> above (key r))
+  end
+
+(* Bracket the candidate blocks for leading value [a]: the zone maps
+   exclude every block whose [first_a .. last_a] interval misses [a],
+   which is all but the run's boundary blocks. *)
+let locate1_g t get a =
+  if t.n = 0 then (0, 0)
+  else begin
+    let nb = t.nblocks in
+    let blo = lower_bound 0 nb (fun i -> Array.unsafe_get t.last_a i >= a) in
+    let bhi = lower_bound blo nb (fun i -> Array.unsafe_get t.first_a i > a) in
+    Obs.add (obs_skips ()) (nb - (bhi - blo));
+    if blo >= bhi then (0, 0)
+    else begin
+      let br = t.block_rows in
+      let inblock i above =
+        let arr = get i in
+        let k = rows_in_block t i in
+        lower_bound 0 k (fun j -> above (Array.unsafe_get arr (3 * j)))
+      in
+      let lo = (blo * br) + inblock blo (fun v -> v >= a) in
+      let hi = ((bhi - 1) * br) + inblock (bhi - 1) (fun v -> v > a) in
+      if lo >= hi then (0, 0) else (lo, hi)
+    end
+  end
+
+(* First row of [lo, hi) (a run with fixed leading column, so the
+   second column is sorted) whose second column is [above].  Blocks
+   fully covered by the run have zone maps that describe run keys
+   exactly, so a binary search over [first_b]/[last_b] narrows the
+   row search to at most one block on each side. *)
+let bound_second t get lo hi b ~strict =
+  let br = t.block_rows in
+  let key r = Array.unsafe_get (get (r / br)) ((3 * (r mod br)) + 1) in
+  let above k = if strict then k > b else k >= b in
+  let cl = (lo + br - 1) / br and ch = hi / br in
+  if cl >= ch then gallop_row key above lo hi
+  else if above (Array.unsafe_get t.first_b cl) then
+    (* boundary prefix [lo, cl*br) plus the first covered row *)
+    gallop_row key above lo (cl * br)
+  else begin
+    let j =
+      lower_bound cl ch (fun i -> above (Array.unsafe_get t.last_b i))
+    in
+    Obs.add (obs_skips ()) (j - cl);
+    if j < ch then gallop_row key above (j * br) (min ((j + 1) * br) hi)
+    else gallop_row key above (ch * br) hi
+  end
+
+let locate2_g t get a b =
+  let lo, hi = locate1_g t get a in
+  if lo >= hi then (lo, lo)
+  else begin
+    let l2 = bound_second t get lo hi b ~strict:false in
+    let h2 = bound_second t get l2 hi b ~strict:true in
+    (l2, h2)
+  end
+
+let locate1 t a = locate1_g t (make_getter t) a
+let locate2 t a b = locate2_g t (make_getter t) a b
+
+let mem t a b c =
+  let get = make_getter t in
+  let lo, hi = locate2_g t get a b in
+  lo < hi
+  &&
+  let br = t.block_rows in
+  let key r = Array.unsafe_get (get (r / br)) ((3 * (r mod br)) + 2) in
+  let pos = gallop_row key (fun v -> v >= c) lo hi in
+  pos < hi && key pos = c
+
+(* ---------- enumeration -------------------------------------------------- *)
+
+let iter_range t lo hi f =
+  if lo < hi then begin
+    let get = make_getter t in
+    let br = t.block_rows in
+    let b0 = lo / br and b1 = (hi - 1) / br in
+    for i = b0 to b1 do
+      let arr = get i in
+      let jlo = if i = b0 then lo - (i * br) else 0 in
+      let jhi = if i = b1 then hi - (i * br) else rows_in_block t i in
+      for j = jlo to jhi - 1 do
+        f
+          (Array.unsafe_get arr (3 * j))
+          (Array.unsafe_get arr ((3 * j) + 1))
+          (Array.unsafe_get arr ((3 * j) + 2))
+      done
+    done
+  end
+
+let blit_range t lo hi dst ~da ~db ~dc =
+  if lo < hi then begin
+    let get = make_getter t in
+    let br = t.block_rows in
+    let b0 = lo / br and b1 = (hi - 1) / br in
+    let out = ref 0 in
+    for i = b0 to b1 do
+      let arr = get i in
+      let jlo = if i = b0 then lo - (i * br) else 0 in
+      let jhi = if i = b1 then hi - (i * br) else rows_in_block t i in
+      for j = jlo to jhi - 1 do
+        let base = 3 * !out in
+        Array.unsafe_set dst (base + da) (Array.unsafe_get arr (3 * j));
+        Array.unsafe_set dst (base + db) (Array.unsafe_get arr ((3 * j) + 1));
+        Array.unsafe_set dst (base + dc) (Array.unsafe_get arr ((3 * j) + 2));
+        incr out
+      done
+    done
+  end
+
+(* The merge path streams with its own scratch and never populates the
+   cache: after a merge the old segment is garbage anyway. *)
+let iter_all t f =
+  if t.n > 0 then begin
+    let scratch = Array.make (3 * t.block_rows) 0 in
+    for i = 0 to t.nblocks - 1 do
+      let k = rows_in_block t i in
+      ignore (Block.decode t.data ~pos:t.offsets.(i) ~rows:k scratch : int);
+      for j = 0 to k - 1 do
+        f
+          (Array.unsafe_get scratch (3 * j))
+          (Array.unsafe_get scratch ((3 * j) + 1))
+          (Array.unsafe_get scratch ((3 * j) + 2))
+      done
+    done
+  end
+
+(* Distinct leading values: a block whose zone map pins a single
+   leading value is never decoded. *)
+let iter_leading t f =
+  if t.n > 0 then begin
+    let scratch = Array.make (3 * t.block_rows) 0 in
+    let prev = ref min_int in
+    for i = 0 to t.nblocks - 1 do
+      if t.first_a.(i) = t.last_a.(i) then begin
+        if t.first_a.(i) <> !prev then begin
+          prev := t.first_a.(i);
+          f !prev
+        end
+      end
+      else begin
+        let k = rows_in_block t i in
+        ignore (Block.decode t.data ~pos:t.offsets.(i) ~rows:k scratch : int);
+        for j = 0 to k - 1 do
+          let a = Array.unsafe_get scratch (3 * j) in
+          if a <> !prev then begin
+            prev := a;
+            f a
+          end
+        done
+      end
+    done
+  end
+
+let resident_bytes t =
+  let word_arrays =
+    Array.length t.offsets + Array.length t.first_a + Array.length t.last_a
+    + Array.length t.first_b + Array.length t.last_b + Array.length t.min_c
+    + Array.length t.max_c
+  in
+  Bytes.length t.data
+  + (8 * word_arrays)
+  + (Array.length t.cache * 8 * 3)  (* slot array + atomics *)
+  + (Atomic.get t.cached * 3 * t.block_rows * 8)

@@ -1,0 +1,79 @@
+(** Immutable sorted segment: the unit of storage of the compact
+    backend.
+
+    A segment holds [n] distinct rows [(a, b, c)] in lexicographic
+    order, split into fixed-size blocks (the last may be short), each
+    delta/varint-encoded by {!Block}.  Alongside the encoded bytes the
+    segment keeps per-block zone maps — first/last leading value,
+    first/last second value, min/max third value — so lookups bracket
+    the candidate block range by binary search over the zone arrays
+    and skip every other block, then gallop within the bracketed rows.
+    Row positions double as ranks: [count = hi - lo] is exact without
+    decoding interior blocks.
+
+    Segments are immutable, so the bounded decoded-block cache needs
+    no invalidation and can be shared across domains (slots are
+    {!Atomic.t}; a block is published only fully decoded). *)
+
+type t
+
+val default_block_rows : int
+(** Rows per full block (128) unless {!Builder.create} overrides it. *)
+
+val n : t -> int
+(** Total rows. *)
+
+val block_rows : t -> int
+
+val distinct_leading : t -> int
+(** Number of distinct leading-column values, counted at build time. *)
+
+val empty : t
+
+(** Streaming constructor: [push] rows in nondecreasing lexicographic
+    order (duplicates are the caller's bug), then [finish].  Used by
+    the LSM merge so a 10M-row store never materializes a decoded
+    copy of itself. *)
+module Builder : sig
+  type b
+
+  val create : ?block_rows:int -> unit -> b
+  val push : b -> int -> int -> int -> unit
+  val finish : b -> t
+end
+
+val of_sorted_array : ?block_rows:int -> int array -> rows:int -> t
+(** Build from the first [rows] rows of a packed (stride 3) sorted
+    array — the test/bootstrap path. *)
+
+val locate1 : t -> int -> int * int
+(** [locate1 t a] is the rank interval [\[lo, hi)] of rows whose
+    leading column equals [a] (empty when [lo >= hi]). *)
+
+val locate2 : t -> int -> int -> int * int
+(** Rank interval of rows with leading column [a] and second column
+    [b]. *)
+
+val mem : t -> int -> int -> int -> bool
+
+val iter_range : t -> int -> int -> (int -> int -> int -> unit) -> unit
+(** [iter_range t lo hi f] applies [f a b c] to each row of the rank
+    interval [\[lo, hi)], in order. *)
+
+val blit_range : t -> int -> int -> int array -> da:int -> db:int -> dc:int -> unit
+(** [blit_range t lo hi dst ~da ~db ~dc] writes the rows of
+    [\[lo, hi)] into [dst] packed with stride 3 starting at cell 0,
+    placing the leading column at offset [da] of each row, the second
+    at [db], the third at [dc] — the inverse of the segment's column
+    permutation, so every segment emits [s; p; o] order. *)
+
+val iter_all : t -> (int -> int -> int -> unit) -> unit
+(** Stream every row in order, decoding block by block (bypasses the
+    cache: the merge path). *)
+
+val iter_leading : t -> (int -> unit) -> unit
+(** Apply to each distinct leading value, in increasing order. *)
+
+val resident_bytes : t -> int
+(** Encoded bytes + zone maps + offsets + currently cached decoded
+    blocks. *)

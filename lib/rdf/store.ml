@@ -3,219 +3,182 @@ type encoded = int * int * int
 type pattern = { ps : int option; pp : int option; po : int option }
 
 (* Index telemetry (hooked to the ambient Obs sink; free when disabled).
-   A "probe" is an O(1) count lookup, a "scan" enumerates a bucket. *)
+   A "probe" is an exact count lookup, a "scan" enumerates matches. *)
 let obs_inserts = Obs.cached_counter "store.inserts"
 let obs_count_probes = Obs.cached_counter "store.count_probes"
 let obs_scans = Obs.cached_counter "store.scans"
 let obs_scanned = Obs.cached_counter "store.scanned_triples"
 
-(* Index buckets are growable arrays of packed [s; p; o] triples: cell
-   [3i .. 3i+2] holds the i-th triple, [n] triples are live.  Compared
-   to the previous [encoded list] buckets this keeps [count_matching]
-   O(1) (the paper's §3.3 exact-count assumption) while letting the
-   compiled query executor (Query.Plan) walk a bucket by direct int
-   reads with no per-triple allocation, and makes deletion a single
-   swap-remove pass instead of a structural [List.filter] followed by a
-   [List.length] recount. *)
-type bucket = { mutable data : int array; mutable n : int }
+(* Both backends must satisfy the common signature — the dispatch
+   below is a variant match (no functor at every call site), but the
+   contract is machine-checked here. *)
+module _ : Backend.S = Hash_backend
+module _ : Backend.S = Compact_backend
 
-let empty_scan = ([||] : int array)
-
-let bucket_create s p o =
-  let data = Array.make 12 0 in
-  data.(0) <- s;
-  data.(1) <- p;
-  data.(2) <- o;
-  { data; n = 1 }
-
-let bucket_push b s p o =
-  let base = 3 * b.n in
-  if base = Array.length b.data then begin
-    let bigger = Array.make (2 * base) 0 in
-    Array.blit b.data 0 bigger 0 base;
-    b.data <- bigger
-  end;
-  b.data.(base) <- s;
-  b.data.(base + 1) <- p;
-  b.data.(base + 2) <- o;
-  b.n <- b.n + 1
-
-(* Swap-remove: overwrite the victim with the last triple.  One scan,
-   no allocation, no recount. *)
-let bucket_delete b s p o =
-  let n = b.n in
-  let data = b.data in
-  let rec find i =
-    if i >= n then ()
-    else if data.(3 * i) = s && data.((3 * i) + 1) = p && data.((3 * i) + 2) = o
-    then begin
-      let last = 3 * (n - 1) in
-      data.(3 * i) <- data.(last);
-      data.((3 * i) + 1) <- data.(last + 1);
-      data.((3 * i) + 2) <- data.(last + 2);
-      b.n <- n - 1
-    end
-    else find (i + 1)
-  in
-  find 0
-
-type index = (int, bucket) Hashtbl.t
+type repr = Hash of Hash_backend.t | Compact of Compact_backend.t
 
 type t = {
   id : int;
   dict : Dictionary.t;
-  all : (encoded, unit) Hashtbl.t;
+  repr : repr;
   mutable version : int;
       (* bumped on every successful add/remove; lets cached query plans
          detect store mutation cheaply *)
-  triples : bucket;  (* every triple, for all-wildcard scans *)
-  idx_s : index;
-  idx_p : index;
-  idx_o : index;
-  idx_sp : index;
-  idx_so : index;
-  idx_po : index;
+  ats_version : int array;
+      (* per-column stamp of the avg_term_size memo (-1 = unset) *)
+  ats : float array;
 }
 
 (* Atomic: stores are created on worker domains too (statistics build
    counting copies during cost estimation), and ids must stay unique. *)
 let next_id = Atomic.make 0
 
-let create () =
+let create ?backend () =
   let id = Atomic.fetch_and_add next_id 1 in
+  let kind = match backend with Some k -> k | None -> Backend.default () in
+  let repr =
+    match kind with
+    | Backend.Hash -> Hash (Hash_backend.create ())
+    | Backend.Compact -> Compact (Compact_backend.create ())
+  in
   {
     id;
     dict = Dictionary.create ();
-    all = Hashtbl.create 4096;
+    repr;
     version = 0;
-    triples = { data = Array.make 12 0; n = 0 };
-    idx_s = Hashtbl.create 1024;
-    idx_p = Hashtbl.create 64;
-    idx_o = Hashtbl.create 1024;
-    idx_sp = Hashtbl.create 1024;
-    idx_so = Hashtbl.create 1024;
-    idx_po = Hashtbl.create 1024;
+    ats_version = [| -1; -1; -1 |];
+    ats = [| 0.; 0.; 0. |];
   }
 
 let id t = t.id
 let version t = t.version
+let backend t = match t.repr with Hash _ -> Backend.Hash | Compact _ -> Backend.Compact
 let dictionary t = t.dict
 let dict_size t = Dictionary.size t.dict
 let encode_term t term = Dictionary.encode t.dict term
 let find_term t term = Dictionary.find t.dict term
 let decode_term t code = Dictionary.decode t.dict code
 
-(* Codes fit comfortably in 31 bits at any scale we run; pack pairs into a
-   single int key. *)
-let pair_key a b = (a lsl 31) lor b
-
-let bucket_add idx key s p o =
-  match Hashtbl.find_opt idx key with
-  | Some b -> bucket_push b s p o
-  | None -> Hashtbl.add idx key (bucket_create s p o)
-
-let bucket_remove idx key s p o =
-  match Hashtbl.find_opt idx key with
-  | None -> ()
-  | Some b ->
-    bucket_delete b s p o;
-    if b.n = 0 then Hashtbl.remove idx key
-
-let add_encoded t ((s, p, o) as triple) =
-  if Hashtbl.mem t.all triple then false
-  else begin
+let add_encoded t (s, p, o) =
+  let added =
+    match t.repr with
+    | Hash h -> Hash_backend.add h s p o
+    | Compact c -> Compact_backend.add c s p o
+  in
+  if added then begin
     Obs.incr (obs_inserts ());
-    Hashtbl.add t.all triple ();
-    t.version <- t.version + 1;
-    bucket_push t.triples s p o;
-    bucket_add t.idx_s s s p o;
-    bucket_add t.idx_p p s p o;
-    bucket_add t.idx_o o s p o;
-    bucket_add t.idx_sp (pair_key s p) s p o;
-    bucket_add t.idx_so (pair_key s o) s p o;
-    bucket_add t.idx_po (pair_key p o) s p o;
-    true
-  end
+    t.version <- t.version + 1
+  end;
+  added
 
 let encode_triple t (tr : Triple.t) =
   (encode_term t tr.Triple.s, encode_term t tr.Triple.p, encode_term t tr.Triple.o)
 
 let add t tr = add_encoded t (encode_triple t tr)
 
-let remove_encoded t ((s, p, o) as triple) =
-  if not (Hashtbl.mem t.all triple) then false
-  else begin
-    Hashtbl.remove t.all triple;
-    t.version <- t.version + 1;
-    bucket_delete t.triples s p o;
-    bucket_remove t.idx_s s s p o;
-    bucket_remove t.idx_p p s p o;
-    bucket_remove t.idx_o o s p o;
-    bucket_remove t.idx_sp (pair_key s p) s p o;
-    bucket_remove t.idx_so (pair_key s o) s p o;
-    bucket_remove t.idx_po (pair_key p o) s p o;
-    true
-  end
+let remove_encoded t (s, p, o) =
+  let removed =
+    match t.repr with
+    | Hash h -> Hash_backend.remove h s p o
+    | Compact c -> Compact_backend.remove c s p o
+  in
+  if removed then t.version <- t.version + 1;
+  removed
 
 let remove t (tr : Triple.t) =
   match (find_term t tr.Triple.s, find_term t tr.Triple.p, find_term t tr.Triple.o) with
   | Some s, Some p, Some o -> remove_encoded t (s, p, o)
   | _ -> false
 
-let mem_encoded t triple = Hashtbl.mem t.all triple
+let mem_encoded t (s, p, o) =
+  match t.repr with
+  | Hash h -> Hash_backend.mem h s p o
+  | Compact c -> Compact_backend.mem c s p o
 
 let mem t (tr : Triple.t) =
   match (find_term t tr.Triple.s, find_term t tr.Triple.p, find_term t tr.Triple.o) with
   | Some s, Some p, Some o -> mem_encoded t (s, p, o)
   | _ -> false
 
-let size t = t.triples.n
+let size t =
+  match t.repr with
+  | Hash h -> Hash_backend.size h
+  | Compact c -> Compact_backend.size c
 
 let pattern_all = { ps = None; pp = None; po = None }
 
-let bucket_of t pat =
-  match pat with
-  | { ps = Some s; pp = Some p; po = None } ->
-    Some (Hashtbl.find_opt t.idx_sp (pair_key s p))
-  | { ps = Some s; pp = None; po = Some o } ->
-    Some (Hashtbl.find_opt t.idx_so (pair_key s o))
-  | { ps = None; pp = Some p; po = Some o } ->
-    Some (Hashtbl.find_opt t.idx_po (pair_key p o))
-  | { ps = Some s; pp = None; po = None } -> Some (Hashtbl.find_opt t.idx_s s)
-  | { ps = None; pp = Some p; po = None } -> Some (Hashtbl.find_opt t.idx_p p)
-  | { ps = None; pp = None; po = Some o } -> Some (Hashtbl.find_opt t.idx_o o)
-  | { ps = None; pp = None; po = None } | { ps = Some _; pp = Some _; po = Some _ }
-    -> None
+let fold_all t f init =
+  match t.repr with
+  | Hash h -> Hash_backend.fold_all h f init
+  | Compact c -> Compact_backend.fold_all c f init
 
-(* Newest-first enumeration preserves the order of the former cons-list
-   buckets, which downstream consumers (workload generation in
-   particular) rely on for reproducibility. *)
-let fold_bucket b f init =
-  let data = b.data in
+(* ---------- raw scans for the compiled executor -------------------------- *)
+
+(* The executor (Query.Plan) walks scan results by direct [int array]
+   reads: no tuple per triple, no closure per step.  The hash backend
+   returns its live bucket storage, the compact backend a fresh
+   exactly-sized array; both stay valid across nested scans.  Treat
+   them as read-only, and do not mutate the store while iterating. *)
+
+let scan_all t =
+  let ((_, n) as r) =
+    match t.repr with
+    | Hash h -> Hash_backend.scan_all h
+    | Compact c -> Compact_backend.scan_all c
+  in
+  Obs.incr (obs_scans ());
+  Obs.add (obs_scanned ()) n;
+  r
+
+let scan1 t col code =
+  let ((_, n) as r) =
+    match t.repr with
+    | Hash h -> Hash_backend.scan1 h col code
+    | Compact c -> Compact_backend.scan1 c col code
+  in
+  Obs.incr (obs_scans ());
+  Obs.add (obs_scanned ()) n;
+  r
+
+let scan2 t cols a b =
+  let ((_, n) as r) =
+    match t.repr with
+    | Hash h -> Hash_backend.scan2 h cols a b
+    | Compact c -> Compact_backend.scan2 c cols a b
+  in
+  Obs.incr (obs_scans ());
+  Obs.add (obs_scanned ()) n;
+  r
+
+(* ---------- pattern interface --------------------------------------------- *)
+
+(* Newest-first enumeration over scan results preserves the order of
+   the former cons-list buckets on the hash backend, which downstream
+   consumers (workload generation in particular) rely on for
+   reproducibility. *)
+let fold_scan (data, n) f init =
   let acc = ref init in
-  for i = b.n - 1 downto 0 do
+  for i = n - 1 downto 0 do
     acc := f (data.(3 * i), data.((3 * i) + 1), data.((3 * i) + 2)) !acc
   done;
   !acc
 
-let fold_all t f init = Hashtbl.fold (fun triple () acc -> f triple acc) t.all init
-
 let fold_matching t pat f init =
-  Obs.incr (obs_scans ());
   match pat with
   | { ps = None; pp = None; po = None } ->
+    Obs.incr (obs_scans ());
     Obs.add (obs_scanned ()) (size t);
     fold_all t f init
   | { ps = Some s; pp = Some p; po = Some o } ->
+    Obs.incr (obs_scans ());
     Obs.incr (obs_scanned ());
     if mem_encoded t (s, p, o) then f (s, p, o) init else init
-  | _ -> (
-    match bucket_of t pat with
-    | Some (Some b) ->
-      Obs.add (obs_scanned ()) b.n;
-      fold_bucket b f init
-    | Some None -> init
-    | None -> assert false)
+  | { ps = Some s; pp = Some p; po = None } -> fold_scan (scan2 t `SP s p) f init
+  | { ps = Some s; pp = None; po = Some o } -> fold_scan (scan2 t `SO s o) f init
+  | { ps = None; pp = Some p; po = Some o } -> fold_scan (scan2 t `PO p o) f init
+  | { ps = Some s; pp = None; po = None } -> fold_scan (scan1 t `S s) f init
+  | { ps = None; pp = Some p; po = None } -> fold_scan (scan1 t `P p) f init
+  | { ps = None; pp = None; po = Some o } -> fold_scan (scan1 t `O o) f init
 
 let iter_matching t pat f = fold_matching t pat (fun tr () -> f tr) ()
 
@@ -224,11 +187,30 @@ let count_of_pattern t pat =
   | { ps = None; pp = None; po = None } -> size t
   | { ps = Some s; pp = Some p; po = Some o } ->
     if mem_encoded t (s, p, o) then 1 else 0
-  | _ -> (
-    match bucket_of t pat with
-    | Some (Some b) -> b.n
-    | Some None -> 0
-    | None -> assert false)
+  | { ps = Some s; pp = Some p; po = None } -> (
+    match t.repr with
+    | Hash h -> Hash_backend.count2 h `SP s p
+    | Compact c -> Compact_backend.count2 c `SP s p)
+  | { ps = Some s; pp = None; po = Some o } -> (
+    match t.repr with
+    | Hash h -> Hash_backend.count2 h `SO s o
+    | Compact c -> Compact_backend.count2 c `SO s o)
+  | { ps = None; pp = Some p; po = Some o } -> (
+    match t.repr with
+    | Hash h -> Hash_backend.count2 h `PO p o
+    | Compact c -> Compact_backend.count2 c `PO p o)
+  | { ps = Some s; pp = None; po = None } -> (
+    match t.repr with
+    | Hash h -> Hash_backend.count1 h `S s
+    | Compact c -> Compact_backend.count1 c `S s)
+  | { ps = None; pp = Some p; po = None } -> (
+    match t.repr with
+    | Hash h -> Hash_backend.count1 h `P p
+    | Compact c -> Compact_backend.count1 c `P p)
+  | { ps = None; pp = None; po = Some o } -> (
+    match t.repr with
+    | Hash h -> Hash_backend.count1 h `O o
+    | Compact c -> Compact_backend.count1 c `O o)
 
 let obs_probe_hist = Obs.cached_histogram "store.probe.ns"
 
@@ -247,51 +229,45 @@ let count_matching t pat =
 
 let matching t pat = fold_matching t pat (fun tr acc -> tr :: acc) []
 
-(* ---------- raw bucket access for the compiled executor ------------------ *)
+(* ---------- column statistics --------------------------------------------- *)
 
-(* The executor (Query.Plan) walks buckets by direct [int array] reads:
-   no tuple per triple, no closure per step.  The returned array is the
-   live bucket storage — callers must treat it as read-only and must
-   not mutate the store while holding it. *)
+let distinct_in_column t col =
+  match t.repr with
+  | Hash h -> Hash_backend.distinct_in_column h col
+  | Compact c -> Compact_backend.distinct_in_column c col
 
-let scan_all t =
-  Obs.incr (obs_scans ());
-  Obs.add (obs_scanned ()) t.triples.n;
-  (t.triples.data, t.triples.n)
+let fold_column_codes t col f init =
+  match t.repr with
+  | Hash h -> Hash_backend.fold_column_codes h col f init
+  | Compact c -> Compact_backend.fold_column_codes c col f init
 
-let scan_bucket = function
-  | Some b ->
-    Obs.incr (obs_scans ());
-    Obs.add (obs_scanned ()) b.n;
-    (b.data, b.n)
-  | None ->
-    Obs.incr (obs_scans ());
-    (empty_scan, 0)
+let column_codes t col = fold_column_codes t col (fun code acc -> code :: acc) []
 
-let scan1 t col code =
-  scan_bucket
-    (Hashtbl.find_opt
-       (match col with `S -> t.idx_s | `P -> t.idx_p | `O -> t.idx_o)
-       code)
+let col_slot = function `S -> 0 | `P -> 1 | `O -> 2
 
-let scan2 t cols a b =
-  scan_bucket
-    (Hashtbl.find_opt
-       (match cols with `SP -> t.idx_sp | `SO -> t.idx_so | `PO -> t.idx_po)
-       (pair_key a b))
+(* Memoized per (store version, column): this sits on the cost model's
+   hot path (Core.Cost reads it per candidate view) and used to decode
+   every distinct term of the column on every call. *)
+let avg_term_size t col =
+  let i = col_slot col in
+  if t.ats_version.(i) = t.version then t.ats.(i)
+  else begin
+    let total, count =
+      fold_column_codes t col
+        (fun code (total, count) ->
+          (total + Term.size (decode_term t code), count + 1))
+        (0, 0)
+    in
+    let v = if count = 0 then 0. else float_of_int total /. float_of_int count in
+    t.ats.(i) <- v;
+    t.ats_version.(i) <- t.version;
+    v
+  end
 
-let index_of_column t = function
-  | `S -> t.idx_s
-  | `P -> t.idx_p
-  | `O -> t.idx_o
-
-let distinct_in_column t col = Hashtbl.length (index_of_column t col)
-
-let column_codes t col =
-  Hashtbl.fold (fun code _ acc -> code :: acc) (index_of_column t col) []
+(* ---------- lifecycle ------------------------------------------------------ *)
 
 let copy t =
-  let fresh = create () in
+  let fresh = create ~backend:(backend t) () in
   fold_all t
     (fun (s, p, o) () ->
       let reencode c = Dictionary.encode fresh.dict (decode_term t c) in
@@ -311,12 +287,19 @@ let to_triples t =
       :: acc)
     []
 
-let avg_term_size t col =
-  let codes = column_codes t col in
-  match codes with
-  | [] -> 0.
-  | _ ->
-    let total =
-      List.fold_left (fun acc c -> acc + Term.size (decode_term t c)) 0 codes
-    in
-    float_of_int total /. float_of_int (List.length codes)
+(* ---------- backend controls ----------------------------------------------- *)
+
+let compact t =
+  match t.repr with
+  | Hash h -> Hash_backend.compact h
+  | Compact c -> Compact_backend.compact c
+
+let resident_bytes t =
+  match t.repr with
+  | Hash h -> Hash_backend.resident_bytes h
+  | Compact c -> Compact_backend.resident_bytes c
+
+let recommended_batch_rows t =
+  match t.repr with
+  | Hash h -> Hash_backend.recommended_batch_rows h
+  | Compact c -> Compact_backend.recommended_batch_rows c

@@ -1,10 +1,14 @@
 (** In-memory dictionary-encoded triple store.
 
     Mirrors the paper's storage layout (§6): a single triple table
-    [t(s, p, o)] over integer codes, indexed on every column and every
-    column combination (the "heavily indexed" layout, in the spirit of
-    Hexastore).  All pattern lookups — any subset of positions bound to
-    constants — are answered from the best index. *)
+    [t(s, p, o)] over integer codes, answering every pattern lookup —
+    any subset of positions bound to constants — from the best index.
+    Two storage backends implement the layout (see {!Backend}): the
+    hexastore-style hash-bucket layout ([Hash], the default) and the
+    sorted compressed-segment layout ([Compact], 4-10x smaller,
+    Barton-scale capable).  The store owns the dictionary, the version
+    stamp, and the telemetry; everything else dispatches to the
+    backend picked at creation. *)
 
 type t
 
@@ -14,7 +18,12 @@ type encoded = int * int * int
 type pattern = { ps : int option; pp : int option; po : int option }
 (** A lookup pattern: [None] positions are wildcards. *)
 
-val create : unit -> t
+val create : ?backend:Backend.kind -> unit -> t
+(** A fresh empty store on the given backend
+    (default {!Backend.default}, i.e. [Hash] unless the CLI's
+    [--store-backend] said otherwise). *)
+
+val backend : t -> Backend.kind
 
 val id : t -> int
 (** A process-unique stamp, assigned at creation.  Compiled query plans
@@ -74,13 +83,15 @@ val count_matching : t -> pattern -> int
 
 val matching : t -> pattern -> encoded list
 
-(** {2 Raw bucket access}
+(** {2 Raw scan access}
 
-    Zero-allocation scans for the compiled query executor
-    ({!Query.Plan}): each call returns [(data, n)] where the first
-    [3*n] cells of [data] hold the matching triples packed as
-    [s; p; o].  The array is the {e live} bucket storage — treat it as
-    read-only, and do not mutate the store while iterating. *)
+    Scans for the compiled query executor ({!Query.Plan}): each call
+    returns [(data, n)] where the first [3*n] cells of [data] hold the
+    matching triples packed as [s; p; o].  On the hash backend the
+    array is the {e live} bucket storage (zero-copy); on the compact
+    backend it is a fresh exactly-sized copy of the bracketed block
+    range.  Either way it stays valid across further scans — treat it
+    as read-only, and do not mutate the store while iterating. *)
 
 val scan_all : t -> int array * int
 (** Every triple in the store. *)
@@ -96,7 +107,13 @@ val distinct_in_column : t -> [ `S | `P | `O ] -> int
 (** Number of distinct codes in a column, as gathered for the cost model. *)
 
 val column_codes : t -> [ `S | `P | `O ] -> int list
-(** The distinct codes appearing in a column. *)
+(** The distinct codes appearing in a column (allocates a list sized
+    by the distinct count — prefer {!fold_column_codes} on hot
+    paths). *)
+
+val fold_column_codes : t -> [ `S | `P | `O ] -> (int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the distinct codes of a column without materializing
+    them. *)
 
 val fold_all : t -> (encoded -> 'a -> 'a) -> 'a -> 'a
 
@@ -108,4 +125,23 @@ val of_triples : Triple.t list -> t
 val to_triples : t -> Triple.t list
 
 val avg_term_size : t -> [ `S | `P | `O ] -> float
-(** Average byte size of the terms in a column (used by VSO, §3.3). *)
+(** Average byte size of the terms in a column (used by VSO, §3.3).
+    Memoized per store version: repeated cost-model reads between
+    mutations are O(1). *)
+
+(** {2 Backend controls} *)
+
+val compact : t -> unit
+(** Force the compact backend to merge its memtable into the segments
+    now (a no-op on the hash backend).  Contents and version are
+    unchanged — only the internal layout moves. *)
+
+val resident_bytes : t -> int
+(** Estimated live bytes of the backend's index structures (the shared
+    dictionary is excluded).  The [store] bench experiment reports
+    this as bytes/triple per backend. *)
+
+val recommended_batch_rows : t -> int
+(** The backend's preferred {!Query.Plan} batch capacity: derived from
+    the block geometry (compact) or the bucket-size histogram (hash).
+    Consumed by [Plan.set_batch_capacity_auto]. *)
